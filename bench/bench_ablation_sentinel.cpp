@@ -1,0 +1,51 @@
+// Ablation (extension): sentinel value across node-wait regimes.
+// Compares three strategies as the scheduler wait grows: direct
+// transfer, naive wait-then-compress, and the sentinel.
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "core/campaign.hpp"
+#include "core/sentinel.hpp"
+
+using namespace ocelot;
+
+int main() {
+  std::cout << "=== Ablation: sentinel vs naive strategies across node "
+               "wait times (RTM, Anvil -> Cori) ===\n\n";
+
+  const FileInventory inv = paper_inventory("RTM");
+  CampaignConfig base;
+  base.src = "Anvil";
+  base.dst = "Cori";
+  base.compression_ratio = 40.0;
+  base.rates = paper_compute_rates("RTM");
+
+  const CampaignReport direct =
+      run_campaign(inv, TransferMode::kDirect, base);
+  const CampaignReport compressed =
+      run_campaign(inv, TransferMode::kCompressedGrouped, base);
+
+  TextTable table({"node wait (s)", "direct (s)", "wait+compress (s)",
+                   "sentinel (s)", "sentinel raw files"});
+  for (const double wait : {0.0, 30.0, 60.0, 120.0, 300.0, 1800.0}) {
+    SentinelConfig config;
+    config.campaign = base;
+    config.machine_nodes = 750;
+    config.wait_model =
+        std::make_unique<TraceWait>(std::vector<double>{wait});
+    const SentinelReport s = run_sentinel(inv, std::move(config));
+
+    table.add_row({fmt_double(wait, 0),
+                   fmt_double(direct.total_seconds, 1),
+                   fmt_double(wait + compressed.total_seconds, 1),
+                   fmt_double(s.total_seconds, 1),
+                   std::to_string(s.files_sent_raw)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: the sentinel never does worse than the better "
+               "of the two naive strategies; its worst case is the "
+               "direct transfer (Section VII-B).\n";
+  return 0;
+}

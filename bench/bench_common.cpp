@@ -1,0 +1,94 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "ml/random_forest.hpp"
+
+namespace ocelot::bench {
+
+std::vector<double> default_eb_sweep() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+}
+
+std::vector<double> dense_eb_sweep() {
+  std::vector<double> ebs;
+  double eb = 1e-6;
+  for (int i = 0; i < 11; ++i) {
+    ebs.push_back(eb);
+    eb *= 3.16227766;  // half-decade steps
+  }
+  ebs.back() = 1e-1;  // land exactly on the paper's upper bound
+  return ebs;
+}
+
+std::vector<Observation> collect_observations(
+    const std::vector<std::string>& apps, double scale,
+    const std::vector<double>& ebs, const std::vector<Pipeline>& pipelines,
+    std::uint64_t seed, std::size_t sample_stride, int variants) {
+  std::vector<Observation> observations;
+  for (std::size_t app_idx = 0; app_idx < apps.size(); ++app_idx) {
+    const auto fields =
+        generate_application(apps[app_idx], scale, seed, variants);
+    for (const auto& field : fields) {
+      const DataFeatures df = extract_data_features(field.data);
+      for (const Pipeline pipeline : pipelines) {
+        for (const double eb : ebs) {
+          CompressionConfig config;
+          config.pipeline = pipeline;
+          config.eb_mode = EbMode::kValueRangeRel;
+          config.eb = eb;
+
+          Observation obs;
+          obs.app = apps[app_idx];
+          obs.field = field.name;
+          obs.eb = eb;
+          obs.pipeline = pipeline;
+
+          const double abs_eb = resolve_abs_eb(field.data, config);
+          const CompressorFeatures cf = extract_compressor_features(
+              field.data, abs_eb, sample_stride);
+          obs.sample.features =
+              assemble_feature_vector(abs_eb, pipeline, df, cf);
+          obs.stats = measure_roundtrip(field.data, config);
+          obs.sample.compression_ratio = obs.stats.compression_ratio;
+          obs.sample.compress_seconds = obs.stats.compress_seconds;
+          obs.sample.psnr_db = std::isinf(obs.stats.psnr_db)
+                                   ? 200.0
+                                   : obs.stats.psnr_db;
+          obs.sample.n_elements = field.data.size();
+          obs.sample.group = static_cast<int>(app_idx);
+          observations.push_back(std::move(obs));
+        }
+      }
+    }
+  }
+  return observations;
+}
+
+std::vector<QualitySample> to_samples(const std::vector<Observation>& obs) {
+  std::vector<QualitySample> samples;
+  samples.reserve(obs.size());
+  for (const auto& o : obs) samples.push_back(o.sample);
+  return samples;
+}
+
+ObservationSplit split_observations(const std::vector<Observation>& obs,
+                                    double train_fraction,
+                                    std::uint64_t seed) {
+  std::vector<int> groups;
+  groups.reserve(obs.size());
+  for (const auto& o : obs) groups.push_back(o.sample.group);
+  const SplitIndices split =
+      train_test_split(obs.size(), train_fraction, seed, groups);
+  return {split.train, split.test};
+}
+
+QualityModel train_on(const std::vector<Observation>& obs,
+                      const std::vector<std::size_t>& indices) {
+  std::vector<QualitySample> samples;
+  samples.reserve(indices.size());
+  for (const std::size_t i : indices) samples.push_back(obs[i].sample);
+  return QualityModel::train(samples);
+}
+
+}  // namespace ocelot::bench

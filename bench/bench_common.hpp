@@ -1,0 +1,58 @@
+#pragma once
+// Shared helpers for the bench binaries that regenerate the paper's
+// tables and figures: sample collection (real compression runs over
+// generated datasets) and quality-model training.
+
+#include <string>
+#include <vector>
+
+#include "compressor/compressor.hpp"
+#include "datagen/datasets.hpp"
+#include "features/features.hpp"
+#include "predictor/quality_model.hpp"
+
+namespace ocelot::bench {
+
+/// One measured observation: a (field, config) pair with its features
+/// and ground-truth compression outcomes.
+struct Observation {
+  std::string app;
+  std::string field;
+  double eb = 0.0;  ///< value-range-relative bound
+  Pipeline pipeline = Pipeline::kSz3Interp;
+  QualitySample sample;   ///< features + measured targets
+  RoundTripStats stats;   ///< full measured round-trip record
+};
+
+/// Default error-bound sweep (decade grid; bounds bench runtime).
+std::vector<double> default_eb_sweep();
+
+/// The paper's protocol: 11 bounds from 1e-6 to 1e-1 (half-decade grid).
+std::vector<double> dense_eb_sweep();
+
+/// Runs real compression over every field of `apps` at `scale` for
+/// each (eb, pipeline) combination; returns one Observation each.
+/// `group_ids` in the samples are indices into `apps`.
+std::vector<Observation> collect_observations(
+    const std::vector<std::string>& apps, double scale,
+    const std::vector<double>& ebs, const std::vector<Pipeline>& pipelines,
+    std::uint64_t seed = 4242, std::size_t sample_stride = 20,
+    int variants = 1);
+
+/// Extracts the QualitySamples for model training.
+std::vector<QualitySample> to_samples(const std::vector<Observation>& obs);
+
+/// Splits observation indices train/test, stratified by app.
+struct ObservationSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+ObservationSplit split_observations(const std::vector<Observation>& obs,
+                                    double train_fraction,
+                                    std::uint64_t seed = 7);
+
+/// Trains a quality model on the selected observations.
+QualityModel train_on(const std::vector<Observation>& obs,
+                      const std::vector<std::size_t>& indices);
+
+}  // namespace ocelot::bench

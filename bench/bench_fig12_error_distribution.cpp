@@ -1,0 +1,53 @@
+// Regenerates Fig. 12: distribution of prediction errors for
+// compression time and ratio (Nyx/CESM/Miranda; 30% train per app),
+// including the 80% confidence interval the paper draws as the green
+// bounding box.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace ocelot;
+using namespace ocelot::bench;
+
+int main() {
+  std::cout << "=== Fig. 12: prediction error distributions ===\n\n";
+
+  const auto observations =
+      collect_observations({"Nyx", "CESM", "Miranda"}, 0.07,
+                           default_eb_sweep(), {Pipeline::kSz3Interp});
+  const ObservationSplit split = split_observations(observations, 0.3);
+  const QualityModel model = train_on(observations, split.train);
+
+  std::vector<double> cr_errors, time_errors;
+  for (const std::size_t i : split.test) {
+    const Observation& o = observations[i];
+    const QualityPrediction p =
+        model.predict(o.sample.features, o.sample.n_elements);
+    cr_errors.push_back(p.compression_ratio - o.sample.compression_ratio);
+    time_errors.push_back(
+        (p.compress_seconds - o.sample.compress_seconds) * 1e3);
+  }
+
+  auto report = [](const std::string& name, std::vector<double> errors,
+                   const std::string& unit) {
+    TextTable table({"percentile", "error (" + unit + ")"});
+    for (const double p : {5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0}) {
+      table.add_row({fmt_double(p, 0) + "%",
+                     fmt_double(percentile(errors, p), 3)});
+    }
+    std::cout << "--- " << name << " ---\n";
+    table.print(std::cout);
+    std::cout << "80% confidence interval: ["
+              << fmt_double(percentile(errors, 10.0), 3) << ", "
+              << fmt_double(percentile(errors, 90.0), 3) << "] " << unit
+              << "\n\n";
+  };
+  report("compression-ratio prediction error", cr_errors, "CR");
+  report("compression-time prediction error", time_errors, "ms");
+
+  std::cout << "Shape check (paper Fig. 12): both error distributions "
+               "are sharply centered at zero with a thin 80% box.\n";
+  return 0;
+}

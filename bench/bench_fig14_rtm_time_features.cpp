@@ -1,0 +1,49 @@
+// Regenerates Fig. 14: RTM compression time versus compressor-level
+// features (p0, P0, quantization entropy).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+
+using namespace ocelot;
+using namespace ocelot::bench;
+
+int main() {
+  std::cout << "=== Fig. 14: RTM compression time vs compressor-level "
+               "features ===\n\n";
+
+  const auto observations = collect_observations(
+      {"RTM"}, 0.09, default_eb_sweep(), {Pipeline::kSz3Interp});
+
+  TextTable table({"snapshot", "eb", "p0", "P0", "quant entropy",
+                   "time (ms)"});
+  std::vector<double> p0s, big_p0s, entropies, times;
+  for (const auto& o : observations) {
+    p0s.push_back(o.sample.features[7]);
+    big_p0s.push_back(o.sample.features[8]);
+    entropies.push_back(o.sample.features[9]);
+    times.push_back(o.sample.compress_seconds * 1e3);
+    if (table.row_count() < 15) {
+      table.add_row({o.field, eb_label(o.eb),
+                     fmt_double(o.sample.features[7], 3),
+                     fmt_double(o.sample.features[8], 3),
+                     fmt_double(o.sample.features[9], 3),
+                     fmt_double(o.sample.compress_seconds * 1e3, 2)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCorrelations against compression time:\n"
+            << "  p0:            " << fmt_double(pearson(p0s, times), 3)
+            << "\n"
+            << "  P0:            " << fmt_double(pearson(big_p0s, times), 3)
+            << "\n"
+            << "  quant entropy: "
+            << fmt_double(pearson(entropies, times), 3) << "\n"
+            << "\nShape check (paper Fig. 14): compression time correlates "
+               "strongly with the compressor-level features (high p0 -> "
+               "fast encode; high entropy -> slow encode).\n";
+  return 0;
+}

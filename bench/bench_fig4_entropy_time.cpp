@@ -1,0 +1,51 @@
+// Regenerates Fig. 4: byte entropy vs compression time for RTM
+// snapshots at three error bounds. The paper's observation: entropy
+// correlates positively with compression time at low error bounds and
+// loses its effect at high bounds.
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "compressor/compressor.hpp"
+#include "datagen/datasets.hpp"
+#include "features/features.hpp"
+
+using namespace ocelot;
+
+int main() {
+  std::cout << "=== Fig. 4: data entropy vs compression time (RTM) ===\n\n";
+
+  // Snapshots across the run vary in wavefront coverage -> entropy.
+  std::vector<FloatArray> snapshots;
+  std::vector<double> entropies;
+  for (int t = 300; t <= 3400; t += 240) {
+    FloatArray snap = generate_rtm_snapshot(0.10, t, 3600, 5);
+    entropies.push_back(byte_entropy_of(std::span<const float>(snap.values())));
+    snapshots.push_back(std::move(snap));
+  }
+
+  for (const double eb : {1e-6, 1e-4, 1e-2}) {
+    TextTable table({"snapshot", "byte entropy", "compress time (ms)"});
+    std::vector<double> times;
+    for (std::size_t i = 0; i < snapshots.size(); ++i) {
+      CompressionConfig config;
+      config.pipeline = Pipeline::kSz3Interp;
+      config.eb_mode = EbMode::kValueRangeRel;
+      config.eb = eb;
+      const RoundTripStats stats = measure_roundtrip(snapshots[i], config);
+      times.push_back(stats.compress_seconds * 1e3);
+      table.add_row({std::to_string(i), fmt_double(entropies[i], 3),
+                     fmt_double(stats.compress_seconds * 1e3, 2)});
+    }
+    const double corr = pearson(entropies, times);
+    std::cout << "--- error bound " << eb_label(eb) << " ---\n";
+    table.print(std::cout);
+    std::cout << "Pearson(entropy, time) = " << fmt_double(corr, 3)
+              << "\n\n";
+  }
+  std::cout << "Shape check (paper): positive correlation at eb 1e-6/1e-4; "
+               "correlation weakens at eb 1e-2 because the large bound "
+               "diminishes data variation.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Regenerates Fig. 5: the relationship between p0, quantization
+// entropy, run-length estimator and compression ratio (Nyx).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+
+using namespace ocelot;
+using namespace ocelot::bench;
+
+int main() {
+  std::cout << "=== Fig. 5: compressor-level features vs compression "
+               "ratio (Nyx) ===\n\n";
+
+  const auto observations = collect_observations(
+      {"Nyx"}, 0.07, default_eb_sweep(), {Pipeline::kSz3Interp});
+
+  TextTable table({"field", "eb", "p0", "quant entropy", "Rrle", "CR"});
+  std::vector<double> p0s, entropies, rrles, crs;
+  for (const auto& o : observations) {
+    p0s.push_back(o.sample.features[7]);
+    entropies.push_back(o.sample.features[9]);
+    rrles.push_back(std::log2(std::max(1.0, o.sample.features[10])));
+    crs.push_back(std::log2(std::max(1.0, o.sample.compression_ratio)));
+    table.add_row({o.field, eb_label(o.eb),
+                   fmt_double(o.sample.features[7], 3),
+                   fmt_double(o.sample.features[9], 3),
+                   fmt_double(o.sample.features[10], 2),
+                   fmt_double(o.sample.compression_ratio, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCorrelations against log2(CR):\n"
+            << "  p0:            " << fmt_double(pearson(p0s, crs), 3) << "\n"
+            << "  quant entropy: " << fmt_double(pearson(entropies, crs), 3)
+            << "\n"
+            << "  log2(Rrle):    " << fmt_double(pearson(rrles, crs), 3)
+            << "\n"
+            << "\nShape check (paper Fig. 5): p0 and Rrle correlate "
+               "positively with CR; quantization entropy negatively.\n";
+  return 0;
+}

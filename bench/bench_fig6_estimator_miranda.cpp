@@ -1,0 +1,61 @@
+// Regenerates Fig. 6: the ad-hoc closed-form CR estimator (prior
+// work), tuned on one application, fails on Miranda, while the
+// multi-feature decision-tree model stays accurate.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "ml/decision_tree.hpp"
+#include "predictor/quality_model.hpp"
+
+using namespace ocelot;
+using namespace ocelot::bench;
+
+int main() {
+  std::cout << "=== Fig. 6: ad-hoc ratio estimator vs ML model (Miranda) "
+               "===\n\n";
+
+  // Tune the ad-hoc C1 on Nyx (where the formula happens to work).
+  const auto nyx = collect_observations({"Nyx"}, 0.07, default_eb_sweep(),
+                                        {Pipeline::kSz3Interp});
+  const AdHocRatioEstimator adhoc = AdHocRatioEstimator::fit(to_samples(nyx));
+  std::cout << "C1 fitted on Nyx: " << fmt_double(adhoc.c1, 4) << "\n\n";
+
+  // Evaluate both estimators on Miranda.
+  const auto miranda = collect_observations(
+      {"Miranda"}, 0.07, default_eb_sweep(), {Pipeline::kSz3Interp});
+  const ObservationSplit split = split_observations(miranda, 0.3);
+  const QualityModel model = train_on(miranda, split.train);
+
+  TextTable table({"field", "real CR", "ad-hoc est", "tree est"});
+  std::vector<double> truth, adhoc_pred, tree_pred;
+  for (const std::size_t i : split.test) {
+    const Observation& o = miranda[i];
+    const double est_adhoc =
+        adhoc.estimate(o.sample.features[7], o.sample.features[8]);
+    const double est_tree =
+        model.predict(o.sample.features, o.sample.n_elements)
+            .compression_ratio;
+    truth.push_back(std::log2(std::max(1.0, o.sample.compression_ratio)));
+    adhoc_pred.push_back(std::log2(std::max(1.0, est_adhoc)));
+    tree_pred.push_back(std::log2(std::max(1.0, est_tree)));
+    if (table.row_count() < 14) {
+      table.add_row({o.field, fmt_double(o.sample.compression_ratio, 2),
+                     fmt_double(est_adhoc, 2), fmt_double(est_tree, 2)});
+    }
+  }
+  table.print(std::cout);
+
+  const RegressionMetrics m_adhoc = evaluate_regression(truth, adhoc_pred);
+  const RegressionMetrics m_tree = evaluate_regression(truth, tree_pred);
+  std::cout << "\nlog2(CR) RMSE on Miranda hold-out:\n"
+            << "  ad-hoc formula (C1 from Nyx): "
+            << fmt_double(m_adhoc.rmse, 3) << "\n"
+            << "  decision tree (all features): "
+            << fmt_double(m_tree.rmse, 3) << "\n"
+            << "\nShape check (paper Fig. 6): the tree must beat the "
+               "ad-hoc formula "
+            << (m_tree.rmse < m_adhoc.rmse ? "[OK]" : "[MISMATCH]") << "\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark): codec and compressor
+// throughput per stage, supporting the cost-model calibration.
+#include <benchmark/benchmark.h>
+
+#include "codec/huffman.hpp"
+#include "codec/lzb.hpp"
+#include "common/rng.hpp"
+#include "compressor/compressor.hpp"
+#include "datagen/datasets.hpp"
+
+namespace {
+
+using namespace ocelot;
+
+std::vector<std::uint32_t> skewed_symbols(std::size_t n, double p_zero) {
+  Rng rng(17);
+  std::vector<std::uint32_t> syms;
+  syms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    syms.push_back(rng.chance(p_zero)
+                       ? 32768u
+                       : static_cast<std::uint32_t>(
+                             rng.uniform_int(32700, 32840)));
+  }
+  return syms;
+}
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const auto syms = skewed_symbols(
+      static_cast<std::size_t>(state.range(0)), 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huffman_encode(syms));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(syms.size()));
+}
+BENCHMARK(BM_HuffmanEncode)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  const auto syms = skewed_symbols(
+      static_cast<std::size_t>(state.range(0)), 0.9);
+  const Bytes encoded = huffman_encode(syms);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(huffman_decode(encoded));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(syms.size()));
+}
+BENCHMARK(BM_HuffmanDecode)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_LzbCompress(benchmark::State& state) {
+  Rng rng(23);
+  Bytes input;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    input.push_back(rng.chance(0.85)
+                        ? 0
+                        : static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lzb_compress(input));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LzbCompress)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PipelineCompress(benchmark::State& state) {
+  const FloatArray data =
+      generate_field("Miranda", "density", 0.08, 31);
+  CompressionConfig config;
+  config.pipeline = static_cast<Pipeline>(state.range(0));
+  config.eb_mode = EbMode::kValueRangeRel;
+  config.eb = 1e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress(data, config));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.byte_size()));
+  state.SetLabel(to_string(config.pipeline));
+}
+BENCHMARK(BM_PipelineCompress)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PipelineDecompress(benchmark::State& state) {
+  const FloatArray data =
+      generate_field("Miranda", "density", 0.08, 31);
+  CompressionConfig config;
+  config.pipeline = static_cast<Pipeline>(state.range(0));
+  config.eb_mode = EbMode::kValueRangeRel;
+  config.eb = 1e-3;
+  const Bytes blob = compress(data, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decompress<float>(blob));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.byte_size()));
+  state.SetLabel(to_string(config.pipeline));
+}
+BENCHMARK(BM_PipelineDecompress)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

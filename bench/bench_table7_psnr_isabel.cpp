@@ -1,0 +1,43 @@
+// Regenerates Table VII: PSNR prediction for the ISABEL application
+// (50% train / 50% test; paper reports RMSE 14.23 dB).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "ml/decision_tree.hpp"
+
+using namespace ocelot;
+using namespace ocelot::bench;
+
+int main() {
+  std::cout << "=== Table VII: prediction of PSNR for ISABEL ===\n\n";
+
+  const auto observations =
+      collect_observations({"ISABEL"}, 0.12, dense_eb_sweep(),
+                           {Pipeline::kSz3Interp}, 4242, 20, /*variants=*/3);
+  const ObservationSplit split = split_observations(observations, 0.5);
+  const QualityModel model = train_on(observations, split.train);
+
+  TextTable table({"Field", "eb", "Real PSNR", "Predicted PSNR"});
+  std::vector<double> truth, pred;
+  for (const std::size_t i : split.test) {
+    const Observation& o = observations[i];
+    const QualityPrediction p =
+        model.predict(o.sample.features, o.sample.n_elements);
+    truth.push_back(o.sample.psnr_db);
+    pred.push_back(p.psnr_db);
+    if (table.row_count() < 10) {
+      table.add_row({o.field, eb_label(o.eb),
+                     fmt_double(o.sample.psnr_db, 2),
+                     fmt_double(p.psnr_db, 2)});
+    }
+  }
+  table.print(std::cout);
+
+  const RegressionMetrics m = evaluate_regression(truth, pred);
+  std::cout << "\nPSNR prediction RMSE over " << truth.size()
+            << " held-out rows: " << fmt_double(m.rmse, 2)
+            << " dB (paper: 14.23 dB)\n";
+  return 0;
+}

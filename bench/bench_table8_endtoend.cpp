@@ -1,0 +1,91 @@
+// Regenerates Table VIII: end-to-end data transfer among Anvil, Bebop
+// and Cori in three modes (NP = direct, CP = per-file compression,
+// OP = compression + file grouping), with compression ratios measured
+// by running the real compressor on scaled generated data.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/campaign.hpp"
+
+using namespace ocelot;
+using namespace ocelot::bench;
+
+namespace {
+
+/// Measures the aggregate compression ratio of an application on
+/// scaled synthetic data with the paper's default setting.
+double measured_ratio(const std::string& app) {
+  double raw = 0.0, compressed = 0.0;
+  for (const auto& field : generate_application(app, 0.12, 77)) {
+    CompressionConfig config;
+    config.pipeline = Pipeline::kSz3Interp;
+    config.eb_mode = EbMode::kValueRangeRel;
+    config.eb = 1e-3;
+    const RoundTripStats stats = measure_roundtrip(field.data, config);
+    raw += static_cast<double>(field.data.byte_size());
+    compressed += static_cast<double>(stats.compressed_bytes);
+  }
+  return raw / compressed;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table VIII: end-to-end transfer (NP / CP / OP) ===\n\n";
+
+  const char* routes[][2] = {
+      {"Anvil", "Cori"}, {"Anvil", "Bebop"}, {"Bebop", "Cori"}};
+
+  TextTable table({"Dataset", "Direction", "T(NP)", "Speed(NP)", "T(CP)",
+                   "Speed(CP)", "T(OP)", "Speed(OP)", "CPTime", "DPTime",
+                   "TotalT", "Gain"});
+
+  for (const char* app : {"CESM", "RTM", "Miranda"}) {
+    const FileInventory inv = paper_inventory(app);
+    const double ratio = measured_ratio(app);
+    for (const auto& r : routes) {
+      CampaignConfig config;
+      config.src = r[0];
+      config.dst = r[1];
+      config.compression_ratio = ratio;
+      config.rates = paper_compute_rates(app);
+      // Bebop-sourced compression runs on its smaller partitions.
+      if (config.src == std::string("Bebop")) {
+        config.compress_nodes = 8;
+        config.compress_cores_per_node = 36;
+      }
+
+      const CampaignReport np =
+          run_campaign(inv, TransferMode::kDirect, config);
+      const CampaignReport cp =
+          run_campaign(inv, TransferMode::kCompressedPerFile, config);
+      const CampaignReport op =
+          run_campaign(inv, TransferMode::kCompressedGrouped, config);
+      const double gain = campaign_gain(np, op);
+
+      table.add_row({std::string(app) + " (CR " + fmt_double(ratio, 1) + ")",
+                     std::string(r[0]) + "->" + r[1],
+                     fmt_double(np.total_seconds, 0) + "s",
+                     fmt_rate(np.effective_speed_bps),
+                     fmt_double(cp.transfer_seconds, 0) + "s",
+                     fmt_rate(cp.effective_speed_bps),
+                     fmt_double(op.transfer_seconds, 0) + "s",
+                     fmt_rate(op.effective_speed_bps),
+                     fmt_double(op.compress_seconds, 1) + "s",
+                     fmt_double(op.decompress_seconds, 1) + "s",
+                     fmt_double(op.total_seconds, 1) + "s",
+                     fmt_double(gain * 100.0, 0) + "%"});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nPaper reference gains: CESM 60/76/72%, RTM 77/91/85%, "
+         "Miranda 41/72/74%.\n"
+      << "Shape checks: compression cuts total time on every route; "
+         "Speed(CP) < Speed(NP) (smaller files, same handling cost);\n"
+      << "grouping recovers speed for CESM/RTM but not for Miranda "
+         "(8 groups underutilize the transfer concurrency).\n";
+  return 0;
+}

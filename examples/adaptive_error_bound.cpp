@@ -1,0 +1,71 @@
+// Adaptive-error-bound scenario: use the ML quality predictor to pick
+// the most aggressive compression that still meets a PSNR target —
+// Ocelot capability #1 (Section V), without trial compression of the
+// full dataset.
+//
+//   $ ./adaptive_error_bound
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "core/advisor.hpp"
+
+using namespace ocelot;
+using namespace ocelot::bench;
+
+int main() {
+  // 1. Train the quality model on historical observations from two
+  //    applications (one-off cost, reusable across campaigns).
+  std::cout << "training quality model on CESM + Miranda history...\n";
+  const auto history =
+      collect_observations({"CESM", "Miranda"}, 0.05, default_eb_sweep(),
+                           {Pipeline::kSz3Interp});
+  const QualityModel model = QualityModel::train(to_samples(history));
+  std::cout << "  " << history.size() << " observations\n\n";
+
+  // 2. A new field arrives; the user wants PSNR >= 80 dB.
+  const FloatArray field = generate_field("CESM", "LHFLX", 0.08, 555);
+  QualityConstraints constraints;
+  constraints.min_psnr_db = 80.0;
+
+  std::vector<CompressionConfig> candidates;
+  for (const double eb : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}) {
+    CompressionConfig config;
+    config.pipeline = Pipeline::kSz3Interp;
+    config.eb_mode = EbMode::kValueRangeRel;
+    config.eb = eb;
+    candidates.push_back(config);
+  }
+
+  const Advice advice = advise(model, field, candidates, constraints, 20);
+
+  TextTable table({"eb", "pred ratio", "pred time (ms)", "pred PSNR",
+                   "feasible"});
+  for (const auto& option : advice.options) {
+    table.add_row({eb_label(option.config.eb),
+                   fmt_double(option.prediction.compression_ratio, 2),
+                   fmt_double(option.prediction.compress_seconds * 1e3, 2),
+                   fmt_double(option.prediction.psnr_db, 1),
+                   option.feasible ? "yes" : "no"});
+  }
+  table.print(std::cout);
+
+  if (!advice.best_index) {
+    std::cout << "\nno feasible configuration found\n";
+    return 1;
+  }
+  const CompressionConfig chosen = advice.options[*advice.best_index].config;
+  std::cout << "\nchosen: eb " << eb_label(chosen.eb)
+            << " (highest predicted ratio meeting PSNR >= 80 dB)\n";
+
+  // 3. Verify the choice by actually compressing.
+  const RoundTripStats stats = measure_roundtrip(field, chosen);
+  std::cout << "verification: real ratio "
+            << fmt_double(stats.compression_ratio, 2) << "x, real PSNR "
+            << fmt_double(stats.psnr_db, 1) << " dB "
+            << (stats.psnr_db >= 80.0 ? "[target met]"
+                                      : "[miss - model imperfect]")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Sentinel-failover scenario: submit a compress-and-transfer campaign
+// on a busy cluster. While compute nodes sit in the batch queue, the
+// sentinel is already moving raw files; when nodes arrive it stops the
+// raw transfer and compresses the remainder (Section VII-B, Fig. 10).
+//
+//   $ ./sentinel_failover
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "core/campaign.hpp"
+#include "core/sentinel.hpp"
+
+using namespace ocelot;
+
+int main() {
+  std::cout << "=== Sentinel failover: RTM 682 GB, Anvil -> Cori ===\n\n";
+
+  const FileInventory inv = paper_inventory("RTM");
+  CampaignConfig campaign;
+  campaign.src = "Anvil";
+  campaign.dst = "Cori";
+  campaign.compression_ratio = 40.0;
+  campaign.rates = paper_compute_rates("RTM");
+
+  // Baselines.
+  const CampaignReport direct =
+      run_campaign(inv, TransferMode::kDirect, campaign);
+  const CampaignReport optimized =
+      run_campaign(inv, TransferMode::kCompressedGrouped, campaign);
+  std::cout << "baselines: direct "
+            << fmt_double(direct.total_seconds, 1)
+            << "s | immediate-nodes compressed "
+            << fmt_double(optimized.total_seconds, 1) << "s\n\n";
+
+  // Three queue scenarios: idle cluster, moderate queue, stuck queue.
+  TextTable table({"scenario", "wait (s)", "raw files", "compressed files",
+                   "bytes on wire", "total (s)"});
+  struct Scenario {
+    const char* name;
+    double wait;
+  };
+  for (const Scenario& sc :
+       {Scenario{"idle cluster", 2.0}, Scenario{"moderate queue", 90.0},
+        Scenario{"stuck queue", 3600.0}}) {
+    SentinelConfig config;
+    config.campaign = campaign;
+    config.machine_nodes = 750;
+    config.wait_model =
+        std::make_unique<TraceWait>(std::vector<double>{sc.wait});
+    const SentinelReport report = run_sentinel(inv, std::move(config));
+
+    table.add_row({sc.name,
+                   fmt_double(report.node_wait_seconds, 1),
+                   std::to_string(report.files_sent_raw),
+                   std::to_string(report.files_sent_compressed),
+                   fmt_bytes(report.bytes_on_wire),
+                   fmt_double(report.total_seconds, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: with an idle cluster the sentinel matches the "
+         "compressed campaign; with a stuck queue it degrades gracefully "
+         "to the direct transfer — never worse than either baseline.\n";
+  return 0;
+}

@@ -1,0 +1,272 @@
+#include "codec/huffman.hpp"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "common/bitstream.hpp"
+#include "common/error.hpp"
+
+namespace ocelot {
+
+namespace {
+
+constexpr int kMaxCodeLength = 57;
+
+struct TreeNode {
+  std::uint64_t weight;
+  int height;           // for deterministic tie-breaking and depth control
+  std::int64_t symbol;  // >= 0 for leaves, -1 for internal
+  int left = -1;
+  int right = -1;
+};
+
+/// Computes per-symbol depths of the Huffman tree for `counts`.
+/// Returns pairs sorted by symbol. May exceed kMaxCodeLength for
+/// pathological weights; the caller rescales and retries.
+std::vector<std::pair<std::uint32_t, int>> tree_depths(
+    const SymbolCounts& counts) {
+  std::vector<TreeNode> nodes;
+  nodes.reserve(counts.size() * 2);
+  using QItem = std::pair<std::pair<std::uint64_t, int>, int>;  // ((w,h), idx)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  for (const auto& [sym, cnt] : counts) {
+    nodes.push_back({cnt, 0, static_cast<std::int64_t>(sym)});
+    pq.push({{cnt, 0}, static_cast<int>(nodes.size()) - 1});
+  }
+  while (pq.size() > 1) {
+    const auto a = pq.top();
+    pq.pop();
+    const auto b = pq.top();
+    pq.pop();
+    TreeNode parent;
+    parent.weight = a.first.first + b.first.first;
+    parent.height = std::max(a.first.second, b.first.second) + 1;
+    parent.symbol = -1;
+    parent.left = a.second;
+    parent.right = b.second;
+    nodes.push_back(parent);
+    pq.push({{parent.weight, parent.height}, static_cast<int>(nodes.size()) - 1});
+  }
+
+  std::vector<std::pair<std::uint32_t, int>> depths;
+  depths.reserve(counts.size());
+  // Iterative DFS from the root (last node).
+  std::vector<std::pair<int, int>> stack{{static_cast<int>(nodes.size()) - 1, 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const TreeNode& n = nodes[static_cast<std::size_t>(idx)];
+    if (n.symbol >= 0) {
+      depths.emplace_back(static_cast<std::uint32_t>(n.symbol), depth);
+    } else {
+      stack.emplace_back(n.left, depth + 1);
+      stack.emplace_back(n.right, depth + 1);
+    }
+  }
+  std::sort(depths.begin(), depths.end());
+  return depths;
+}
+
+}  // namespace
+
+SymbolCounts count_symbols(std::span<const std::uint32_t> symbols) {
+  SymbolCounts counts;
+  for (const std::uint32_t s : symbols) ++counts[s];
+  return counts;
+}
+
+HuffmanCode HuffmanCode::from_counts(const SymbolCounts& counts) {
+  require(!counts.empty(), "HuffmanCode: empty histogram");
+  HuffmanCode code;
+  if (counts.size() == 1) {
+    // Degenerate code: a single symbol encoded in zero bits.
+    code.lengths_ = {{counts.begin()->first, 0}};
+    code.codewords_ = {0};
+    return code;
+  }
+
+  SymbolCounts scaled = counts;
+  while (true) {
+    auto depths = tree_depths(scaled);
+    const int max_depth =
+        std::max_element(depths.begin(), depths.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.second < b.second;
+                         })
+            ->second;
+    if (max_depth <= kMaxCodeLength) {
+      code.lengths_ = std::move(depths);
+      break;
+    }
+    // Flatten the distribution and retry; halving weights (floor at 1)
+    // strictly reduces the weight ratio that causes deep trees.
+    for (auto& [sym, cnt] : scaled) cnt = std::max<std::uint64_t>(1, cnt / 2);
+  }
+  code.assign_canonical_codewords();
+  return code;
+}
+
+void HuffmanCode::assign_canonical_codewords() {
+  // Canonical assignment: sort by (length, symbol); codewords count up,
+  // shifting left at every length increase.
+  std::vector<std::size_t> order(lengths_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (lengths_[a].second != lengths_[b].second)
+      return lengths_[a].second < lengths_[b].second;
+    return lengths_[a].first < lengths_[b].first;
+  });
+
+  codewords_.assign(lengths_.size(), 0);
+  std::uint64_t next = 0;
+  int prev_len = lengths_[order[0]].second;
+  for (const std::size_t idx : order) {
+    const int len = lengths_[idx].second;
+    next <<= (len - prev_len);
+    prev_len = len;
+    codewords_[idx] = next++;
+  }
+}
+
+int HuffmanCode::length(std::uint32_t symbol) const {
+  const auto it = std::lower_bound(
+      lengths_.begin(), lengths_.end(), symbol,
+      [](const auto& entry, std::uint32_t s) { return entry.first < s; });
+  if (it == lengths_.end() || it->first != symbol) return 0;
+  return it->second;
+}
+
+std::uint64_t HuffmanCode::codeword(std::uint32_t symbol) const {
+  const auto it = std::lower_bound(
+      lengths_.begin(), lengths_.end(), symbol,
+      [](const auto& entry, std::uint32_t s) { return entry.first < s; });
+  require(it != lengths_.end() && it->first == symbol,
+          "codeword: unknown symbol");
+  return codewords_[static_cast<std::size_t>(it - lengths_.begin())];
+}
+
+std::uint64_t HuffmanCode::encoded_bits(const SymbolCounts& counts) const {
+  std::uint64_t bits = 0;
+  for (const auto& [sym, cnt] : counts) {
+    bits += cnt * static_cast<std::uint64_t>(length(sym));
+  }
+  return bits;
+}
+
+Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
+  BytesWriter out;
+  out.put_varint(symbols.size());
+  if (symbols.empty()) return out.take();
+
+  const SymbolCounts counts = count_symbols(symbols);
+  const HuffmanCode code = HuffmanCode::from_counts(counts);
+
+  // Table: unique count, then delta-coded symbols with lengths.
+  out.put_varint(code.lengths_.size());
+  std::uint32_t prev = 0;
+  for (const auto& [sym, len] : code.lengths_) {
+    out.put_varint(sym - prev);
+    out.put_varint(static_cast<std::uint64_t>(len));
+    prev = sym;
+  }
+
+  // Fast per-symbol lookup aligned with lengths_ order.
+  BitWriter bits;
+  for (const std::uint32_t s : symbols) {
+    const auto it = std::lower_bound(
+        code.lengths_.begin(), code.lengths_.end(), s,
+        [](const auto& entry, std::uint32_t v) { return entry.first < v; });
+    const std::size_t idx =
+        static_cast<std::size_t>(it - code.lengths_.begin());
+    const int len = code.lengths_[idx].second;
+    const std::uint64_t w = code.codewords_[idx];
+    // Emit MSB-first so canonical prefix decoding works bit by bit.
+    for (int b = len - 1; b >= 0; --b) bits.put_bit((w >> b) & 1u);
+  }
+  out.put_blob(bits.finish());
+  return out.take();
+}
+
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> data) {
+  BytesReader in(data);
+  const std::uint64_t n = in.get_varint();
+  std::vector<std::uint32_t> out;
+  if (n == 0) return out;
+  out.reserve(n);
+
+  const std::uint64_t unique = in.get_varint();
+  if (unique == 0) throw CorruptStream("huffman: empty code table");
+  std::vector<std::pair<std::uint32_t, int>> lengths;
+  lengths.reserve(unique);
+  std::uint32_t sym = 0;
+  for (std::uint64_t i = 0; i < unique; ++i) {
+    sym += static_cast<std::uint32_t>(in.get_varint());
+    const int len = static_cast<int>(in.get_varint());
+    if (len < 0 || len > kMaxCodeLength)
+      throw CorruptStream("huffman: bad code length");
+    lengths.emplace_back(sym, len);
+  }
+
+  if (unique == 1) {
+    // Zero-bit degenerate code.
+    out.assign(n, lengths[0].first);
+    (void)in.get_blob();
+    return out;
+  }
+
+  // Canonical decode tables: per length, the first codeword and the
+  // symbols of that length in canonical order.
+  std::vector<std::size_t> order(lengths.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (lengths[a].second != lengths[b].second)
+      return lengths[a].second < lengths[b].second;
+    return lengths[a].first < lengths[b].first;
+  });
+
+  std::array<std::uint64_t, kMaxCodeLength + 2> first_code{};
+  std::array<std::uint64_t, kMaxCodeLength + 2> count_at{};
+  std::array<std::size_t, kMaxCodeLength + 2> offset_at{};
+  std::vector<std::uint32_t> symbols_in_order;
+  symbols_in_order.reserve(lengths.size());
+  {
+    std::uint64_t next = 0;
+    int prev_len = lengths[order[0]].second;
+    if (prev_len == 0) throw CorruptStream("huffman: zero-length code");
+    for (const std::size_t idx : order) {
+      const int len = lengths[idx].second;
+      next <<= (len - prev_len);
+      prev_len = len;
+      if (count_at[static_cast<std::size_t>(len)] == 0) {
+        first_code[static_cast<std::size_t>(len)] = next;
+        offset_at[static_cast<std::size_t>(len)] = symbols_in_order.size();
+      }
+      ++count_at[static_cast<std::size_t>(len)];
+      symbols_in_order.push_back(lengths[idx].first);
+      ++next;
+    }
+  }
+
+  const auto payload = in.get_blob();
+  BitReader bits(payload);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t codeword = 0;
+    int len = 0;
+    while (true) {
+      codeword = (codeword << 1) | static_cast<std::uint64_t>(bits.get_bit());
+      ++len;
+      if (len > kMaxCodeLength) throw CorruptStream("huffman: code too long");
+      const auto l = static_cast<std::size_t>(len);
+      if (count_at[l] != 0 && codeword >= first_code[l] &&
+          codeword < first_code[l] + count_at[l]) {
+        out.push_back(
+            symbols_in_order[offset_at[l] + (codeword - first_code[l])]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ocelot

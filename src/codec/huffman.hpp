@@ -1,0 +1,72 @@
+#pragma once
+// Canonical Huffman coding over 32-bit symbols.
+//
+// The SZ-style compressors emit streams of quantization codes (centered
+// around the zero bin); Huffman coding is the variable-length encoder
+// that turns the skewed code distribution into a compact bit stream
+// (Section III-A of the paper). The code table is also used standalone
+// by the feature extractor to compute the P0 feature (the share of the
+// encoded bit stream occupied by the zero bin).
+//
+// Stream layout: varint symbol-count, varint unique-count, delta-coded
+// (symbol, code-length) pairs, then the canonical bit stream.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ocelot {
+
+/// Symbol frequency histogram.
+using SymbolCounts = std::map<std::uint32_t, std::uint64_t>;
+
+/// Builds a histogram of a symbol stream.
+SymbolCounts count_symbols(std::span<const std::uint32_t> symbols);
+
+/// A canonical Huffman code: per-symbol code lengths and codewords.
+class HuffmanCode {
+ public:
+  /// Builds an optimal prefix code from symbol frequencies.
+  ///
+  /// Counts must be non-empty. Code lengths are capped at 57 bits by
+  /// iterative frequency rescaling (never triggered by realistic data).
+  static HuffmanCode from_counts(const SymbolCounts& counts);
+
+  /// Code length in bits for `symbol`; 0 if the symbol is not in the code.
+  [[nodiscard]] int length(std::uint32_t symbol) const;
+
+  /// Canonical codeword for `symbol` (valid when length(symbol) > 0).
+  [[nodiscard]] std::uint64_t codeword(std::uint32_t symbol) const;
+
+  /// Total encoded size in bits for the histogram `counts`.
+  [[nodiscard]] std::uint64_t encoded_bits(const SymbolCounts& counts) const;
+
+  /// All (symbol, length) pairs sorted by symbol.
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, int>>& lengths()
+      const {
+    return lengths_;
+  }
+
+ private:
+  // Sorted by symbol; codewords_ aligned with lengths_.
+  std::vector<std::pair<std::uint32_t, int>> lengths_;
+  std::vector<std::uint64_t> codewords_;
+
+  void assign_canonical_codewords();
+  friend Bytes huffman_encode(std::span<const std::uint32_t>);
+  friend std::vector<std::uint32_t> huffman_decode(
+      std::span<const std::uint8_t>);
+};
+
+/// Encodes a symbol stream (table + bits). Empty input yields a valid
+/// stream that decodes to an empty vector.
+Bytes huffman_encode(std::span<const std::uint32_t> symbols);
+
+/// Decodes a stream produced by huffman_encode.
+/// Throws CorruptStream on malformed input.
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> data);
+
+}  // namespace ocelot

@@ -1,0 +1,63 @@
+#include "codec/lossless.hpp"
+
+#include "codec/lzb.hpp"
+#include "codec/rle.hpp"
+#include "common/error.hpp"
+
+namespace ocelot {
+
+std::string to_string(LosslessBackend backend) {
+  switch (backend) {
+    case LosslessBackend::kNone:
+      return "none";
+    case LosslessBackend::kLzb:
+      return "lzb";
+    case LosslessBackend::kRleLzb:
+      return "rle+lzb";
+  }
+  return "unknown";
+}
+
+Bytes lossless_compress(std::span<const std::uint8_t> raw,
+                        LosslessBackend backend) {
+  BytesWriter out;
+  out.put(static_cast<std::uint8_t>(backend));
+  switch (backend) {
+    case LosslessBackend::kNone:
+      out.put_bytes(raw);
+      break;
+    case LosslessBackend::kLzb: {
+      const Bytes packed = lzb_compress(raw);
+      out.put_bytes(packed);
+      break;
+    }
+    case LosslessBackend::kRleLzb: {
+      const Bytes rle = rle_compress(raw);
+      const Bytes packed = lzb_compress(rle);
+      out.put_bytes(packed);
+      break;
+    }
+    default:
+      throw InvalidArgument("lossless_compress: unknown backend");
+  }
+  return out.take();
+}
+
+Bytes lossless_decompress(std::span<const std::uint8_t> compressed) {
+  BytesReader in(compressed);
+  const auto id = in.get<std::uint8_t>();
+  const auto payload = in.get_bytes(in.remaining());
+  switch (static_cast<LosslessBackend>(id)) {
+    case LosslessBackend::kNone:
+      return Bytes(payload.begin(), payload.end());
+    case LosslessBackend::kLzb:
+      return lzb_decompress(payload);
+    case LosslessBackend::kRleLzb: {
+      const Bytes rle = lzb_decompress(payload);
+      return rle_decompress(rle);
+    }
+  }
+  throw CorruptStream("lossless_decompress: unknown backend id");
+}
+
+}  // namespace ocelot

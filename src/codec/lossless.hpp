@@ -1,0 +1,33 @@
+#pragma once
+// Pluggable lossless backend applied after Huffman coding.
+//
+// Mirrors SZ3's modular design where the final dictionary-coding stage
+// is swappable (zstd in SZ3; LZB here). The backend id is stored in the
+// compressed container so decompression is self-describing.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace ocelot {
+
+enum class LosslessBackend : std::uint8_t {
+  kNone = 0,  ///< store bytes as-is
+  kLzb = 1,   ///< LZ77-style dictionary coder
+  kRleLzb = 2 ///< run-length pass, then LZB
+};
+
+/// Human-readable backend name ("none", "lzb", "rle+lzb").
+std::string to_string(LosslessBackend backend);
+
+/// Applies the chosen backend. Output embeds the backend id.
+Bytes lossless_compress(std::span<const std::uint8_t> raw,
+                        LosslessBackend backend);
+
+/// Inverts lossless_compress, dispatching on the embedded backend id.
+/// Throws CorruptStream on malformed input.
+Bytes lossless_decompress(std::span<const std::uint8_t> compressed);
+
+}  // namespace ocelot

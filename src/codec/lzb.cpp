@@ -1,0 +1,141 @@
+#include "codec/lzb.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ocelot {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr std::size_t kHashBits = 16;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_length(Bytes& out, std::size_t extra) {
+  // 255-run extension used after a nibble value of 15.
+  while (extra >= 255) {
+    out.push_back(255);
+    extra -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(extra));
+}
+
+std::size_t get_length(BytesReader& in, std::size_t nibble) {
+  std::size_t len = nibble;
+  if (nibble == 15) {
+    while (true) {
+      const auto b = in.get<std::uint8_t>();
+      len += b;
+      if (b != 255) break;
+    }
+  }
+  return len;
+}
+
+void emit_sequence(Bytes& out, std::span<const std::uint8_t> literals,
+                   std::size_t offset, std::size_t match_len) {
+  const std::size_t lit_nibble = std::min<std::size_t>(literals.size(), 15);
+  const std::size_t match_code = match_len == 0 ? 0 : match_len - kMinMatch;
+  const std::size_t match_nibble = std::min<std::size_t>(match_code, 15);
+  out.push_back(static_cast<std::uint8_t>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) put_length(out, literals.size() - 15);
+  out.insert(out.end(), literals.begin(), literals.end());
+  if (match_len > 0) {
+    out.push_back(static_cast<std::uint8_t>(offset & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((offset >> 8) & 0xFF));
+    if (match_nibble == 15) put_length(out, match_code - 15);
+  }
+}
+
+}  // namespace
+
+Bytes lzb_compress(std::span<const std::uint8_t> raw) {
+  BytesWriter header;
+  header.put_varint(raw.size());
+  Bytes out = header.take();
+  if (raw.empty()) return out;
+
+  // Single-entry hash table of the most recent position per 4-byte hash.
+  std::vector<std::int64_t> table(1u << kHashBits, -1);
+  const std::uint8_t* base = raw.data();
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+
+  while (pos + kMinMatch <= raw.size()) {
+    const std::uint32_t h = hash4(base + pos);
+    const std::int64_t cand = table[h];
+    table[h] = static_cast<std::int64_t>(pos);
+
+    std::size_t match_len = 0;
+    if (cand >= 0 &&
+        pos - static_cast<std::size_t>(cand) <= kMaxOffset &&
+        std::memcmp(base + cand, base + pos, kMinMatch) == 0) {
+      const std::size_t cpos = static_cast<std::size_t>(cand);
+      match_len = kMinMatch;
+      const std::size_t limit = raw.size() - pos;
+      while (match_len < limit &&
+             base[cpos + match_len] == base[pos + match_len]) {
+        ++match_len;
+      }
+    }
+
+    if (match_len >= kMinMatch) {
+      emit_sequence(out, raw.subspan(literal_start, pos - literal_start),
+                    pos - static_cast<std::size_t>(cand), match_len);
+      // Refresh the table inside the match so later data can reference it.
+      const std::size_t end = pos + match_len;
+      for (std::size_t p = pos + 1; p + kMinMatch <= end && p + kMinMatch <= raw.size();
+           p += 8) {  // sparse refresh keeps compression fast
+        table[hash4(base + p)] = static_cast<std::int64_t>(p);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+
+  // Trailing literals (possibly the whole input).
+  emit_sequence(out, raw.subspan(literal_start), 0, 0);
+  return out;
+}
+
+Bytes lzb_decompress(std::span<const std::uint8_t> compressed) {
+  BytesReader in(compressed);
+  const std::uint64_t raw_size = in.get_varint();
+  Bytes out;
+  out.reserve(raw_size);
+
+  while (out.size() < raw_size) {
+    const auto token = in.get<std::uint8_t>();
+    const std::size_t lit_len = get_length(in, token >> 4);
+    const auto lits = in.get_bytes(lit_len);
+    out.insert(out.end(), lits.begin(), lits.end());
+    if (out.size() > raw_size) throw CorruptStream("lzb: literal overflow");
+    if (out.size() == raw_size) break;
+
+    const auto lo = in.get<std::uint8_t>();
+    const auto hi = in.get<std::uint8_t>();
+    const std::size_t offset = lo | (static_cast<std::size_t>(hi) << 8);
+    if (offset == 0 || offset > out.size())
+      throw CorruptStream("lzb: bad match offset");
+    const std::size_t match_len = get_length(in, token & 0xF) + kMinMatch;
+    if (out.size() + match_len > raw_size)
+      throw CorruptStream("lzb: match overflow");
+    // Byte-by-byte copy: overlapping matches (offset < len) replicate.
+    std::size_t src = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) out.push_back(out[src + i]);
+  }
+  return out;
+}
+
+}  // namespace ocelot

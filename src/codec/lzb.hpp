@@ -1,0 +1,30 @@
+#pragma once
+// LZ77-style byte compressor ("LZB") with an LZ4-like block format.
+//
+// This is the dictionary-coding stage of the lossless backend (the
+// paper's SZ pipeline applies a dictionary coder after Huffman; SZ3
+// uses zstd). LZB uses greedy hash-chain matching over a 64 KiB window
+// with 4-byte minimum matches.
+//
+// Block format: varint raw size, then sequences of
+//   token byte   (hi nibble: literal length, lo nibble: match length - 4,
+//                 15 in either nibble extends with 255-run bytes)
+//   literals
+//   2-byte LE offset + extension bytes  (absent in the final sequence)
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace ocelot {
+
+/// Compresses `raw`; output is never catastrophically larger than input
+/// (worst case ~raw/255 + raw + 16 bytes).
+Bytes lzb_compress(std::span<const std::uint8_t> raw);
+
+/// Decompresses a stream produced by lzb_compress.
+/// Throws CorruptStream on malformed input.
+Bytes lzb_decompress(std::span<const std::uint8_t> compressed);
+
+}  // namespace ocelot

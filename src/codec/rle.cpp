@@ -1,0 +1,52 @@
+#include "codec/rle.hpp"
+
+#include "common/error.hpp"
+
+namespace ocelot {
+
+Bytes rle_compress(std::span<const std::uint8_t> raw) {
+  BytesWriter out;
+  out.put_varint(raw.size());
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    const std::uint8_t v = raw[i];
+    std::size_t run = 1;
+    while (i + run < raw.size() && raw[i + run] == v) ++run;
+    if (run >= 2) {
+      // Two copies signal a run; the varint carries the remainder.
+      out.put(v);
+      out.put(v);
+      out.put_varint(run - 2);
+    } else {
+      out.put(v);
+    }
+    i += run;
+  }
+  return out.take();
+}
+
+Bytes rle_decompress(std::span<const std::uint8_t> compressed) {
+  BytesReader in(compressed);
+  const std::uint64_t raw_size = in.get_varint();
+  Bytes out;
+  out.reserve(raw_size);
+  while (out.size() < raw_size) {
+    const auto v = in.get<std::uint8_t>();
+    out.push_back(v);
+    if (out.size() < raw_size && in.remaining() > 0) {
+      // Peek for the run escape: a second identical byte.
+      BytesReader peek_check = in;  // cheap copy: span + offset
+      const auto next = peek_check.get<std::uint8_t>();
+      if (next == v) {
+        in = peek_check;
+        const std::uint64_t extra = in.get_varint();
+        if (out.size() + 1 + extra > raw_size)
+          throw CorruptStream("rle: run overflow");
+        out.insert(out.end(), 1 + extra, v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ocelot

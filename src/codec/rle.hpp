@@ -1,0 +1,21 @@
+#pragma once
+// Byte-level run-length coding with a double-byte escape.
+//
+// Runs of three or more equal bytes are stored as two copies of the
+// byte plus a varint of the remaining run length. Useful ahead of LZB
+// for extremely sparse quantization streams and exercised by the
+// lossless-backend chain tests.
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace ocelot {
+
+Bytes rle_compress(std::span<const std::uint8_t> raw);
+
+/// Throws CorruptStream on malformed input.
+Bytes rle_decompress(std::span<const std::uint8_t> compressed);
+
+}  // namespace ocelot

@@ -1,0 +1,3 @@
+#include "common/bitstream.hpp"
+
+// Header-only today; this TU anchors the library.

@@ -1,0 +1,85 @@
+#pragma once
+// Bit-granular writer/reader used by the Huffman codec.
+//
+// Bits are packed LSB-first within each byte. BitWriter::finish() pads
+// the final byte with zero bits; the consumer is expected to know the
+// number of meaningful symbols (Huffman streams carry an explicit
+// symbol count), so padding never becomes data.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace ocelot {
+
+/// Appends individual bits / bit-fields to a byte buffer, LSB-first.
+class BitWriter {
+ public:
+  /// Appends the low `nbits` bits of `value` (LSB emitted first).
+  void put_bits(std::uint64_t value, int nbits) {
+    require(nbits >= 0 && nbits <= 64, "put_bits: nbits out of range");
+    for (int i = 0; i < nbits; ++i) {
+      cur_ |= static_cast<std::uint8_t>((value >> i) & 1u) << fill_;
+      if (++fill_ == 8) flush_byte();
+    }
+  }
+
+  void put_bit(bool b) { put_bits(b ? 1 : 0, 1); }
+
+  /// Pads to a byte boundary and returns the buffer.
+  [[nodiscard]] Bytes finish() {
+    if (fill_ > 0) flush_byte();
+    return std::move(buf_);
+  }
+
+  [[nodiscard]] std::size_t bit_count() const { return buf_.size() * 8 + fill_; }
+
+ private:
+  void flush_byte() {
+    buf_.push_back(cur_);
+    cur_ = 0;
+    fill_ = 0;
+  }
+
+  Bytes buf_;
+  std::uint8_t cur_ = 0;
+  int fill_ = 0;
+};
+
+/// Reads bits written by BitWriter in the same order.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool get_bit() {
+    if (byte_ >= data_.size()) throw CorruptStream("bit stream exhausted");
+    const bool b = (data_[byte_] >> bit_) & 1u;
+    if (++bit_ == 8) {
+      bit_ = 0;
+      ++byte_;
+    }
+    return b;
+  }
+
+  /// Reads `nbits` bits, LSB-first, mirroring BitWriter::put_bits.
+  [[nodiscard]] std::uint64_t get_bits(int nbits) {
+    require(nbits >= 0 && nbits <= 64, "get_bits: nbits out of range");
+    std::uint64_t v = 0;
+    for (int i = 0; i < nbits; ++i) {
+      v |= static_cast<std::uint64_t>(get_bit()) << i;
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::size_t bits_consumed() const { return byte_ * 8 + bit_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t byte_ = 0;
+  int bit_ = 0;
+};
+
+}  // namespace ocelot

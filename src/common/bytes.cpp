@@ -1,0 +1,4 @@
+#include "common/bytes.hpp"
+
+// Header-only today; this TU anchors the library and keeps a stable
+// place for future out-of-line definitions.

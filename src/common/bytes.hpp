@@ -1,0 +1,132 @@
+#pragma once
+// Byte-buffer reader/writer with varint support.
+//
+// BytesWriter appends POD values and length-prefixed blobs to a growable
+// buffer; BytesReader consumes them in the same order, throwing
+// CorruptStream on truncation. These are the serialization primitives
+// used by the codecs, the compressed-blob container, and the grouped
+// archive format.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ocelot {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends scalar values and byte spans to an in-memory buffer.
+class BytesWriter {
+ public:
+  BytesWriter() = default;
+
+  /// Appends the raw object representation of a trivially-copyable value.
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  /// Appends `bytes` verbatim (no length prefix).
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Appends an unsigned LEB128 varint.
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Appends a varint length prefix followed by the bytes.
+  void put_blob(std::span<const std::uint8_t> bytes) {
+    put_varint(bytes.size());
+    put_bytes(bytes);
+  }
+
+  /// Appends a varint length prefix followed by the string bytes.
+  void put_string(const std::string& s) {
+    put_varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes values written by BytesWriter, validating bounds.
+class BytesReader {
+ public:
+  explicit BytesReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check(sizeof(T));
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  [[nodiscard]] std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      check(1);
+      const std::uint8_t b = data_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+      if (shift >= 64) throw CorruptStream("varint too long");
+    }
+    return v;
+  }
+
+  /// Reads a length-prefixed blob as a view into the underlying buffer.
+  [[nodiscard]] std::span<const std::uint8_t> get_blob() {
+    const auto n = get_varint();
+    check(n);
+    auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  [[nodiscard]] std::string get_string() {
+    const auto view = get_blob();
+    return {reinterpret_cast<const char*>(view.data()), view.size()};
+  }
+
+  /// Reads `n` raw bytes as a view.
+  [[nodiscard]] std::span<const std::uint8_t> get_bytes(std::size_t n) {
+    check(n);
+    auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  void check(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw CorruptStream("truncated byte stream");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ocelot

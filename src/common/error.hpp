@@ -1,0 +1,48 @@
+#pragma once
+// Error types shared across the Ocelot libraries.
+//
+// Library code signals failure by throwing one of these exceptions
+// (I.10 / E.2: use exceptions to signal failure to perform a task).
+// Each carries a human-readable message describing what failed.
+
+#include <stdexcept>
+#include <string>
+
+namespace ocelot {
+
+/// Base class for all Ocelot errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad argument, bad state).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A serialized byte stream is malformed or truncated.
+class CorruptStream : public Error {
+ public:
+  explicit CorruptStream(const std::string& what) : Error(what) {}
+};
+
+/// A named entity (file, dataset, endpoint, function) was not found.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+/// An operation is not valid in the object's current state.
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with `msg` when `cond` is false.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace ocelot

@@ -1,0 +1,141 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace ocelot {
+
+template <typename T>
+ValueSummary summarize(std::span<const T> values) {
+  ValueSummary s;
+  if (values.empty()) return s;
+  double mn = values[0], mx = values[0], sum = 0.0, sumsq = 0.0;
+  for (const T v : values) {
+    const double d = static_cast<double>(v);
+    mn = std::min(mn, d);
+    mx = std::max(mx, d);
+    sum += d;
+    sumsq += d * d;
+  }
+  const double n = static_cast<double>(values.size());
+  s.min = mn;
+  s.max = mx;
+  s.range = mx - mn;
+  s.mean = sum / n;
+  const double var = std::max(0.0, sumsq / n - s.mean * s.mean);
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+template ValueSummary summarize<float>(std::span<const float>);
+template ValueSummary summarize<double>(std::span<const double>);
+
+double byte_entropy(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return 0.0;
+  std::array<std::uint64_t, 256> counts{};
+  for (const std::uint8_t b : bytes) ++counts[b];
+  const double n = static_cast<double>(bytes.size());
+  double h = 0.0;
+  for (const std::uint64_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double symbol_entropy(std::span<const std::uint32_t> symbols) {
+  if (symbols.empty()) return 0.0;
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for (const std::uint32_t s : symbols) ++counts[s];
+  const double n = static_cast<double>(symbols.size());
+  double h = 0.0;
+  for (const auto& [sym, c] : counts) {
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+template <typename T>
+double rmse(std::span<const T> original, std::span<const T> reconstructed) {
+  require(original.size() == reconstructed.size(), "rmse: size mismatch");
+  if (original.empty()) return 0.0;
+  double sumsq = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double d =
+        static_cast<double>(original[i]) - static_cast<double>(reconstructed[i]);
+    sumsq += d * d;
+  }
+  return std::sqrt(sumsq / static_cast<double>(original.size()));
+}
+
+template double rmse<float>(std::span<const float>, std::span<const float>);
+template double rmse<double>(std::span<const double>, std::span<const double>);
+
+template <typename T>
+double psnr(std::span<const T> original, std::span<const T> reconstructed) {
+  const double e = rmse(original, reconstructed);
+  const ValueSummary s = summarize(original);
+  if (e == 0.0) return std::numeric_limits<double>::infinity();
+  if (s.range == 0.0) return -std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(s.range / e);
+}
+
+template double psnr<float>(std::span<const float>, std::span<const float>);
+template double psnr<double>(std::span<const double>, std::span<const double>);
+
+template <typename T>
+double max_abs_error(std::span<const T> original,
+                     std::span<const T> reconstructed) {
+  require(original.size() == reconstructed.size(),
+          "max_abs_error: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double d = std::abs(static_cast<double>(original[i]) -
+                              static_cast<double>(reconstructed[i]));
+    m = std::max(m, d);
+  }
+  return m;
+}
+
+template double max_abs_error<float>(std::span<const float>,
+                                     std::span<const float>);
+template double max_abs_error<double>(std::span<const double>,
+                                      std::span<const double>);
+
+double percentile(std::vector<double> samples, double p) {
+  require(!samples.empty(), "percentile: empty sample set");
+  require(p >= 0.0 && p <= 100.0, "percentile: p out of [0,100]");
+  std::sort(samples.begin(), samples.end());
+  const double idx = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size() && !x.empty(), "pearson: bad input sizes");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace ocelot

@@ -1,0 +1,73 @@
+#pragma once
+// Statistics used to characterize fields and reconstruction quality.
+//
+// These implement the metrics the paper relies on: min/max/value-range
+// (Table I), byte-level information entropy (Section VI, data-based
+// features), and PSNR/RMSE for distortion (Section VIII-C).
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace ocelot {
+
+/// Basic summary of a sample vector.
+struct ValueSummary {
+  double min = 0.0;
+  double max = 0.0;
+  double range = 0.0;   ///< max - min
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes min/max/range/mean/stddev in one pass. Empty input -> zeros.
+template <typename T>
+ValueSummary summarize(std::span<const T> values);
+
+/// Mutable-span convenience overload.
+template <typename T>
+  requires(!std::is_const_v<T>)
+ValueSummary summarize(std::span<T> values) {
+  return summarize(std::span<const T>(values));
+}
+
+/// Shannon entropy (bits/byte) of the raw byte representation.
+///
+/// The "chaos level" feature from the paper: S is the set of byte values
+/// 0..255, H(X) = -sum p(x) log2 p(x). Range [0, 8].
+double byte_entropy(std::span<const std::uint8_t> bytes);
+
+/// Byte entropy of a numeric buffer's object representation.
+template <typename T>
+double byte_entropy_of(std::span<const T> values) {
+  return byte_entropy({reinterpret_cast<const std::uint8_t*>(values.data()),
+                       values.size() * sizeof(T)});
+}
+
+/// Shannon entropy (bits/symbol) of an arbitrary integer symbol stream.
+double symbol_entropy(std::span<const std::uint32_t> symbols);
+
+/// Root-mean-square error between original and reconstructed data.
+template <typename T>
+double rmse(std::span<const T> original, std::span<const T> reconstructed);
+
+/// Peak signal-to-noise ratio in dB: 20*log10(range / RMSE).
+///
+/// Matches the Z-checker definition the paper cites. Returns +inf for a
+/// perfect reconstruction and -inf when range is zero with nonzero error.
+template <typename T>
+double psnr(std::span<const T> original, std::span<const T> reconstructed);
+
+/// Maximum absolute pointwise error.
+template <typename T>
+double max_abs_error(std::span<const T> original,
+                     std::span<const T> reconstructed);
+
+/// Percentile of a sample set (p in [0,100]); linear interpolation.
+double percentile(std::vector<double> samples, double p);
+
+/// Pearson correlation coefficient of two equal-length series.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+}  // namespace ocelot

@@ -1,0 +1,49 @@
+#include "common/str.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace ocelot {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string eb_label(double eb) {
+  std::ostringstream os;
+  const int exp = static_cast<int>(std::round(std::log10(eb)));
+  if (std::abs(eb - std::pow(10.0, exp)) < 1e-12 * eb) {
+    os << "1e" << exp;
+  } else {
+    os << eb;
+  }
+  return os.str();
+}
+
+}  // namespace ocelot

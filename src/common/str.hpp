@@ -1,0 +1,21 @@
+#pragma once
+// Small string helpers shared across modules.
+
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Joins parts with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True when `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Scientific-notation error-bound label, e.g. 1e-3 -> "1e-3".
+std::string eb_label(double eb);
+
+}  // namespace ocelot

@@ -1,0 +1,87 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ocelot {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "TextTable: row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+          << cells[c] << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  out << "|";
+  for (const std::size_t w : widths) {
+    out << std::string(w + 2, '-') << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return fmt_double(bytes, 2) + kUnits[unit];
+}
+
+std::string fmt_seconds(double s) {
+  if (s < 60.0) return fmt_double(s, 2) + "s";
+  const int minutes = static_cast<int>(s / 60.0);
+  const double rem = s - minutes * 60.0;
+  std::ostringstream os;
+  os << minutes << "m" << fmt_double(rem, 0) << "s";
+  return os.str();
+}
+
+std::string fmt_rate(double bytes_per_sec) {
+  if (bytes_per_sec >= 1e9) return fmt_double(bytes_per_sec / 1e9, 2) + "GB/s";
+  return fmt_double(bytes_per_sec / 1e6, 1) + "MB/s";
+}
+
+}  // namespace ocelot

@@ -1,0 +1,44 @@
+#pragma once
+// Fixed-width text table printer used by the bench binaries to emit
+// paper-style tables (Table I, II, V-VIII) to stdout.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders to the stream.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string fmt_double(double v, int precision = 2);
+
+/// Formats a byte count as B/KB/MB/GB/TB with 2 decimals.
+std::string fmt_bytes(double bytes);
+
+/// Formats seconds as "12.3s" / "4m32s" style.
+std::string fmt_seconds(double s);
+
+/// Formats a rate in bytes/sec as MB/s or GB/s.
+std::string fmt_rate(double bytes_per_sec);
+
+}  // namespace ocelot

@@ -1,0 +1,66 @@
+#pragma once
+// Error-bounded lossy compression of scientific arrays.
+//
+// Public entry points of the compressor library: compress an NdArray
+// into a self-describing blob and decompress it back. The contract is
+// the error-bound invariant: for the resolved absolute bound e,
+// max |original[i] - decompressed[i]| <= e for all i.
+//
+// Blob layout: magic "OCZ1", dtype, pipeline, resolved absolute eb,
+// shape, pipeline parameters, then named sections (quantization codes
+// after Huffman+backend, unpredictable raw values, and for SZ2 the
+// per-block choices and coefficient streams).
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+#include "common/ndarray.hpp"
+#include "compressor/config.hpp"
+
+namespace ocelot {
+
+/// Compresses `data` under `config`. Throws InvalidArgument for empty
+/// arrays or non-positive error bounds.
+template <typename T>
+Bytes compress(const NdArray<T>& data, const CompressionConfig& config);
+
+/// Decompresses a blob produced by compress<T>. Throws CorruptStream on
+/// malformed input and InvalidArgument if the blob's dtype is not T.
+template <typename T>
+NdArray<T> decompress(std::span<const std::uint8_t> blob);
+
+/// Metadata recovered from a blob without decompressing the payload.
+struct BlobInfo {
+  bool is_double = false;
+  Pipeline pipeline = Pipeline::kSz3Interp;
+  double abs_eb = 0.0;
+  Shape shape;
+  std::size_t compressed_bytes = 0;
+  std::size_t raw_bytes = 0;
+};
+
+/// Parses header fields only.
+BlobInfo inspect_blob(std::span<const std::uint8_t> blob);
+
+/// Convenience round-trip measurement used by tests, benches and the
+/// predictor training loop.
+struct RoundTripStats {
+  double compression_ratio = 0.0;
+  double compress_seconds = 0.0;
+  double decompress_seconds = 0.0;
+  double psnr_db = 0.0;
+  double max_error = 0.0;
+  double abs_eb = 0.0;
+  std::size_t compressed_bytes = 0;
+};
+
+template <typename T>
+RoundTripStats measure_roundtrip(const NdArray<T>& data,
+                                 const CompressionConfig& config);
+
+/// Resolves a possibly-relative error bound against the data range.
+template <typename T>
+double resolve_abs_eb(const NdArray<T>& data, const CompressionConfig& config);
+
+}  // namespace ocelot

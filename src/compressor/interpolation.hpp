@@ -1,0 +1,128 @@
+#pragma once
+// Multilevel spline-interpolation traversal (SZ3-interp style).
+//
+// The grid is refined level by level: anchors at stride S are coded
+// first (with stride-S Lorenzo predictions), then each halving level
+// s = S/2 ... 1 interpolates the new points dimension by dimension.
+// Within a level, pass d covers exactly the points whose *last*
+// odd-multiple-of-s coordinate is dimension d, guaranteeing every
+// point is visited once and all interpolation neighbors are already
+// reconstructed (see the coverage argument in tests/compressor).
+//
+// Interior points use 4-point cubic interpolation
+// (-1/16, 9/16, 9/16, -1/16); points lacking a far neighbor fall back
+// to linear averaging, and border points to nearest-known copy.
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "common/ndarray.hpp"
+
+namespace ocelot {
+
+/// Largest power-of-two anchor stride <= max_stride that is also
+/// meaningful for the given shape (at least 2, at most max dimension).
+inline std::size_t choose_anchor_stride(const Shape& shape,
+                                        std::size_t max_stride = 64) {
+  std::size_t max_dim = 0;
+  for (int d = 0; d < shape.rank(); ++d) max_dim = std::max(max_dim, shape.dim(d));
+  std::size_t s = 2;
+  while (s * 2 <= max_stride && s * 2 <= max_dim) s *= 2;
+  return s;
+}
+
+/// Visits every grid point once in the interpolation order, calling
+/// `fn(linear_index, prediction)` and storing its return into `recon`.
+template <typename T, typename Fn>
+void interp_traverse(const Shape& shape, std::span<T> recon,
+                     std::size_t anchor_stride, Fn&& fn) {
+  const int rank = shape.rank();
+  const std::array<std::size_t, 3> n = {
+      shape.dim(0), rank >= 2 ? shape.dim(1) : 1, rank >= 3 ? shape.dim(2) : 1};
+  const std::size_t s1 = n[1] * n[2];
+  const std::size_t s2 = n[2];
+  auto lin = [&](std::size_t i, std::size_t j, std::size_t k) {
+    return i * s1 + j * s2 + k;
+  };
+  auto val = [&](std::size_t i, std::size_t j, std::size_t k) -> double {
+    return static_cast<double>(recon[lin(i, j, k)]);
+  };
+
+  const std::size_t S = anchor_stride;
+
+  // --- Phase 1: anchors at stride S with stride-S Lorenzo predictions.
+  for (std::size_t i = 0; i < n[0]; i += S) {
+    for (std::size_t j = 0; j < n[1]; j += S) {
+      for (std::size_t k = 0; k < n[2]; k += S) {
+        const bool bi = i >= S, bj = j >= S, bk = k >= S;
+        double pred = 0.0;
+        if (rank <= 1) {
+          pred = bi ? val(i - S, 0, 0) : 0.0;
+        } else if (rank == 2) {
+          pred = (bi ? val(i - S, j, 0) : 0.0) + (bj ? val(i, j - S, 0) : 0.0) -
+                 (bi && bj ? val(i - S, j - S, 0) : 0.0);
+        } else {
+          pred = (bi ? val(i - S, j, k) : 0.0) + (bj ? val(i, j - S, k) : 0.0) +
+                 (bk ? val(i, j, k - S) : 0.0) -
+                 (bi && bj ? val(i - S, j - S, k) : 0.0) -
+                 (bi && bk ? val(i - S, j, k - S) : 0.0) -
+                 (bj && bk ? val(i, j - S, k - S) : 0.0) +
+                 (bi && bj && bk ? val(i - S, j - S, k - S) : 0.0);
+        }
+        const std::size_t idx = lin(i, j, k);
+        recon[idx] = fn(idx, pred);
+      }
+    }
+  }
+
+  // --- Phase 2: refine level by level, dimension by dimension.
+  for (std::size_t s = S / 2; s >= 1; s /= 2) {
+    for (int d = 0; d < rank; ++d) {
+      std::array<std::size_t, 3> start{};
+      std::array<std::size_t, 3> step{};
+      for (int e = 0; e < 3; ++e) {
+        if (e == d) {
+          start[static_cast<std::size_t>(e)] = s;
+          step[static_cast<std::size_t>(e)] = 2 * s;
+        } else if (e < d) {
+          start[static_cast<std::size_t>(e)] = 0;
+          step[static_cast<std::size_t>(e)] = s;
+        } else {
+          start[static_cast<std::size_t>(e)] = 0;
+          step[static_cast<std::size_t>(e)] = 2 * s;
+        }
+      }
+      const std::size_t nd = n[static_cast<std::size_t>(d)];
+
+      for (std::size_t i = start[0]; i < n[0]; i += step[0]) {
+        for (std::size_t j = start[1]; j < n[1]; j += step[1]) {
+          for (std::size_t k = start[2]; k < n[2]; k += step[2]) {
+            const std::size_t x = d == 0 ? i : (d == 1 ? j : k);
+            // Accessor for neighbors displaced along dimension d.
+            auto along = [&](std::size_t xx) -> double {
+              return d == 0 ? val(xx, j, k) : (d == 1 ? val(i, xx, k) : val(i, j, xx));
+            };
+            double pred;
+            if (x + s < nd) {
+              if (x >= 3 * s && x + 3 * s < nd) {
+                pred = (-along(x - 3 * s) + 9.0 * along(x - s) +
+                        9.0 * along(x + s) - along(x + 3 * s)) /
+                       16.0;
+              } else {
+                pred = 0.5 * (along(x - s) + along(x + s));
+              }
+            } else {
+              pred = along(x - s);  // border: nearest known
+            }
+            const std::size_t idx = lin(i, j, k);
+            recon[idx] = fn(idx, pred);
+          }
+        }
+      }
+    }
+    if (s == 1) break;
+  }
+}
+
+}  // namespace ocelot

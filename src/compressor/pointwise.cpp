@@ -1,0 +1,137 @@
+#include "compressor/pointwise.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "codec/lossless.hpp"
+#include "common/error.hpp"
+#include "compressor/compressor.hpp"
+
+namespace ocelot {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'O', 'C', 'P', '1'};
+
+// Per-sample class byte in the side stream.
+enum SampleClass : std::uint8_t {
+  kPositive = 0,
+  kNegative = 1,
+  kZero = 2,
+  kNonFinite = 3,
+};
+
+}  // namespace
+
+Bytes compress_pointwise_rel(const FloatArray& data, double rel,
+                             Pipeline pipeline) {
+  require(data.size() > 0, "compress_pointwise_rel: empty array");
+  require(rel > 0.0 && rel < 1.0,
+          "compress_pointwise_rel: rel must be in (0, 1)");
+
+  const auto vals = data.values();
+  std::vector<std::uint8_t> classes(vals.size());
+  std::vector<float> log_mag(vals.size());
+  std::vector<float> verbatim;  // non-finite samples, in order
+
+  // The log array needs a neutral fill for zero/non-finite slots so
+  // the predictor sees a smooth field; use the running minimum of the
+  // observed log-magnitudes (computed in a first pass).
+  float fill = 0.0f;
+  bool have_fill = false;
+  for (const float v : vals) {
+    if (std::isfinite(v) && v != 0.0f) {
+      const float lv = std::log(std::abs(v));
+      if (!have_fill || lv < fill) {
+        fill = lv;
+        have_fill = true;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    const float v = vals[i];
+    if (!std::isfinite(v)) {
+      classes[i] = kNonFinite;
+      verbatim.push_back(v);
+      log_mag[i] = fill;
+    } else if (v == 0.0f) {
+      classes[i] = kZero;
+      log_mag[i] = fill;
+    } else {
+      classes[i] = v > 0.0f ? kPositive : kNegative;
+      log_mag[i] = std::log(std::abs(v));
+    }
+  }
+
+  // |log' - log| <= log(1+rel)  =>  x'/x in [1/(1+rel), 1+rel]
+  //                              subset of [1-rel, 1+rel].
+  CompressionConfig config;
+  config.pipeline = pipeline;
+  config.eb_mode = EbMode::kAbsolute;
+  config.eb = std::log1p(rel);
+  const Bytes payload =
+      compress(FloatArray(data.shape(), std::move(log_mag)), config);
+
+  BytesWriter out;
+  out.put_bytes(kMagic);
+  out.put(rel);
+  out.put_blob(lossless_compress(classes, LosslessBackend::kRleLzb));
+  {
+    std::span<const std::uint8_t> raw{
+        reinterpret_cast<const std::uint8_t*>(verbatim.data()),
+        verbatim.size() * sizeof(float)};
+    out.put_blob(lossless_compress(raw, LosslessBackend::kLzb));
+  }
+  out.put_blob(payload);
+  return out.take();
+}
+
+FloatArray decompress_pointwise_rel(std::span<const std::uint8_t> blob) {
+  BytesReader in(blob);
+  const auto magic = in.get_bytes(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0)
+    throw CorruptStream("pointwise blob: bad magic");
+  const double rel = in.get<double>();
+  if (!(rel > 0.0 && rel < 1.0))
+    throw CorruptStream("pointwise blob: bad rel bound");
+
+  const Bytes classes = lossless_decompress(in.get_blob());
+  const Bytes verbatim_bytes = lossless_decompress(in.get_blob());
+  if (verbatim_bytes.size() % sizeof(float) != 0)
+    throw CorruptStream("pointwise blob: misaligned verbatim stream");
+  std::vector<float> verbatim(verbatim_bytes.size() / sizeof(float));
+  std::memcpy(verbatim.data(), verbatim_bytes.data(), verbatim_bytes.size());
+
+  const FloatArray log_mag = decompress<float>(in.get_blob());
+  if (classes.size() != log_mag.size())
+    throw CorruptStream("pointwise blob: class/payload size mismatch");
+
+  FloatArray out(log_mag.shape());
+  std::size_t verbatim_pos = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    switch (classes[i]) {
+      case kPositive:
+        out[i] = std::exp(log_mag[i]);
+        break;
+      case kNegative:
+        out[i] = -std::exp(log_mag[i]);
+        break;
+      case kZero:
+        out[i] = 0.0f;
+        break;
+      case kNonFinite:
+        if (verbatim_pos >= verbatim.size())
+          throw CorruptStream("pointwise blob: verbatim stream exhausted");
+        out[i] = verbatim[verbatim_pos++];
+        break;
+      default:
+        throw CorruptStream("pointwise blob: bad sample class");
+    }
+  }
+  return out;
+}
+
+}  // namespace ocelot

@@ -1,0 +1,31 @@
+#pragma once
+// Pointwise-relative error bounds (extension; SZ's "REL" mode).
+//
+// Guarantees |x - x'| <= rel * |x| for every sample, which the
+// absolute-bound pipelines cannot express when a field spans many
+// decades (e.g., cosmology densities). Implemented with the standard
+// log-domain reduction: signs and exact zeros are stored in a
+// classified side stream, and log|x| is compressed with the absolute
+// bound log(1 + rel); since 1/(1+r) >= 1-r, the multiplicative
+// reconstruction error stays within [1-rel, 1+rel].
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+#include "common/ndarray.hpp"
+#include "compressor/config.hpp"
+
+namespace ocelot {
+
+/// Compresses with a pointwise-relative bound `rel` (0 < rel < 1),
+/// using `pipeline` for the log-magnitude payload. Non-finite samples
+/// are preserved verbatim.
+Bytes compress_pointwise_rel(const FloatArray& data, double rel,
+                             Pipeline pipeline = Pipeline::kSz3Interp);
+
+/// Inverts compress_pointwise_rel. Throws CorruptStream on malformed
+/// input.
+FloatArray decompress_pointwise_rel(std::span<const std::uint8_t> blob);
+
+}  // namespace ocelot

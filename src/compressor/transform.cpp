@@ -1,0 +1,336 @@
+#include "compressor/transform.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "codec/lossless.hpp"
+#include "common/error.hpp"
+
+namespace ocelot {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'O', 'C', 'T', '1'};
+constexpr int kBlockEdge = 4;
+constexpr int kFixedBits = 30;  ///< fixed-point precision per block
+
+enum class BlockKind : std::uint8_t { kEmpty = 0, kCoded = 1, kRaw = 2 };
+
+/// ZFP's 4-point integer lifting transform (exactly invertible).
+void fwd_lift(std::int64_t* p, std::size_t stride) {
+  std::int64_t x = p[0], y = p[stride], z = p[2 * stride], w = p[3 * stride];
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+  p[0] = x; p[stride] = y; p[2 * stride] = z; p[3 * stride] = w;
+}
+
+void inv_lift(std::int64_t* p, std::size_t stride) {
+  std::int64_t x = p[0], y = p[stride], z = p[2 * stride], w = p[3 * stride];
+  y += w >> 1; w -= y >> 1;
+  y += w; w <<= 1; w -= y;
+  z += x; x <<= 1; x -= z;
+  y += z; z <<= 1; z -= y;
+  w += x; x <<= 1; x -= w;
+  p[0] = x; p[stride] = y; p[2 * stride] = z; p[3 * stride] = w;
+}
+
+/// Applies the lifting along every line of every dimension of a
+/// 4^rank block stored densely (dim 0 slowest).
+template <typename LiftFn>
+void lift_block(std::span<std::int64_t> block, int rank, LiftFn&& lift) {
+  if (rank == 1) {
+    lift(block.data(), 1);
+    return;
+  }
+  if (rank == 2) {
+    for (int i = 0; i < 4; ++i) lift(block.data() + 4 * i, 1);  // rows
+    for (int j = 0; j < 4; ++j) lift(block.data() + j, 4);      // cols
+    return;
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      lift(block.data() + 16 * i + 4 * j, 1);  // along dim 2
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      lift(block.data() + 16 * i + k, 4);  // along dim 1
+    }
+  }
+  for (int j = 0; j < 4; ++j) {
+    for (int k = 0; k < 4; ++k) {
+      lift(block.data() + 4 * j + k, 16);  // along dim 0
+    }
+  }
+}
+
+struct Dims {
+  std::array<std::size_t, 3> n;
+  int rank;
+  std::size_t block_cells;
+};
+
+Dims dims_of(const Shape& shape) {
+  Dims d;
+  d.rank = shape.rank();
+  d.n = {shape.dim(0), d.rank >= 2 ? shape.dim(1) : 1,
+         d.rank >= 3 ? shape.dim(2) : 1};
+  d.block_cells = 1;
+  for (int i = 0; i < d.rank; ++i) d.block_cells *= kBlockEdge;
+  return d;
+}
+
+/// Gathers one block with clamp-to-edge padding; returns the padded
+/// values and whether all of them are finite.
+bool gather_block(const FloatArray& data, const Dims& d,
+                  std::array<std::size_t, 3> lo,
+                  std::span<double> out) {
+  const auto vals = data.values();
+  const std::size_t s1 = d.n[1] * d.n[2];
+  const std::size_t s2 = d.n[2];
+  bool finite = true;
+  std::size_t cell = 0;
+  const int e0 = kBlockEdge;
+  const int e1 = d.rank >= 2 ? kBlockEdge : 1;
+  const int e2 = d.rank >= 3 ? kBlockEdge : 1;
+  for (int i = 0; i < e0; ++i) {
+    const std::size_t gi = std::min(lo[0] + static_cast<std::size_t>(i),
+                                    d.n[0] - 1);
+    for (int j = 0; j < e1; ++j) {
+      const std::size_t gj = std::min(lo[1] + static_cast<std::size_t>(j),
+                                      d.n[1] - 1);
+      for (int k = 0; k < e2; ++k) {
+        const std::size_t gk = std::min(lo[2] + static_cast<std::size_t>(k),
+                                        d.n[2] - 1);
+        const double v = static_cast<double>(vals[gi * s1 + gj * s2 + gk]);
+        if (!std::isfinite(v)) finite = false;
+        out[cell++] = v;
+      }
+    }
+  }
+  return finite;
+}
+
+/// Scatters a decoded block back into the valid region of the array.
+void scatter_block(FloatArray& data, const Dims& d,
+                   std::array<std::size_t, 3> lo,
+                   std::span<const double> block) {
+  auto vals = data.values();
+  const std::size_t s1 = d.n[1] * d.n[2];
+  const std::size_t s2 = d.n[2];
+  std::size_t cell = 0;
+  const int e0 = kBlockEdge;
+  const int e1 = d.rank >= 2 ? kBlockEdge : 1;
+  const int e2 = d.rank >= 3 ? kBlockEdge : 1;
+  for (int i = 0; i < e0; ++i) {
+    for (int j = 0; j < e1; ++j) {
+      for (int k = 0; k < e2; ++k, ++cell) {
+        const std::size_t gi = lo[0] + static_cast<std::size_t>(i);
+        const std::size_t gj = lo[1] + static_cast<std::size_t>(j);
+        const std::size_t gk = lo[2] + static_cast<std::size_t>(k);
+        if (gi < d.n[0] && gj < d.n[1] && gk < d.n[2]) {
+          vals[gi * s1 + gj * s2 + gk] = static_cast<float>(block[cell]);
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Encodes one block's coefficients; returns true if, after local
+/// decode, every valid cell respects the bound.
+struct BlockCodec {
+  const Dims& d;
+  double abs_eb;
+  double coeff_step_scale;  ///< error-amplification safety factor
+
+  /// Transforms, truncates and locally verifies a block.
+  /// Fills `payload` (exponent + coefficients) on success.
+  bool encode(std::span<const double> values, BytesWriter& payload,
+              std::span<double> recon) const {
+    double max_abs = 0.0;
+    for (const double v : values) max_abs = std::max(max_abs, std::abs(v));
+    // Common-exponent fixed point: |v| < 2^e  ->  |i| < 2^kFixedBits.
+    const int e = std::ilogb(max_abs) + 1;
+    const double scale = std::ldexp(1.0, kFixedBits - e);
+
+    std::vector<std::int64_t> block(values.size());
+    for (std::size_t c = 0; c < values.size(); ++c) {
+      block[c] = static_cast<std::int64_t>(std::llround(values[c] * scale));
+    }
+    lift_block(std::span<std::int64_t>(block), d.rank, fwd_lift);
+
+    // Coefficient truncation: a step of g in a coefficient maps to at
+    // most coeff_step_scale * g in the spatial domain; local
+    // verification below guards the bound regardless.
+    const double eb_fixed = abs_eb * scale;
+    const auto step = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(eb_fixed / coeff_step_scale));
+
+    payload.put(static_cast<std::int16_t>(e));
+    payload.put_varint(static_cast<std::uint64_t>(step));
+    std::vector<std::int64_t> coded(block.size());
+    for (std::size_t c = 0; c < block.size(); ++c) {
+      const std::int64_t q = static_cast<std::int64_t>(
+          std::llround(static_cast<double>(block[c]) /
+                       static_cast<double>(step)));
+      coded[c] = q;
+      payload.put_varint(zigzag(q));
+    }
+
+    // Local decode for verification.
+    std::vector<std::int64_t> back(coded.size());
+    for (std::size_t c = 0; c < coded.size(); ++c) back[c] = coded[c] * step;
+    lift_block(std::span<std::int64_t>(back), d.rank, inv_lift);
+    for (std::size_t c = 0; c < back.size(); ++c) {
+      recon[c] = static_cast<double>(back[c]) / scale;
+      if (std::abs(recon[c] - values[c]) > abs_eb) return false;
+    }
+    return true;
+  }
+
+  void decode(BytesReader& payload, std::span<double> out) const {
+    const int e = payload.get<std::int16_t>();
+    const auto step = static_cast<std::int64_t>(payload.get_varint());
+    if (step <= 0) throw CorruptStream("transform: bad coefficient step");
+    std::vector<std::int64_t> block(out.size());
+    for (std::size_t c = 0; c < block.size(); ++c) {
+      block[c] = unzigzag(payload.get_varint()) * step;
+    }
+    lift_block(std::span<std::int64_t>(block), d.rank, inv_lift);
+    const double scale = std::ldexp(1.0, kFixedBits - e);
+    for (std::size_t c = 0; c < block.size(); ++c) {
+      out[c] = static_cast<double>(block[c]) / scale;
+    }
+  }
+};
+
+}  // namespace
+
+Bytes transform_compress(const FloatArray& data,
+                         const TransformConfig& config) {
+  require(data.size() > 0, "transform_compress: empty array");
+  require(config.abs_eb > 0.0,
+          "transform_compress: error bound must be positive");
+
+  const Dims d = dims_of(data.shape());
+  const BlockCodec codec{d, config.abs_eb,
+                         std::pow(2.0, static_cast<double>(d.rank))};
+
+  BytesWriter body;
+  std::vector<double> values(d.block_cells);
+  std::vector<double> recon(d.block_cells);
+  const std::size_t step1 = d.rank >= 2 ? kBlockEdge : 1;
+  const std::size_t step2 = d.rank >= 3 ? kBlockEdge : 1;
+
+  for (std::size_t bi = 0; bi < d.n[0]; bi += kBlockEdge) {
+    for (std::size_t bj = 0; bj < d.n[1]; bj += step1) {
+      for (std::size_t bk = 0; bk < d.n[2]; bk += step2) {
+        const bool finite =
+            gather_block(data, d, {bi, bj, bk}, values);
+        double max_abs = 0.0;
+        for (const double v : values) {
+          max_abs = std::max(max_abs, std::abs(v));
+        }
+        if (finite && max_abs == 0.0) {
+          body.put(static_cast<std::uint8_t>(BlockKind::kEmpty));
+          continue;
+        }
+        if (finite) {
+          BytesWriter payload;
+          if (codec.encode(values, payload, recon)) {
+            body.put(static_cast<std::uint8_t>(BlockKind::kCoded));
+            body.put_bytes(payload.bytes());
+            continue;
+          }
+        }
+        // Fallback: verbatim floats (also covers NaN/Inf blocks).
+        body.put(static_cast<std::uint8_t>(BlockKind::kRaw));
+        for (const double v : values) {
+          body.put(static_cast<float>(v));
+        }
+      }
+    }
+  }
+
+  BytesWriter out;
+  out.put_bytes(kMagic);
+  out.put(config.abs_eb);
+  out.put(static_cast<std::uint8_t>(d.rank));
+  for (int i = 0; i < d.rank; ++i) out.put_varint(d.n[static_cast<std::size_t>(i)]);
+  const Bytes packed = lossless_compress(body.bytes(), LosslessBackend::kLzb);
+  out.put_blob(packed);
+  return out.take();
+}
+
+FloatArray transform_decompress(std::span<const std::uint8_t> blob) {
+  BytesReader in(blob);
+  const auto magic = in.get_bytes(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0)
+    throw CorruptStream("transform blob: bad magic");
+  const double abs_eb = in.get<double>();
+  if (!(abs_eb > 0.0)) throw CorruptStream("transform blob: bad bound");
+  const int rank = in.get<std::uint8_t>();
+  if (rank < 1 || rank > 3) throw CorruptStream("transform blob: bad rank");
+  std::size_t dims[3] = {1, 1, 1};
+  for (int i = 0; i < rank; ++i) {
+    dims[i] = in.get_varint();
+    if (dims[i] == 0) throw CorruptStream("transform blob: zero dim");
+  }
+  const Shape shape = rank == 1   ? Shape(dims[0])
+                      : rank == 2 ? Shape(dims[0], dims[1])
+                                  : Shape(dims[0], dims[1], dims[2]);
+
+  const Bytes body_bytes = lossless_decompress(in.get_blob());
+  BytesReader body(body_bytes);
+
+  FloatArray out(shape);
+  const Dims d = dims_of(shape);
+  const BlockCodec codec{d, abs_eb,
+                         std::pow(2.0, static_cast<double>(d.rank))};
+  std::vector<double> block(d.block_cells);
+  const std::size_t step1 = d.rank >= 2 ? kBlockEdge : 1;
+  const std::size_t step2 = d.rank >= 3 ? kBlockEdge : 1;
+
+  for (std::size_t bi = 0; bi < d.n[0]; bi += kBlockEdge) {
+    for (std::size_t bj = 0; bj < d.n[1]; bj += step1) {
+      for (std::size_t bk = 0; bk < d.n[2]; bk += step2) {
+        const auto kind = static_cast<BlockKind>(body.get<std::uint8_t>());
+        switch (kind) {
+          case BlockKind::kEmpty:
+            std::fill(block.begin(), block.end(), 0.0);
+            break;
+          case BlockKind::kCoded:
+            codec.decode(body, block);
+            break;
+          case BlockKind::kRaw:
+            for (double& v : block) {
+              v = static_cast<double>(body.get<float>());
+            }
+            break;
+          default:
+            throw CorruptStream("transform blob: bad block kind");
+        }
+        scatter_block(out, d, {bi, bj, bk}, block);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ocelot

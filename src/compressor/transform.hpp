@@ -1,0 +1,44 @@
+#pragma once
+// Transform-based error-bounded compressor (ZFP-style).
+//
+// The paper's future work targets transform-based compressors (ZFP,
+// TTHRESH) whose quality its predictor cannot yet model; this module
+// provides that comparator so the extension benches can contrast the
+// two compression models (Section III-A: transform vs prediction).
+//
+// Design (following ZFP's structure, simplified):
+//   - the grid is partitioned into 4^d blocks (d = rank),
+//   - each block is aligned to a common exponent and converted to
+//     fixed-point integers,
+//   - a separable forward lifting transform decorrelates the block,
+//   - coefficients are truncated to the precision the absolute error
+//     bound allows and entropy-packed (sign + magnitude varints
+//     through the shared lossless backend).
+//
+// The fixed-point path guarantees max |orig - recon| <= abs_eb like
+// the prediction-based pipelines (verified by the same property
+// tests).
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+#include "common/ndarray.hpp"
+
+namespace ocelot {
+
+/// Transform-codec settings.
+struct TransformConfig {
+  double abs_eb = 1e-3;  ///< absolute error bound
+};
+
+/// Compresses with the block-transform model. Throws InvalidArgument
+/// on empty input or a non-positive bound.
+Bytes transform_compress(const FloatArray& data,
+                         const TransformConfig& config);
+
+/// Inverts transform_compress. Throws CorruptStream on malformed
+/// input.
+FloatArray transform_decompress(std::span<const std::uint8_t> blob);
+
+}  // namespace ocelot

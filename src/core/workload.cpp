@@ -1,0 +1,73 @@
+#include "core/workload.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ocelot {
+
+double FileInventory::total_bytes() const {
+  return std::accumulate(raw_bytes.begin(), raw_bytes.end(), 0.0);
+}
+
+FileInventory paper_inventory(const std::string& app) {
+  FileInventory inv;
+  inv.app = app;
+  if (app == "Miranda") {
+    // 768 files of 256x384x384 float32 = ~151 MB each, ~115 GB total.
+    const double bytes = 256.0 * 384.0 * 384.0 * 4.0;
+    inv.raw_bytes.assign(768, bytes);
+    return inv;
+  }
+  if (app == "RTM") {
+    // 3601 snapshots of 449x449x235 float32 = ~189.5 MB each, ~682 GB.
+    const double bytes = 449.0 * 449.0 * 235.0 * 4.0;
+    inv.raw_bytes.assign(3601, bytes);
+    return inv;
+  }
+  if (app == "CESM") {
+    // 61 snapshots, 7182 files in two shapes (Section VIII-A):
+    // 36 x (26x1800x3600) + 81 x (1800x3600) per snapshot, plus 45
+    // extra 2-D files to land exactly on 7182; total ~1.61 TB.
+    const double b3d = 26.0 * 1800.0 * 3600.0 * 4.0;
+    const double b2d = 1800.0 * 3600.0 * 4.0;
+    for (int snap = 0; snap < 61; ++snap) {
+      for (int i = 0; i < 36; ++i) inv.raw_bytes.push_back(b3d);
+      for (int i = 0; i < 81; ++i) inv.raw_bytes.push_back(b2d);
+    }
+    for (int i = 0; i < 45; ++i) inv.raw_bytes.push_back(b2d);
+    return inv;
+  }
+  throw NotFound("paper_inventory: unknown app " + app);
+}
+
+ComputeRates paper_compute_rates(const std::string& app) {
+  // Compression rates calibrated from Table VIII CPTime on Anvil (16
+  // nodes x 128 cores), accounting for whole-file parallelism: with
+  // fewer files than cores only one core per file is active, so
+  //   Miranda:  768 files < 2048 cores -> one wave,
+  //             rate = 151 MB / 6.52 s  = 23.2 MB/s/core;
+  //   RTM:      3601 files -> two waves of 189.5 MB in 9.03 s
+  //             -> 42 MB/s/core;
+  //   CESM:     the critical path is the 148 cores that draw two of
+  //             the 2196 large 674 MB files: 2 x 674 MB / 32.5 s
+  //             -> 41.5 MB/s/core.
+  // Decompression rates keep compute roughly balanced against the
+  // write-I/O bound at the paper's 8-node decompression geometry.
+  ComputeRates rates;
+  if (app == "CESM") {
+    rates.compress_bps_per_core = 41.5e6;
+    rates.decompress_bps_per_core = 200e6;
+  } else if (app == "RTM") {
+    rates.compress_bps_per_core = 42.0e6;
+    rates.decompress_bps_per_core = 320e6;
+  } else if (app == "Miranda") {
+    rates.compress_bps_per_core = 23.2e6;
+    rates.decompress_bps_per_core = 260e6;
+  } else {
+    throw NotFound("paper_compute_rates: unknown app " + app);
+  }
+  return rates;
+}
+
+}  // namespace ocelot

@@ -1,0 +1,35 @@
+#pragma once
+// Paper-scale file inventories for the transfer experiments.
+//
+// Table VIII / Section VIII-A define fixed subsets: Miranda 768 files
+// of 256x384x384, CESM 61 snapshots totalling 7182 files in two shapes
+// (26x1800x3600 and 1800x3600), RTM 3601 snapshots of 449x449x235.
+// The inventories reproduce those file counts and byte totals exactly;
+// the simulated campaigns operate on these size lists while the real
+// compressor calibrates ratios on scaled-down generated data.
+
+#include <string>
+#include <vector>
+
+#include "exec/cluster_model.hpp"
+
+namespace ocelot {
+
+/// A named collection of file sizes (bytes) at paper scale.
+struct FileInventory {
+  std::string app;
+  std::vector<double> raw_bytes;
+
+  [[nodiscard]] double total_bytes() const;
+  [[nodiscard]] std::size_t file_count() const { return raw_bytes.size(); }
+};
+
+/// Paper-scale inventory for "CESM", "RTM", or "Miranda";
+/// throws NotFound otherwise.
+FileInventory paper_inventory(const std::string& app);
+
+/// Per-application compute rates calibrated from Table VIII's CPTime /
+/// DPTime at the known node counts (see DESIGN.md section 1).
+ComputeRates paper_compute_rates(const std::string& app);
+
+}  // namespace ocelot

@@ -1,0 +1,70 @@
+#pragma once
+// Synthetic analogs of the paper's six applications (Table IV) plus
+// the HACC fields referenced in Table I.
+//
+// Each application exposes named fields whose shapes, value ranges,
+// and compressibility regimes follow the paper's descriptions:
+//   QMCPACK  einspline orbitals          33120 x 69 x 69   (3-D)
+//   RTM      wavefield snapshots         449 x 449 x 235   (3-D)
+//   Miranda  turbulence (density, ...)   256 x 384 x 384   (3-D)
+//   CESM     climate fields              1800 x 3600       (2-D)
+//   Nyx      cosmology (density, ...)    512 x 512 x 512   (3-D)
+//   ISABEL   hurricane (QSNOW, ...)      100 x 500 x 500   (3-D)
+//
+// Generators take a `scale` in (0, 1] that shrinks every dimension, so
+// tests run on tiny grids and benches on moderate ones; the full_shape
+// in the catalog always reports the paper's original size.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ndarray.hpp"
+
+namespace ocelot {
+
+/// One generated field (a "file" in the paper's terms).
+struct GeneratedField {
+  std::string app;
+  std::string name;
+  FloatArray data;
+};
+
+/// Catalog row describing an application at full (paper) scale.
+struct AppInfo {
+  std::string name;
+  std::string science;
+  std::string dims_label;       ///< e.g. "449x449x235"
+  std::size_t full_file_count;  ///< files in the paper's fixed subset
+  double full_bytes;            ///< total dataset bytes at paper scale
+};
+
+/// All applications, in the paper's Table IV order.
+const std::vector<AppInfo>& dataset_catalog();
+
+/// Generates the named application's representative fields.
+///
+/// `scale` shrinks each dimension (min 8 cells); `seed` controls all
+/// randomness; `variants` multiplies the per-field instances (distinct
+/// snapshots/members) for workloads that need many files.
+std::vector<GeneratedField> generate_application(const std::string& app,
+                                                 double scale,
+                                                 std::uint64_t seed,
+                                                 int variants = 1);
+
+/// Generates a single named field (app-qualified), e.g.
+/// generate_field("CESM", "CLDHGH", 0.1, 42).
+FloatArray generate_field(const std::string& app, const std::string& field,
+                          double scale, std::uint64_t seed);
+
+/// Field names available for an application.
+std::vector<std::string> field_names(const std::string& app);
+
+/// RTM-specific: snapshot at timestep `t` of `t_max`; early snapshots
+/// are nearly empty (very high compression ratio), late ones fill the
+/// domain (low ratio) — reproducing the paper's RTM-0594 vs RTM-1982
+/// spread in Table V.
+FloatArray generate_rtm_snapshot(double scale, int t, int t_max,
+                                 std::uint64_t seed);
+
+}  // namespace ocelot

@@ -1,0 +1,246 @@
+#include "datagen/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace ocelot {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+struct Dims {
+  std::size_t n0, n1, n2;
+  int rank;
+};
+
+Dims dims_of(const Shape& shape) {
+  return {shape.dim(0), shape.rank() >= 2 ? shape.dim(1) : 1,
+          shape.rank() >= 3 ? shape.dim(2) : 1, shape.rank()};
+}
+
+}  // namespace
+
+FloatArray fourier_field(const Shape& shape, Rng& rng, double slope,
+                         int n_modes) {
+  require(n_modes > 0, "fourier_field: need at least one mode");
+  const Dims d = dims_of(shape);
+
+  struct Mode {
+    double k0, k1, k2, amp, phase;
+  };
+  std::vector<Mode> modes;
+  modes.reserve(static_cast<std::size_t>(n_modes));
+  for (int m = 0; m < n_modes; ++m) {
+    // Wave numbers from 1 to ~n/2 per active dimension, log-uniform so
+    // low frequencies dominate mode selection evenly per octave.
+    auto draw_k = [&](std::size_t n) -> double {
+      if (n <= 2) return 0.0;
+      const double k_max = static_cast<double>(n) / 2.0;
+      return std::exp(rng.uniform(0.0, std::log(k_max)));
+    };
+    Mode mode;
+    mode.k0 = draw_k(d.n0);
+    mode.k1 = d.rank >= 2 ? draw_k(d.n1) : 0.0;
+    mode.k2 = d.rank >= 3 ? draw_k(d.n2) : 0.0;
+    const double kmag = std::sqrt(mode.k0 * mode.k0 + mode.k1 * mode.k1 +
+                                  mode.k2 * mode.k2);
+    mode.amp = std::pow(std::max(1.0, kmag), -slope);
+    mode.phase = rng.uniform(0.0, kTwoPi);
+    modes.push_back(mode);
+  }
+
+  FloatArray out(shape);
+  auto vals = out.values();
+  for (std::size_t i = 0; i < d.n0; ++i) {
+    const double x0 = static_cast<double>(i) / static_cast<double>(d.n0);
+    for (std::size_t j = 0; j < d.n1; ++j) {
+      const double x1 = static_cast<double>(j) / static_cast<double>(d.n1);
+      for (std::size_t k = 0; k < d.n2; ++k) {
+        const double x2 = static_cast<double>(k) / static_cast<double>(d.n2);
+        double v = 0.0;
+        for (const Mode& m : modes) {
+          v += m.amp * std::cos(kTwoPi * (m.k0 * x0 + m.k1 * x1 + m.k2 * x2) +
+                                m.phase);
+        }
+        vals[(i * d.n1 + j) * d.n2 + k] = static_cast<float>(v);
+      }
+    }
+  }
+  return out;
+}
+
+FloatArray gaussian_blobs(const Shape& shape, Rng& rng, int n_blobs,
+                          double min_width, double max_width) {
+  require(n_blobs > 0, "gaussian_blobs: need at least one blob");
+  require(min_width > 0.0 && max_width >= min_width,
+          "gaussian_blobs: bad width range");
+  const Dims d = dims_of(shape);
+
+  struct Blob {
+    double c0, c1, c2, inv2w2, amp;
+  };
+  std::vector<Blob> blobs;
+  blobs.reserve(static_cast<std::size_t>(n_blobs));
+  for (int b = 0; b < n_blobs; ++b) {
+    Blob blob;
+    blob.c0 = rng.uniform();
+    blob.c1 = rng.uniform();
+    blob.c2 = rng.uniform();
+    const double w = rng.uniform(min_width, max_width);
+    blob.inv2w2 = 1.0 / (2.0 * w * w);
+    // Log-normal amplitudes: a few dominant structures, many faint.
+    blob.amp = std::exp(rng.normal(0.0, 1.2));
+    blobs.push_back(blob);
+  }
+
+  FloatArray out(shape);
+  auto vals = out.values();
+  for (std::size_t i = 0; i < d.n0; ++i) {
+    const double x0 = static_cast<double>(i) / static_cast<double>(d.n0);
+    for (std::size_t j = 0; j < d.n1; ++j) {
+      const double x1 = static_cast<double>(j) / static_cast<double>(d.n1);
+      for (std::size_t k = 0; k < d.n2; ++k) {
+        const double x2 = static_cast<double>(k) / static_cast<double>(d.n2);
+        double v = 0.0;
+        for (const Blob& b : blobs) {
+          // Periodic (wrapped) distance keeps fields tileable.
+          auto wrap = [](double a) {
+            const double w = std::abs(a);
+            return std::min(w, 1.0 - w);
+          };
+          const double r2 = wrap(x0 - b.c0) * wrap(x0 - b.c0) +
+                            wrap(x1 - b.c1) * wrap(x1 - b.c1) +
+                            wrap(x2 - b.c2) * wrap(x2 - b.c2);
+          v += b.amp * std::exp(-r2 * b.inv2w2);
+        }
+        vals[(i * d.n1 + j) * d.n2 + k] = static_cast<float>(v);
+      }
+    }
+  }
+  return out;
+}
+
+FloatArray radial_waves(const Shape& shape, Rng& rng, int n_sources,
+                        double wavelength, double front_radius) {
+  require(n_sources > 0, "radial_waves: need at least one source");
+  require(wavelength > 0.0, "radial_waves: bad wavelength");
+  const Dims d = dims_of(shape);
+
+  struct Source {
+    double c0, c1, c2, phase;
+  };
+  std::vector<Source> sources;
+  sources.reserve(static_cast<std::size_t>(n_sources));
+  for (int s = 0; s < n_sources; ++s) {
+    sources.push_back({rng.uniform(0.2, 0.8) * static_cast<double>(d.n0),
+                       rng.uniform(0.2, 0.8) * static_cast<double>(d.n1),
+                       rng.uniform(0.2, 0.8) * static_cast<double>(d.n2),
+                       rng.uniform(0.0, kTwoPi)});
+  }
+
+  FloatArray out(shape);
+  auto vals = out.values();
+  for (std::size_t i = 0; i < d.n0; ++i) {
+    for (std::size_t j = 0; j < d.n1; ++j) {
+      for (std::size_t k = 0; k < d.n2; ++k) {
+        double v = 0.0;
+        for (const Source& s : sources) {
+          const double dx = static_cast<double>(i) - s.c0;
+          const double dy = static_cast<double>(j) - s.c1;
+          const double dz = static_cast<double>(k) - s.c2;
+          const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+          if (r > front_radius) continue;  // wave has not arrived yet
+          // Decaying expanding wave packet; strongest near the front.
+          const double envelope =
+              std::exp(-(front_radius - r) / (4.0 * wavelength)) /
+              (1.0 + r / (8.0 * wavelength));
+          v += envelope * std::sin(kTwoPi * r / wavelength + s.phase);
+        }
+        vals[(i * d.n1 + j) * d.n2 + k] = static_cast<float>(v);
+      }
+    }
+  }
+  return out;
+}
+
+FloatArray oscillatory_field(const Shape& shape, Rng& rng, double frequency) {
+  const Dims d = dims_of(shape);
+  const double f0 = frequency * rng.uniform(0.8, 1.2);
+  const double f1 = frequency * rng.uniform(0.8, 1.2);
+  const double f2 = frequency * rng.uniform(0.8, 1.2);
+  const double p0 = rng.uniform(0.0, kTwoPi);
+  const double p1 = rng.uniform(0.0, kTwoPi);
+  const double p2 = rng.uniform(0.0, kTwoPi);
+
+  FloatArray out(shape);
+  auto vals = out.values();
+  for (std::size_t i = 0; i < d.n0; ++i) {
+    const double x0 = static_cast<double>(i) / static_cast<double>(d.n0);
+    for (std::size_t j = 0; j < d.n1; ++j) {
+      const double x1 = static_cast<double>(j) / static_cast<double>(d.n1);
+      for (std::size_t k = 0; k < d.n2; ++k) {
+        const double x2 = static_cast<double>(k) / static_cast<double>(d.n2);
+        // Gaussian envelope centered mid-domain, like a bound orbital.
+        const double r2 = (x0 - 0.5) * (x0 - 0.5) + (x1 - 0.5) * (x1 - 0.5) +
+                          (x2 - 0.5) * (x2 - 0.5);
+        const double env = std::exp(-3.0 * r2);
+        const double v = env * std::sin(kTwoPi * f0 * x0 + p0) *
+                         std::sin(kTwoPi * f1 * x1 + p1) *
+                         std::sin(kTwoPi * f2 * x2 + p2);
+        vals[(i * d.n1 + j) * d.n2 + k] = static_cast<float>(v);
+      }
+    }
+  }
+  return out;
+}
+
+void rescale(FloatArray& a, double lo, double hi) {
+  require(hi >= lo, "rescale: hi < lo");
+  const ValueSummary s = summarize(a.values());
+  const double range = s.range;
+  auto vals = a.values();
+  if (range == 0.0) {
+    std::fill(vals.begin(), vals.end(), static_cast<float>(lo));
+    return;
+  }
+  const double scale = (hi - lo) / range;
+  for (float& v : vals) {
+    v = static_cast<float>(lo + (static_cast<double>(v) - s.min) * scale);
+  }
+}
+
+void clamp_below_quantile(FloatArray& a, double quantile) {
+  require(quantile >= 0.0 && quantile <= 1.0,
+          "clamp_below_quantile: quantile out of [0,1]");
+  if (quantile == 0.0) return;
+  std::vector<float> sorted(a.values().begin(), a.values().end());
+  const auto idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(quantile * static_cast<double>(sorted.size())));
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(idx),
+                   sorted.end());
+  const float level = sorted[idx];
+  for (float& v : a.values()) v = std::max(v, level);
+}
+
+void log_transform(FloatArray& a, double s) {
+  for (float& v : a.values()) {
+    const double x = std::max(0.0, static_cast<double>(v));
+    v = static_cast<float>(std::log10(1.0 + s * x));
+  }
+}
+
+void add_noise(FloatArray& a, Rng& rng, double amplitude) {
+  for (float& v : a.values()) {
+    v += static_cast<float>(rng.normal(0.0, amplitude));
+  }
+}
+
+}  // namespace ocelot

@@ -1,0 +1,58 @@
+#pragma once
+// Synthetic-field primitives for the dataset generators.
+//
+// The paper's datasets are unavailable offline; these primitives
+// synthesize fields with the statistical properties that drive
+// error-bounded compression behaviour: spectral smoothness (Fourier
+// fields with a power-law spectrum), localized structure (Gaussian
+// blobs), oscillatory wavefronts (RTM-style), and sparsity transforms
+// (log-scaled precipitation-style fields). See DESIGN.md section 1.
+
+#include <cstdint>
+
+#include "common/ndarray.hpp"
+#include "common/rng.hpp"
+
+namespace ocelot {
+
+/// Random-phase Fourier field: sum of `n_modes` cosine modes whose
+/// amplitudes follow |k|^-slope. Larger slope = smoother = more
+/// compressible. Output is approximately zero-mean, O(1) amplitude.
+FloatArray fourier_field(const Shape& shape, Rng& rng, double slope,
+                         int n_modes = 48);
+
+/// Sum of `n_blobs` Gaussian bumps with widths drawn from
+/// [min_width, max_width] (fractions of the domain). Models clustered
+/// density fields (Nyx-style cosmology).
+FloatArray gaussian_blobs(const Shape& shape, Rng& rng, int n_blobs,
+                          double min_width, double max_width);
+
+/// Expanding spherical wavefronts from `n_sources` point sources, with
+/// wavelength `wavelength` (in grid cells) and front radius
+/// `front_radius` (cells); cells beyond the front are zero. Models a
+/// reverse-time-migration snapshot at a given timestep.
+FloatArray radial_waves(const Shape& shape, Rng& rng, int n_sources,
+                        double wavelength, double front_radius);
+
+/// Separable oscillatory field sin(ax)sin(by)sin(cz) with a smooth
+/// envelope; models spline-tabulated orbitals (QMCPACK einspline).
+FloatArray oscillatory_field(const Shape& shape, Rng& rng, double frequency);
+
+/// Affinely rescales values so min -> lo and max -> hi in place.
+/// A constant field maps to lo.
+void rescale(FloatArray& a, double lo, double hi);
+
+/// Sparsifies in place: values below the `quantile` level (0..1) are
+/// clamped to that level. Creates the large flat regions typical of
+/// precipitation/snow fields.
+void clamp_below_quantile(FloatArray& a, double quantile);
+
+/// log10(1 + s*x) transform in place (x must be >= 0); mimics the
+/// "_log10" fields in the ISABEL dataset.
+void log_transform(FloatArray& a, double s = 1e3);
+
+/// Adds white noise of the given amplitude in place (roughens the
+/// field, raising entropy and lowering compressibility).
+void add_noise(FloatArray& a, Rng& rng, double amplitude);
+
+}  // namespace ocelot

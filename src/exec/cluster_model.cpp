@@ -1,0 +1,69 @@
+#include "exec/cluster_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace ocelot {
+
+double lpt_makespan(std::span<const double> task_seconds, int slots) {
+  require(slots > 0, "lpt_makespan: need at least one slot");
+  if (task_seconds.empty()) return 0.0;
+
+  std::vector<double> sorted(task_seconds.begin(), task_seconds.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+
+  // Min-heap of slot finish times; assign each task to the least-loaded.
+  std::priority_queue<double, std::vector<double>, std::greater<>> heap;
+  const int used = std::min<int>(slots, static_cast<int>(sorted.size()));
+  for (int i = 0; i < used; ++i) heap.push(0.0);
+  for (const double t : sorted) {
+    const double head = heap.top();
+    heap.pop();
+    heap.push(head + t);
+  }
+  double makespan = 0.0;
+  while (!heap.empty()) {
+    makespan = std::max(makespan, heap.top());
+    heap.pop();
+  }
+  return makespan;
+}
+
+double cluster_compress_seconds(std::span<const double> file_bytes,
+                                int nodes, int cores_per_node,
+                                const ComputeRates& rates,
+                                const SharedFilesystem& fs) {
+  require(nodes > 0 && cores_per_node > 0, "cluster model: bad geometry");
+  std::vector<double> tasks;
+  tasks.reserve(file_bytes.size());
+  double total = 0.0;
+  for (const double b : file_bytes) {
+    tasks.push_back(b / rates.compress_bps_per_core);
+    total += b;
+  }
+  const double compute = lpt_makespan(tasks, nodes * cores_per_node);
+  const double read_io = total / fs.read_bandwidth(nodes);
+  return std::max(compute, read_io);
+}
+
+double cluster_decompress_seconds(std::span<const double> file_bytes,
+                                  int nodes, int cores_per_node,
+                                  const ComputeRates& rates,
+                                  const SharedFilesystem& fs) {
+  require(nodes > 0 && cores_per_node > 0, "cluster model: bad geometry");
+  std::vector<double> tasks;
+  tasks.reserve(file_bytes.size());
+  double total = 0.0;
+  for (const double b : file_bytes) {
+    tasks.push_back(b / rates.decompress_bps_per_core);
+    total += b;
+  }
+  const double compute = lpt_makespan(tasks, nodes * cores_per_node);
+  const double write_io = total / fs.write_bandwidth(nodes);
+  return std::max(compute, write_io);
+}
+
+}  // namespace ocelot

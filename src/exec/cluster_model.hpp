@@ -1,0 +1,47 @@
+#pragma once
+// Cluster-scale (de)compression cost model for the simulation.
+//
+// The paper measures parallel compression on up to 16 nodes x 128
+// cores (Fig. 9) — far beyond a laptop. This model computes virtual-
+// time makespans from calibrated per-core throughputs plus the shared-
+// filesystem contention model:
+//
+//   compression  = max(LPT makespan of per-file compute, read I/O)
+//   decompression= max(LPT makespan of per-file compute, write I/O)
+//
+// Compute and I/O overlap (streaming), hence max() rather than a sum.
+// Compression reads raw input; decompression writes raw output, which
+// is why decompression is the I/O-bound direction that degrades with
+// node count (Fig. 9 right).
+
+#include <span>
+#include <vector>
+
+#include "netsim/filesystem.hpp"
+
+namespace ocelot {
+
+/// Per-application, per-site calibrated throughputs (raw bytes/s/core).
+struct ComputeRates {
+  double compress_bps_per_core = 25e6;
+  double decompress_bps_per_core = 200e6;
+};
+
+/// Longest-processing-time-first makespan of `task_seconds` on `slots`
+/// parallel workers. Exact for our purposes (greedy 4/3-approximation).
+double lpt_makespan(std::span<const double> task_seconds, int slots);
+
+/// Virtual-time cost of compressing `file_bytes` (raw sizes) on
+/// `nodes` x `cores_per_node` workers against filesystem `fs`.
+double cluster_compress_seconds(std::span<const double> file_bytes,
+                                int nodes, int cores_per_node,
+                                const ComputeRates& rates,
+                                const SharedFilesystem& fs);
+
+/// Virtual-time cost of decompressing back to `file_bytes` raw sizes.
+double cluster_decompress_seconds(std::span<const double> file_bytes,
+                                  int nodes, int cores_per_node,
+                                  const ComputeRates& rates,
+                                  const SharedFilesystem& fs);
+
+}  // namespace ocelot

@@ -1,0 +1,39 @@
+#include "exec/parallel_codec.hpp"
+
+#include "common/timer.hpp"
+#include "compressor/compressor.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace ocelot {
+
+ParallelCompressResult parallel_compress(
+    const std::vector<FloatArray>& fields, const CompressionConfig& config,
+    std::size_t workers) {
+  ParallelCompressResult result;
+  result.blobs.resize(fields.size());
+  Timer timer;
+  parallel_for(fields.size(), workers, [&](std::size_t i) {
+    result.blobs[i] = compress(fields[i], config);
+  });
+  result.wall_seconds = timer.seconds();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    result.total_raw_bytes += static_cast<double>(fields[i].byte_size());
+    result.total_compressed_bytes +=
+        static_cast<double>(result.blobs[i].size());
+  }
+  return result;
+}
+
+ParallelDecompressResult parallel_decompress(const std::vector<Bytes>& blobs,
+                                             std::size_t workers) {
+  ParallelDecompressResult result;
+  result.fields.resize(blobs.size());
+  Timer timer;
+  parallel_for(blobs.size(), workers, [&](std::size_t i) {
+    result.fields[i] = decompress<float>(blobs[i]);
+  });
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ocelot

@@ -1,0 +1,45 @@
+#pragma once
+// Real parallel (de)compression of a file batch (Section VII-A).
+//
+// Each worker compresses whole files ("we let each core handle the
+// compression of a set of files in parallel"); speedup saturates when
+// workers outnumber files, exactly as Fig. 9 (left) shows.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ndarray.hpp"
+#include "compressor/config.hpp"
+
+namespace ocelot {
+
+/// Outcome of a parallel compression run.
+struct ParallelCompressResult {
+  std::vector<Bytes> blobs;     ///< one per input file, in order
+  double wall_seconds = 0.0;
+  double total_raw_bytes = 0.0;
+  double total_compressed_bytes = 0.0;
+
+  [[nodiscard]] double ratio() const {
+    return total_compressed_bytes > 0.0
+               ? total_raw_bytes / total_compressed_bytes
+               : 0.0;
+  }
+};
+
+/// Compresses `fields` with `workers` threads.
+ParallelCompressResult parallel_compress(
+    const std::vector<FloatArray>& fields, const CompressionConfig& config,
+    std::size_t workers);
+
+/// Decompresses `blobs` with `workers` threads; returns arrays in order.
+struct ParallelDecompressResult {
+  std::vector<FloatArray> fields;
+  double wall_seconds = 0.0;
+};
+
+ParallelDecompressResult parallel_decompress(const std::vector<Bytes>& blobs,
+                                             std::size_t workers);
+
+}  // namespace ocelot

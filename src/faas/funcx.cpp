@@ -1,0 +1,75 @@
+#include "faas/funcx.hpp"
+
+namespace ocelot {
+
+std::size_t FuncXService::add_endpoint(FuncXEndpointConfig config) {
+  require(!config.name.empty(), "FuncXService: endpoint needs a name");
+  endpoints_.push_back(EndpointState{std::move(config), {}});
+  return endpoints_.size() - 1;
+}
+
+void FuncXService::register_function(const std::string& name) {
+  require(!name.empty(), "FuncXService: function needs a name");
+  functions_[name] = true;
+}
+
+FuncXService::EndpointState& FuncXService::endpoint_state(std::size_t id) {
+  if (id >= endpoints_.size())
+    throw NotFound("FuncXService: unknown endpoint id");
+  return endpoints_[id];
+}
+
+const FuncXEndpointConfig& FuncXService::endpoint(std::size_t id) const {
+  if (id >= endpoints_.size())
+    throw NotFound("FuncXService: unknown endpoint id");
+  return endpoints_[id].config;
+}
+
+void FuncXService::check_function(const std::string& function) const {
+  if (functions_.find(function) == functions_.end())
+    throw NotFound("FuncXService: unregistered function " + function);
+}
+
+double FuncXService::container_cost(EndpointState& ep,
+                                    const std::string& function) {
+  const bool warm = ep.warm[function];
+  ep.warm[function] = true;  // container stays warm afterwards
+  return warm ? ep.config.warm_overhead_s : ep.config.cold_start_s;
+}
+
+void FuncXService::submit(std::size_t endpoint, const std::string& function,
+                          FuncXTask task) {
+  check_function(function);
+  EndpointState& ep = endpoint_state(endpoint);
+  const double latency = ep.config.dispatch_latency_s +
+                         container_cost(ep, function) + task.compute_seconds;
+  auto cb = std::move(task.on_complete);
+  sim_.schedule_in(latency, [this, cb = std::move(cb)] {
+    ++completed_;
+    if (cb) cb();
+  });
+}
+
+void FuncXService::submit_batch(std::size_t endpoint,
+                                const std::string& function,
+                                std::vector<FuncXTask> tasks) {
+  check_function(function);
+  require(!tasks.empty(), "FuncXService: empty batch");
+  EndpointState& ep = endpoint_state(endpoint);
+  // Dispatch is paid once for the whole batch (executor batching);
+  // the container warms once; tasks then run concurrently.
+  const double base = ep.config.dispatch_latency_s +
+                      container_cost(ep, function);
+  double marginal = 0.0;
+  for (auto& task : tasks) {
+    marginal += ep.config.batch_latency_s;
+    const double latency = base + marginal + task.compute_seconds;
+    auto cb = std::move(task.on_complete);
+    sim_.schedule_in(latency, [this, cb = std::move(cb)] {
+      ++completed_;
+      if (cb) cb();
+    });
+  }
+}
+
+}  // namespace ocelot

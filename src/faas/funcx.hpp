@@ -1,0 +1,80 @@
+#pragma once
+// Federated FaaS simulation (funcX, Section III-C).
+//
+// Ocelot orchestrates remote compression/decompression through a
+// funcX-style service: functions are registered centrally, endpoints
+// run on the target machines, and each invocation pays a cloud
+// dispatch latency plus a container cost (cold start on first use of a
+// function at an endpoint, warm afterwards — the paper's "container
+// warming" optimization). Batched submission amortizes dispatch
+// across many tasks ("executor/user batching").
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "netsim/simulation.hpp"
+
+namespace ocelot {
+
+/// Endpoint-side cost parameters.
+struct FuncXEndpointConfig {
+  std::string name;
+  double dispatch_latency_s = 0.12;   ///< user -> cloud -> endpoint hop
+  double cold_start_s = 2.5;          ///< container instantiation
+  double warm_overhead_s = 0.01;      ///< per-task overhead when warm
+  double batch_latency_s = 0.02;      ///< marginal dispatch per batched task
+};
+
+/// One function invocation: modelled compute time plus a completion
+/// callback run in virtual time.
+struct FuncXTask {
+  double compute_seconds = 0.0;
+  std::function<void()> on_complete;
+};
+
+/// Central service: function registry plus per-endpoint container state.
+class FuncXService {
+ public:
+  explicit FuncXService(Simulation& sim) : sim_(sim) {}
+
+  /// Registers an endpoint; returns its id.
+  std::size_t add_endpoint(FuncXEndpointConfig config);
+
+  /// Registers a function body by name (idempotent).
+  void register_function(const std::string& name);
+
+  /// Submits one task; completion fires after dispatch + container +
+  /// compute time. Throws NotFound for unknown endpoint/function.
+  void submit(std::size_t endpoint, const std::string& function,
+              FuncXTask task);
+
+  /// Submits a batch: dispatch latency is paid once plus a small
+  /// marginal cost per task; tasks run concurrently on the endpoint.
+  void submit_batch(std::size_t endpoint, const std::string& function,
+                    std::vector<FuncXTask> tasks);
+
+  [[nodiscard]] std::uint64_t completed_tasks() const { return completed_; }
+  [[nodiscard]] const FuncXEndpointConfig& endpoint(std::size_t id) const;
+
+ private:
+  struct EndpointState {
+    FuncXEndpointConfig config;
+    std::map<std::string, bool> warm;  ///< function -> container warm?
+  };
+
+  double container_cost(EndpointState& ep, const std::string& function);
+  EndpointState& endpoint_state(std::size_t id);
+  void check_function(const std::string& function) const;
+
+  Simulation& sim_;
+  std::vector<EndpointState> endpoints_;
+  std::map<std::string, bool> functions_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace ocelot

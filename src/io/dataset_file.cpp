@@ -1,0 +1,55 @@
+#include "io/dataset_file.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace ocelot {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'O', 'C', 'F', '1'};
+}
+
+Bytes save_field(const std::string& name, const FloatArray& data) {
+  BytesWriter out;
+  out.put_bytes(kMagic);
+  out.put_string(name);
+  out.put(static_cast<std::uint8_t>(data.shape().rank()));
+  for (int d = 0; d < data.shape().rank(); ++d) {
+    out.put_varint(data.shape().dim(d));
+  }
+  const auto vals = data.values();
+  out.put_blob({reinterpret_cast<const std::uint8_t*>(vals.data()),
+                vals.size() * sizeof(float)});
+  return out.take();
+}
+
+LoadedField load_field(std::span<const std::uint8_t> blob) {
+  BytesReader in(blob);
+  const auto magic = in.get_bytes(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0)
+    throw CorruptStream("field file: bad magic");
+
+  LoadedField out;
+  out.name = in.get_string();
+  const int rank = in.get<std::uint8_t>();
+  if (rank < 1 || rank > 3) throw CorruptStream("field file: bad rank");
+  std::size_t dims[3] = {1, 1, 1};
+  for (int d = 0; d < rank; ++d) {
+    dims[d] = in.get_varint();
+    if (dims[d] == 0) throw CorruptStream("field file: zero dimension");
+  }
+  Shape shape = rank == 1   ? Shape(dims[0])
+                : rank == 2 ? Shape(dims[0], dims[1])
+                            : Shape(dims[0], dims[1], dims[2]);
+
+  const auto payload = in.get_blob();
+  if (payload.size() != shape.size() * sizeof(float))
+    throw CorruptStream("field file: payload size mismatch");
+  std::vector<float> values(shape.size());
+  std::memcpy(values.data(), payload.data(), payload.size());
+  out.data = FloatArray(shape, std::move(values));
+  return out;
+}
+
+}  // namespace ocelot

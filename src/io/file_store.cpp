@@ -1,0 +1,47 @@
+#include "io/file_store.hpp"
+
+#include "common/error.hpp"
+#include "common/str.hpp"
+
+namespace ocelot {
+
+void FileStore::write(const std::string& path, Bytes data) {
+  require(!path.empty(), "FileStore: empty path");
+  files_[path] = std::move(data);
+}
+
+const Bytes& FileStore::read(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) throw NotFound("FileStore: no such file " + path);
+  return it->second;
+}
+
+bool FileStore::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+bool FileStore::remove(const std::string& path) {
+  return files_.erase(path) > 0;
+}
+
+std::size_t FileStore::size(const std::string& path) const {
+  return read(path).size();
+}
+
+std::vector<std::string> FileStore::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, data] : files_) {
+    if (starts_with(path, prefix)) out.push_back(path);
+  }
+  return out;
+}
+
+double FileStore::total_bytes() const {
+  double total = 0.0;
+  for (const auto& [path, data] : files_) {
+    total += static_cast<double>(data.size());
+  }
+  return total;
+}
+
+}  // namespace ocelot

@@ -1,0 +1,46 @@
+#pragma once
+// In-memory file store standing in for a site's parallel filesystem.
+//
+// The orchestrator moves named byte blobs between sites; an in-memory
+// map keeps tests hermetic and fast while preserving the file-level
+// semantics (names, sizes, listing) the grouping and sentinel logic
+// depend on.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ocelot {
+
+/// A named-blob filesystem with byte-accurate sizes.
+class FileStore {
+ public:
+  /// Writes (or overwrites) a file.
+  void write(const std::string& path, Bytes data);
+
+  /// Reads a file; throws NotFound if absent.
+  [[nodiscard]] const Bytes& read(const std::string& path) const;
+
+  [[nodiscard]] bool exists(const std::string& path) const;
+
+  /// Removes a file; returns false if it did not exist.
+  bool remove(const std::string& path);
+
+  /// File size in bytes; throws NotFound if absent.
+  [[nodiscard]] std::size_t size(const std::string& path) const;
+
+  /// Paths with the given prefix, sorted.
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix = "") const;
+
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  [[nodiscard]] double total_bytes() const;
+
+ private:
+  std::map<std::string, Bytes> files_;
+};
+
+}  // namespace ocelot

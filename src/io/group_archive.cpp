@@ -1,0 +1,107 @@
+#include "io/group_archive.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/str.hpp"
+
+namespace ocelot {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'O', 'C', 'G', '1'};
+}
+
+Bytes build_group(const std::vector<GroupMember>& members) {
+  require(!members.empty(), "build_group: empty group");
+  BytesWriter out;
+  out.put_bytes(kMagic);
+  out.put_varint(members.size());
+  // Header: names and sizes; offsets are implied by cumulative sizes.
+  for (const auto& m : members) {
+    out.put_string(m.name);
+    out.put_varint(m.data.size());
+  }
+  for (const auto& m : members) {
+    out.put_bytes(m.data);
+  }
+  return out.take();
+}
+
+std::vector<GroupIndexEntry> read_group_index(
+    std::span<const std::uint8_t> archive) {
+  BytesReader in(archive);
+  const auto magic = in.get_bytes(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0)
+    throw CorruptStream("group archive: bad magic");
+  const std::uint64_t count = in.get_varint();
+  if (count == 0) throw CorruptStream("group archive: zero members");
+
+  std::vector<GroupIndexEntry> index;
+  index.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    GroupIndexEntry e;
+    e.name = in.get_string();
+    e.size = in.get_varint();
+    index.push_back(std::move(e));
+  }
+  // Offsets start where the header ends.
+  std::size_t offset = archive.size() - in.remaining();
+  for (auto& e : index) {
+    e.offset = offset;
+    offset += e.size;
+  }
+  if (offset != archive.size())
+    throw CorruptStream("group archive: body size mismatch");
+  return index;
+}
+
+std::vector<GroupMember> parse_group(std::span<const std::uint8_t> archive) {
+  const auto index = read_group_index(archive);
+  std::vector<GroupMember> members;
+  members.reserve(index.size());
+  for (const auto& e : index) {
+    GroupMember m;
+    m.name = e.name;
+    m.data.assign(archive.begin() + static_cast<std::ptrdiff_t>(e.offset),
+                  archive.begin() +
+                      static_cast<std::ptrdiff_t>(e.offset + e.size));
+    members.push_back(std::move(m));
+  }
+  return members;
+}
+
+std::string render_group_metadata(
+    const std::vector<std::vector<std::string>>& group_names,
+    const std::string& strategy) {
+  std::ostringstream os;
+  os << "# ocelot group metadata v1\n";
+  os << "strategy: " << strategy << "\n";
+  os << "groups: " << group_names.size() << "\n";
+  for (std::size_t g = 0; g < group_names.size(); ++g) {
+    os << "group " << g << " files " << group_names[g].size() << "\n";
+    for (const auto& name : group_names[g]) {
+      os << "  " << name << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::vector<std::vector<std::string>> parse_group_metadata(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> groups;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (starts_with(line, "group ")) {
+      groups.emplace_back();
+    } else if (starts_with(line, "  ") && !groups.empty()) {
+      groups.back().push_back(line.substr(2));
+    }
+  }
+  if (groups.empty())
+    throw CorruptStream("group metadata: no groups found");
+  return groups;
+}
+
+}  // namespace ocelot

@@ -1,0 +1,282 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ocelot {
+
+void FeatureMatrix::add_row(const std::vector<double>& row) {
+  require(!row.empty(), "FeatureMatrix: empty row");
+  if (cols == 0) cols = row.size();
+  require(row.size() == cols, "FeatureMatrix: inconsistent row width");
+  values.insert(values.end(), row.begin(), row.end());
+}
+
+namespace {
+
+struct SplitResult {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+  std::size_t left_count = 0;
+};
+
+double subset_mean(const std::vector<double>& y,
+                   const std::vector<std::size_t>& idx, std::size_t lo,
+                   std::size_t hi) {
+  double s = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) s += y[idx[i]];
+  return s / static_cast<double>(hi - lo);
+}
+
+double subset_sse(const std::vector<double>& y,
+                  const std::vector<std::size_t>& idx, std::size_t lo,
+                  std::size_t hi) {
+  const double mean = subset_mean(y, idx, lo, hi);
+  double sse = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double d = y[idx[i]] - mean;
+    sse += d * d;
+  }
+  return sse;
+}
+
+/// Exact best split: for each feature, sort the subset by value and
+/// scan split points between distinct values, tracking SSE via running
+/// sums (one pass per feature).
+SplitResult best_split(const FeatureMatrix& x, const std::vector<double>& y,
+                       std::vector<std::size_t>& idx, std::size_t lo,
+                       std::size_t hi, std::size_t min_leaf) {
+  const std::size_t n = hi - lo;
+  SplitResult best;
+  const double parent_sse = subset_sse(y, idx, lo, hi);
+
+  std::vector<std::pair<double, double>> fv;  // (feature value, target)
+  fv.reserve(n);
+
+  for (std::size_t f = 0; f < x.cols; ++f) {
+    fv.clear();
+    for (std::size_t i = lo; i < hi; ++i) {
+      fv.emplace_back(x.at(idx[i], f), y[idx[i]]);
+    }
+    std::sort(fv.begin(), fv.end());
+    if (fv.front().first == fv.back().first) continue;  // constant feature
+
+    // Running prefix sums for O(n) SSE of both sides at each cut.
+    double left_sum = 0.0, left_sumsq = 0.0;
+    double total_sum = 0.0, total_sumsq = 0.0;
+    for (const auto& [v, t] : fv) {
+      total_sum += t;
+      total_sumsq += t * t;
+    }
+
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_sum += fv[i].second;
+      left_sumsq += fv[i].second * fv[i].second;
+      if (fv[i].first == fv[i + 1].first) continue;  // not a valid cut
+      const std::size_t nl = i + 1;
+      const std::size_t nr = n - nl;
+      if (nl < min_leaf || nr < min_leaf) continue;
+      const double right_sum = total_sum - left_sum;
+      const double right_sumsq = total_sumsq - left_sumsq;
+      const double sse_l =
+          left_sumsq - left_sum * left_sum / static_cast<double>(nl);
+      const double sse_r =
+          right_sumsq - right_sum * right_sum / static_cast<double>(nr);
+      const double gain = parent_sse - (sse_l + sse_r);
+      if (gain > best.gain) {
+        best.feature = static_cast<int>(f);
+        best.threshold = 0.5 * (fv[i].first + fv[i + 1].first);
+        best.gain = gain;
+        best.left_count = nl;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int DecisionTreeRegressor::build(const FeatureMatrix& x,
+                                 const std::vector<double>& y,
+                                 std::vector<std::size_t>& indices,
+                                 std::size_t lo, std::size_t hi,
+                                 std::size_t depth, const TreeParams& params) {
+  Node node;
+  node.samples = hi - lo;
+  node.value = subset_mean(y, indices, lo, hi);
+
+  const bool can_split = node.samples >= params.min_samples_split &&
+                         depth < params.max_depth;
+  if (can_split) {
+    const SplitResult split =
+        best_split(x, y, indices, lo, hi, params.min_samples_leaf);
+    if (split.feature >= 0 && split.gain > params.min_variance_decrease) {
+      // Partition indices in place around the threshold.
+      const auto mid_it = std::partition(
+          indices.begin() + static_cast<std::ptrdiff_t>(lo),
+          indices.begin() + static_cast<std::ptrdiff_t>(hi),
+          [&](std::size_t r) {
+            return x.at(r, static_cast<std::size_t>(split.feature)) <=
+                   split.threshold;
+          });
+      const auto mid =
+          static_cast<std::size_t>(mid_it - indices.begin());
+      if (mid > lo && mid < hi) {
+        node.feature = split.feature;
+        node.threshold = split.threshold;
+        node.gain = split.gain;
+        const int self = static_cast<int>(nodes_.size());
+        nodes_.push_back(node);
+        const int left = build(x, y, indices, lo, mid, depth + 1, params);
+        const int right = build(x, y, indices, mid, hi, depth + 1, params);
+        nodes_[static_cast<std::size_t>(self)].left = left;
+        nodes_[static_cast<std::size_t>(self)].right = right;
+        return self;
+      }
+    }
+  }
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+DecisionTreeRegressor DecisionTreeRegressor::fit(const FeatureMatrix& x,
+                                                 const std::vector<double>& y,
+                                                 const TreeParams& params) {
+  require(x.rows() > 0, "DecisionTreeRegressor: empty training set");
+  require(x.rows() == y.size(),
+          "DecisionTreeRegressor: X/y row count mismatch");
+  DecisionTreeRegressor tree;
+  tree.n_features_ = x.cols;
+  std::vector<std::size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  tree.build(x, y, indices, 0, indices.size(), 0, params);
+  return tree;
+}
+
+double DecisionTreeRegressor::predict(const double* row, std::size_t n) const {
+  require(n == n_features_, "DecisionTreeRegressor: feature width mismatch");
+  require(!nodes_.empty(), "DecisionTreeRegressor: not fitted");
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const auto& nd = nodes_[node];
+    node = static_cast<std::size_t>(
+        row[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                  : nd.right);
+  }
+  return nodes_[node].value;
+}
+
+double DecisionTreeRegressor::predict(const std::vector<double>& row) const {
+  return predict(row.data(), row.size());
+}
+
+std::size_t DecisionTreeRegressor::depth() const {
+  // Depth via recomputation: walk from the root tracking levels.
+  std::size_t max_depth = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [node, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const auto& nd = nodes_[node];
+    if (nd.feature >= 0) {
+      stack.emplace_back(static_cast<std::size_t>(nd.left), d + 1);
+      stack.emplace_back(static_cast<std::size_t>(nd.right), d + 1);
+    }
+  }
+  return max_depth;
+}
+
+std::vector<double> DecisionTreeRegressor::feature_importance() const {
+  std::vector<double> imp(n_features_, 0.0);
+  double total = 0.0;
+  for (const auto& nd : nodes_) {
+    if (nd.feature >= 0) {
+      imp[static_cast<std::size_t>(nd.feature)] += nd.gain;
+      total += nd.gain;
+    }
+  }
+  if (total > 0.0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+Bytes DecisionTreeRegressor::to_bytes() const {
+  BytesWriter out;
+  out.put_bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>("OCDT"), 4));
+  out.put_varint(n_features_);
+  out.put_varint(nodes_.size());
+  for (const Node& n : nodes_) {
+    out.put<std::int32_t>(n.feature);
+    out.put(n.threshold);
+    out.put(n.value);
+    out.put(n.gain);
+    out.put_varint(n.samples);
+    out.put<std::int32_t>(n.left);
+    out.put<std::int32_t>(n.right);
+  }
+  return out.take();
+}
+
+DecisionTreeRegressor DecisionTreeRegressor::from_bytes(
+    std::span<const std::uint8_t> data) {
+  BytesReader in(data);
+  const auto magic = in.get_bytes(4);
+  if (std::memcmp(magic.data(), "OCDT", 4) != 0)
+    throw CorruptStream("decision tree: bad magic");
+  DecisionTreeRegressor tree;
+  tree.n_features_ = in.get_varint();
+  const std::uint64_t count = in.get_varint();
+  if (count == 0) throw CorruptStream("decision tree: no nodes");
+  tree.nodes_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Node n;
+    n.feature = in.get<std::int32_t>();
+    n.threshold = in.get<double>();
+    n.value = in.get<double>();
+    n.gain = in.get<double>();
+    n.samples = in.get_varint();
+    n.left = in.get<std::int32_t>();
+    n.right = in.get<std::int32_t>();
+    const auto limit = static_cast<std::int64_t>(count);
+    if (n.feature >= static_cast<std::int32_t>(tree.n_features_) ||
+        (n.feature >= 0 &&
+         (n.left < 0 || n.right < 0 || n.left >= limit || n.right >= limit)))
+      throw CorruptStream("decision tree: malformed node");
+    tree.nodes_.push_back(n);
+  }
+  return tree;
+}
+
+RegressionMetrics evaluate_regression(const std::vector<double>& truth,
+                                      const std::vector<double>& predicted) {
+  require(truth.size() == predicted.size() && !truth.empty(),
+          "evaluate_regression: bad input sizes");
+  const double n = static_cast<double>(truth.size());
+  double se = 0.0, ae = 0.0, mean = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    se += d * d;
+    ae += std::abs(d);
+    mean += truth[i];
+  }
+  mean /= n;
+  double var = 0.0;
+  for (const double t : truth) var += (t - mean) * (t - mean);
+
+  RegressionMetrics m;
+  m.rmse = std::sqrt(se / n);
+  m.mae = ae / n;
+  m.r2 = var > 0.0 ? 1.0 - se / var : (se == 0.0 ? 1.0 : 0.0);
+  return m;
+}
+
+}  // namespace ocelot

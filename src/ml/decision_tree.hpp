@@ -1,0 +1,103 @@
+#pragma once
+// CART regression tree (the paper's quality-estimation model).
+//
+// Section VI/VIII: "we use a decision tree model to perform the
+// compression quality estimation" / "we apply a decision tree regressor
+// model on 11 features". This is a classic variance-reduction CART:
+// exact best-split search over sorted feature values, depth and
+// leaf-size limits, mean-value leaves.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ocelot {
+
+/// Dense row-major feature matrix.
+struct FeatureMatrix {
+  std::size_t cols = 0;
+  std::vector<double> values;  ///< rows * cols
+
+  [[nodiscard]] std::size_t rows() const {
+    return cols == 0 ? 0 : values.size() / cols;
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return values[r * cols + c];
+  }
+  void add_row(const std::vector<double>& row);
+  template <std::size_t N>
+  void add_row(const std::array<double, N>& row) {
+    if (cols == 0) cols = N;
+    values.insert(values.end(), row.begin(), row.end());
+  }
+};
+
+/// Tree growth hyperparameters.
+struct TreeParams {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  double min_variance_decrease = 1e-12;
+};
+
+/// A trained regression tree.
+class DecisionTreeRegressor {
+ public:
+  /// Fits on (X, y); throws InvalidArgument on shape mismatch or empty data.
+  static DecisionTreeRegressor fit(const FeatureMatrix& x,
+                                   const std::vector<double>& y,
+                                   const TreeParams& params = {});
+
+  /// Predicts a single row (row.size() must equal the training width).
+  [[nodiscard]] double predict(const std::vector<double>& row) const;
+  [[nodiscard]] double predict(const double* row, std::size_t n) const;
+  template <std::size_t N>
+  [[nodiscard]] double predict(const std::array<double, N>& row) const {
+    return predict(row.data(), N);
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t feature_count() const { return n_features_; }
+
+  /// Mean decrease in variance attributed to each feature (importance).
+  [[nodiscard]] std::vector<double> feature_importance() const;
+
+  /// Serializes the fitted tree (topology + thresholds + leaf values).
+  [[nodiscard]] Bytes to_bytes() const;
+
+  /// Restores a tree serialized by to_bytes.
+  /// Throws CorruptStream on malformed input.
+  static DecisionTreeRegressor from_bytes(std::span<const std::uint8_t> data);
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 for leaves
+    double threshold = 0.0; ///< go left when x[feature] <= threshold
+    double value = 0.0;     ///< leaf prediction (mean of targets)
+    double gain = 0.0;      ///< variance decrease at this split
+    std::size_t samples = 0;
+    int left = -1;
+    int right = -1;
+  };
+
+  std::vector<Node> nodes_;
+  std::size_t n_features_ = 0;
+
+  int build(const FeatureMatrix& x, const std::vector<double>& y,
+            std::vector<std::size_t>& indices, std::size_t lo, std::size_t hi,
+            std::size_t depth, const TreeParams& params);
+};
+
+/// Regression quality metrics.
+struct RegressionMetrics {
+  double rmse = 0.0;
+  double mae = 0.0;
+  double r2 = 0.0;
+};
+
+RegressionMetrics evaluate_regression(const std::vector<double>& truth,
+                                      const std::vector<double>& predicted);
+
+}  // namespace ocelot

@@ -1,0 +1,105 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ocelot {
+
+RandomForestRegressor RandomForestRegressor::fit(const FeatureMatrix& x,
+                                                 const std::vector<double>& y,
+                                                 const ForestParams& params) {
+  require(x.rows() > 0 && x.rows() == y.size(),
+          "RandomForestRegressor: bad training set");
+  require(params.n_trees > 0, "RandomForestRegressor: zero trees");
+
+  RandomForestRegressor forest;
+  Rng rng(params.seed);
+  const std::size_t n_rows = x.rows();
+  const auto rows_per_tree = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params.row_fraction *
+                                  static_cast<double>(n_rows)));
+  // Round the feature subset up: truncation can otherwise strip a
+  // 2-feature problem down to single-feature trees.
+  const auto feats_per_tree = std::min(
+      x.cols, std::max<std::size_t>(
+                  1, static_cast<std::size_t>(
+                         std::ceil(params.feature_fraction *
+                                   static_cast<double>(x.cols)))));
+
+  for (std::size_t t = 0; t < params.n_trees; ++t) {
+    // Feature subset for this tree.
+    std::vector<std::size_t> all_feats(x.cols);
+    std::iota(all_feats.begin(), all_feats.end(), 0);
+    std::shuffle(all_feats.begin(), all_feats.end(), rng.engine());
+    std::vector<std::size_t> mask(all_feats.begin(),
+                                  all_feats.begin() +
+                                      static_cast<std::ptrdiff_t>(feats_per_tree));
+    std::sort(mask.begin(), mask.end());
+
+    // Bootstrap rows (with replacement).
+    FeatureMatrix bx;
+    bx.cols = mask.size();
+    std::vector<double> by;
+    by.reserve(rows_per_tree);
+    for (std::size_t r = 0; r < rows_per_tree; ++r) {
+      const auto row = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n_rows) - 1));
+      for (const std::size_t f : mask) bx.values.push_back(x.at(row, f));
+      by.push_back(y[row]);
+    }
+
+    forest.trees_.push_back(DecisionTreeRegressor::fit(bx, by, params.tree));
+    forest.feature_masks_.push_back(std::move(mask));
+  }
+  return forest;
+}
+
+double RandomForestRegressor::predict(const std::vector<double>& row) const {
+  require(!trees_.empty(), "RandomForestRegressor: not fitted");
+  double sum = 0.0;
+  std::vector<double> sub;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    sub.clear();
+    for (const std::size_t f : feature_masks_[t]) sub.push_back(row.at(f));
+    sum += trees_[t].predict(sub);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+SplitIndices train_test_split(std::size_t n, double train_fraction,
+                              std::uint64_t seed,
+                              const std::vector<int>& groups) {
+  require(train_fraction > 0.0 && train_fraction < 1.0,
+          "train_test_split: fraction out of (0,1)");
+  require(groups.empty() || groups.size() == n,
+          "train_test_split: group label size mismatch");
+
+  SplitIndices out;
+  Rng rng(seed);
+
+  // Bucket indices by group (single bucket when unstratified), then
+  // shuffle each bucket and take the leading fraction for training.
+  std::map<int, std::vector<std::size_t>> buckets;
+  for (std::size_t i = 0; i < n; ++i) {
+    buckets[groups.empty() ? 0 : groups[i]].push_back(i);
+  }
+  for (auto& [group, idx] : buckets) {
+    std::shuffle(idx.begin(), idx.end(), rng.engine());
+    const auto n_train = std::max<std::size_t>(
+        1, static_cast<std::size_t>(train_fraction *
+                                    static_cast<double>(idx.size())));
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      (i < n_train ? out.train : out.test).push_back(idx[i]);
+    }
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+}  // namespace ocelot

@@ -1,0 +1,55 @@
+#pragma once
+// Bagged random-forest regressor (extension beyond the paper).
+//
+// The paper uses a single decision tree; the forest variant is provided
+// for the ablation bench that quantifies how much ensembling would
+// improve the quality predictions.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace ocelot {
+
+struct ForestParams {
+  std::size_t n_trees = 20;
+  double row_fraction = 0.8;     ///< bootstrap sample size per tree
+  double feature_fraction = 0.7; ///< features considered per tree
+  TreeParams tree;
+  std::uint64_t seed = 7;
+};
+
+class RandomForestRegressor {
+ public:
+  static RandomForestRegressor fit(const FeatureMatrix& x,
+                                   const std::vector<double>& y,
+                                   const ForestParams& params = {});
+
+  [[nodiscard]] double predict(const std::vector<double>& row) const;
+  template <std::size_t N>
+  [[nodiscard]] double predict(const std::array<double, N>& row) const {
+    return predict(std::vector<double>(row.begin(), row.end()));
+  }
+
+  [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  // Each tree sees a feature subset; mask maps tree inputs to the
+  // original feature indices.
+  std::vector<DecisionTreeRegressor> trees_;
+  std::vector<std::vector<std::size_t>> feature_masks_;
+};
+
+/// Deterministic train/test split by fraction, optionally stratified by
+/// group label (the paper trains on 30% of files *per application*).
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+SplitIndices train_test_split(std::size_t n, double train_fraction,
+                              std::uint64_t seed,
+                              const std::vector<int>& groups = {});
+
+}  // namespace ocelot

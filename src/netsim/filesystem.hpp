@@ -1,0 +1,43 @@
+#pragma once
+// Shared parallel-filesystem contention model.
+//
+// The paper observes (Fig. 9, Section VII-A) that parallel
+// decompression *slows down* beyond a few nodes: reconstructed output
+// is written at full raw size through a shared filesystem, and
+// metadata/lock contention degrades per-node throughput superlinearly.
+// This model captures that shape: aggregate write bandwidth
+//   W(N) = min(peak, N * node_bw) / (1 + (N / n0)^k)
+// peaks near N = n0 nodes and degrades beyond it; reads contend much
+// more mildly.
+
+#include <algorithm>
+#include <cmath>
+
+namespace ocelot {
+
+struct SharedFilesystem {
+  double peak_bps = 20e9;        ///< backend ceiling
+  double node_bps = 6e9;         ///< one node's streaming rate
+  double write_contention_n0 = 4.0;  ///< nodes where write contention bites
+  double write_contention_exp = 2.5; ///< degradation exponent
+  double read_contention_n0 = 32.0;
+  double read_contention_exp = 1.5;
+
+  /// Aggregate write bandwidth achieved by `nodes` concurrent writers.
+  [[nodiscard]] double write_bandwidth(int nodes) const {
+    const double n = std::max(1, nodes);
+    const double raw = std::min(peak_bps, n * node_bps);
+    return raw / (1.0 + std::pow(n / write_contention_n0,
+                                 write_contention_exp));
+  }
+
+  /// Aggregate read bandwidth achieved by `nodes` concurrent readers.
+  [[nodiscard]] double read_bandwidth(int nodes) const {
+    const double n = std::max(1, nodes);
+    const double raw = std::min(peak_bps, n * node_bps);
+    return raw / (1.0 + std::pow(n / read_contention_n0,
+                                 read_contention_exp));
+  }
+};
+
+}  // namespace ocelot

@@ -1,0 +1,41 @@
+#pragma once
+// Calibrated testbed profiles: the paper's three supercomputers
+// (Table III) and the WAN routes between them (Table II / VIII).
+//
+// Route bandwidths and per-file costs are calibrated so the model's
+// uncompressed transfer times match the paper's measured T(NP) values;
+// filesystem parameters are calibrated so Fig. 9's decompression
+// degradation appears at the observed node counts.
+
+#include <string>
+#include <vector>
+
+#include "netsim/filesystem.hpp"
+#include "netsim/gridftp.hpp"
+
+namespace ocelot {
+
+/// One machine partition from Table III, plus calibrated substrate
+/// parameters used by the compute/filesystem models.
+struct SiteSpec {
+  std::string site;       ///< "Anvil", "Bebop", "Cori"
+  std::string partition;  ///< e.g. "wholenode"
+  int nodes = 0;
+  std::string cpu;
+  int cores_per_node = 0;
+  double memory_gb = 0.0;
+  SharedFilesystem fs;    ///< parallel filesystem model
+};
+
+/// Table III rows (bdwall/knlall from Bebop, wholenode from Anvil,
+/// haswell from Cori).
+const std::vector<SiteSpec>& site_catalog();
+
+/// Lookup by site name; throws NotFound for unknown sites.
+const SiteSpec& site(const std::string& name);
+
+/// Calibrated WAN route; throws NotFound for unknown pairs.
+/// Known routes: Anvil->Cori, Anvil->Bebop, Bebop->Cori, Cori->Bebop.
+LinkProfile route(const std::string& src, const std::string& dst);
+
+}  // namespace ocelot

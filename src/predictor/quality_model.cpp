@@ -1,0 +1,127 @@
+#include "predictor/quality_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ocelot {
+
+namespace {
+
+FeatureMatrix build_matrix(const std::vector<QualitySample>& samples) {
+  FeatureMatrix x;
+  for (const auto& s : samples) x.add_row(s.features);
+  return x;
+}
+
+std::vector<double> ratio_targets(const std::vector<QualitySample>& samples) {
+  std::vector<double> y;
+  y.reserve(samples.size());
+  for (const auto& s : samples) y.push_back(std::log2(std::max(1.0, s.compression_ratio)));
+  return y;
+}
+
+std::vector<double> time_targets(const std::vector<QualitySample>& samples) {
+  std::vector<double> y;
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    const double per_elem =
+        s.compress_seconds / std::max<std::size_t>(1, s.n_elements);
+    y.push_back(std::log10(std::max(1e-12, per_elem)));
+  }
+  return y;
+}
+
+std::vector<double> psnr_targets(const std::vector<QualitySample>& samples) {
+  std::vector<double> y;
+  y.reserve(samples.size());
+  for (const auto& s : samples) y.push_back(s.psnr_db);
+  return y;
+}
+
+}  // namespace
+
+QualityModel QualityModel::train(const std::vector<QualitySample>& samples,
+                                 const TreeParams& params) {
+  require(!samples.empty(), "QualityModel: no training samples");
+  const FeatureMatrix x = build_matrix(samples);
+  QualityModel model;
+  model.ratio_tree_ = DecisionTreeRegressor::fit(x, ratio_targets(samples), params);
+  model.time_tree_ = DecisionTreeRegressor::fit(x, time_targets(samples), params);
+  model.psnr_tree_ = DecisionTreeRegressor::fit(x, psnr_targets(samples), params);
+  return model;
+}
+
+QualityPrediction QualityModel::predict(const FeatureVector& features,
+                                        std::size_t n_elements) const {
+  QualityPrediction p;
+  p.compression_ratio = std::exp2(ratio_tree_.predict(features));
+  p.compress_seconds = std::pow(10.0, time_tree_.predict(features)) *
+                       static_cast<double>(n_elements);
+  p.psnr_db = psnr_tree_.predict(features);
+  return p;
+}
+
+ForestQualityModel ForestQualityModel::train(
+    const std::vector<QualitySample>& samples, const ForestParams& params) {
+  require(!samples.empty(), "ForestQualityModel: no training samples");
+  const FeatureMatrix x = build_matrix(samples);
+  ForestQualityModel model;
+  model.ratio_forest_ =
+      RandomForestRegressor::fit(x, ratio_targets(samples), params);
+  model.time_forest_ =
+      RandomForestRegressor::fit(x, time_targets(samples), params);
+  model.psnr_forest_ =
+      RandomForestRegressor::fit(x, psnr_targets(samples), params);
+  return model;
+}
+
+QualityPrediction ForestQualityModel::predict(const FeatureVector& features,
+                                              std::size_t n_elements) const {
+  const std::vector<double> row(features.begin(), features.end());
+  QualityPrediction p;
+  p.compression_ratio = std::exp2(ratio_forest_.predict(row));
+  p.compress_seconds = std::pow(10.0, time_forest_.predict(row)) *
+                       static_cast<double>(n_elements);
+  p.psnr_db = psnr_forest_.predict(row);
+  return p;
+}
+
+Bytes QualityModel::to_bytes() const {
+  BytesWriter out;
+  out.put_blob(ratio_tree_.to_bytes());
+  out.put_blob(time_tree_.to_bytes());
+  out.put_blob(psnr_tree_.to_bytes());
+  return out.take();
+}
+
+QualityModel QualityModel::from_bytes(std::span<const std::uint8_t> data) {
+  BytesReader in(data);
+  QualityModel model;
+  model.ratio_tree_ = DecisionTreeRegressor::from_bytes(in.get_blob());
+  model.time_tree_ = DecisionTreeRegressor::from_bytes(in.get_blob());
+  model.psnr_tree_ = DecisionTreeRegressor::from_bytes(in.get_blob());
+  return model;
+}
+
+AdHocRatioEstimator AdHocRatioEstimator::fit(
+    const std::vector<QualitySample>& samples) {
+  // The estimator is linear in C1 after inversion:
+  //   1/CR = C1 * a + b  with a = (1-p0)*P0, b = (1-P0).
+  // Least squares on observed (a, 1/CR - b) pairs.
+  double num = 0.0, den = 0.0;
+  for (const auto& s : samples) {
+    const double p0 = s.features[7];
+    const double big_p0 = s.features[8];
+    const double a = (1.0 - p0) * big_p0;
+    const double b = 1.0 - big_p0;
+    const double target = 1.0 / std::max(1e-9, s.compression_ratio) - b;
+    num += a * target;
+    den += a * a;
+  }
+  AdHocRatioEstimator est;
+  est.c1 = den > 1e-15 ? num / den : 1.0;
+  return est;
+}
+
+}  // namespace ocelot

@@ -1,0 +1,45 @@
+#include "scheduler/batch.hpp"
+
+namespace ocelot {
+
+void BatchScheduler::submit(int nodes, GrantCallback on_grant) {
+  require(nodes > 0, "BatchScheduler: request must be positive");
+  require(nodes <= total_nodes_,
+          "BatchScheduler: request exceeds machine size");
+  auto pending = std::make_shared<Pending>();
+  pending->nodes = nodes;
+  pending->on_grant = std::move(on_grant);
+  queue_.push_back(pending);
+
+  // The ambient wait (other users' queue pressure) elapses first; only
+  // then does the request contend for capacity.
+  const double wait = wait_->next_wait_seconds();
+  sim_.schedule_in(wait, [this, pending] {
+    pending->wait_elapsed = true;
+    try_dispatch();
+  });
+}
+
+void BatchScheduler::release(const Allocation& alloc) {
+  require(alloc.nodes > 0, "BatchScheduler: bad release");
+  free_nodes_ += alloc.nodes;
+  require(free_nodes_ <= total_nodes_, "BatchScheduler: double release");
+  try_dispatch();
+}
+
+void BatchScheduler::try_dispatch() {
+  // FIFO: grant from the head while the head is ready and fits.
+  while (!queue_.empty()) {
+    const auto& head = queue_.front();
+    if (!head->wait_elapsed || head->nodes > free_nodes_) break;
+    free_nodes_ -= head->nodes;
+    Allocation alloc;
+    alloc.nodes = head->nodes;
+    alloc.granted_at = sim_.now();
+    auto cb = std::move(head->on_grant);
+    queue_.pop_front();
+    cb(alloc);
+  }
+}
+
+}  // namespace ocelot

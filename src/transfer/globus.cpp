@@ -1,0 +1,51 @@
+#include "transfer/globus.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ocelot {
+
+std::size_t TransferTask::completed_files_at(double t) const {
+  double horizon = t - submitted_at_;
+  if (status_ == Status::kCancelled) {
+    horizon = std::min(horizon, cancelled_at_ - submitted_at_);
+  }
+  const auto& ct = estimate_.completion_times;
+  const auto it = std::upper_bound(ct.begin(), ct.end(), horizon);
+  return static_cast<std::size_t>(it - ct.begin());
+}
+
+double TransferTask::completed_bytes_at(double t) const {
+  const std::size_t n = completed_files_at(t);
+  double bytes = 0.0;
+  for (std::size_t i = 0; i < n; ++i) bytes += file_bytes_[i];
+  return bytes;
+}
+
+void TransferTask::cancel(double now) {
+  if (status_ != Status::kActive) return;
+  status_ = Status::kCancelled;
+  cancelled_at_ = now;
+}
+
+std::shared_ptr<TransferTask> GlobusService::submit(
+    const TransferRequest& request,
+    std::function<void(const TransferTask&)> on_complete) {
+  require(!request.file_bytes.empty(), "GlobusService: empty transfer");
+  auto task = std::make_shared<TransferTask>();
+  task->estimate_ = model_.estimate(request.file_bytes, request.link);
+  task->file_bytes_ = request.file_bytes;
+  task->submitted_at_ = sim_.now();
+
+  sim_.schedule_in(task->estimate_.duration_s,
+                   [task, cb = std::move(on_complete)] {
+                     if (task->status_ != TransferTask::Status::kActive)
+                       return;  // cancelled mid-flight
+                     task->status_ = TransferTask::Status::kSucceeded;
+                     if (cb) cb(*task);
+                   });
+  return task;
+}
+
+}  // namespace ocelot

@@ -1,0 +1,73 @@
+#pragma once
+// Globus-style transfer service over the simulation engine.
+//
+// Accepts transfer tasks (a list of file sizes over a route), drives
+// them through the GridFTP model in virtual time, exposes per-file
+// completion so the sentinel can learn which files already moved, and
+// supports cancellation mid-flight (the sentinel stops the
+// uncompressed transfer when compute nodes are granted).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/gridftp.hpp"
+#include "netsim/simulation.hpp"
+
+namespace ocelot {
+
+/// A submitted transfer request.
+struct TransferRequest {
+  std::string label;
+  LinkProfile link;
+  std::vector<double> file_bytes;
+};
+
+/// Live handle to a transfer task in the simulation.
+class TransferTask {
+ public:
+  enum class Status { kActive, kSucceeded, kCancelled };
+
+  [[nodiscard]] Status status() const { return status_; }
+  [[nodiscard]] const TransferEstimate& estimate() const { return estimate_; }
+  [[nodiscard]] double submitted_at() const { return submitted_at_; }
+
+  /// Number of files fully transferred by virtual time `t`.
+  [[nodiscard]] std::size_t completed_files_at(double t) const;
+
+  /// Bytes fully transferred by virtual time `t` (whole files only).
+  [[nodiscard]] double completed_bytes_at(double t) const;
+
+  /// Cancels the task; files completed before `now` stay transferred.
+  void cancel(double now);
+
+ private:
+  friend class GlobusService;
+  Status status_ = Status::kActive;
+  TransferEstimate estimate_;
+  std::vector<double> file_bytes_;
+  double submitted_at_ = 0.0;
+  double cancelled_at_ = 0.0;
+};
+
+/// The transfer service facade.
+class GlobusService {
+ public:
+  GlobusService(Simulation& sim, EndpointSettings settings = {})
+      : sim_(sim), model_(settings) {}
+
+  /// Submits a transfer; `on_complete` fires at finish (not on cancel).
+  std::shared_ptr<TransferTask> submit(
+      const TransferRequest& request,
+      std::function<void(const TransferTask&)> on_complete = {});
+
+  [[nodiscard]] const GridFtpModel& model() const { return model_; }
+
+ private:
+  Simulation& sim_;
+  GridFtpModel model_;
+};
+
+}  // namespace ocelot

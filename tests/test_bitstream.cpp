@@ -1,0 +1,79 @@
+// Unit tests for the bit-granular stream used by the Huffman codec.
+#include <gtest/gtest.h>
+
+#include "common/bitstream.hpp"
+#include "common/rng.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(BitStream, SingleBits) {
+  BitWriter w;
+  const bool pattern[] = {true, false, true, true, false, false, true};
+  for (const bool b : pattern) w.put_bit(b);
+  const Bytes bytes = w.finish();
+
+  BitReader r(bytes);
+  for (const bool b : pattern) EXPECT_EQ(r.get_bit(), b);
+}
+
+TEST(BitStream, MultiBitFields) {
+  BitWriter w;
+  w.put_bits(0b1011, 4);
+  w.put_bits(0xFF, 8);
+  w.put_bits(0, 3);
+  w.put_bits(0x12345678, 32);
+  const Bytes bytes = w.finish();
+
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(4), 0b1011u);
+  EXPECT_EQ(r.get_bits(8), 0xFFu);
+  EXPECT_EQ(r.get_bits(3), 0u);
+  EXPECT_EQ(r.get_bits(32), 0x12345678u);
+}
+
+TEST(BitStream, RandomRoundTrip) {
+  Rng rng(42);
+  std::vector<std::pair<std::uint64_t, int>> fields;
+  BitWriter w;
+  for (int i = 0; i < 1000; ++i) {
+    const int nbits = static_cast<int>(rng.uniform_int(1, 57));
+    const auto value = static_cast<std::uint64_t>(
+        rng.uniform_int(0, std::numeric_limits<std::int64_t>::max()));
+    const std::uint64_t masked =
+        nbits == 64 ? value : (value & ((1ull << nbits) - 1));
+    fields.emplace_back(masked, nbits);
+    w.put_bits(masked, nbits);
+  }
+  const Bytes bytes = w.finish();
+  BitReader r(bytes);
+  for (const auto& [value, nbits] : fields) {
+    EXPECT_EQ(r.get_bits(nbits), value);
+  }
+}
+
+TEST(BitStream, ExhaustionThrows) {
+  BitWriter w;
+  w.put_bits(0b101, 3);
+  const Bytes bytes = w.finish();  // padded to 1 byte
+  BitReader r(bytes);
+  (void)r.get_bits(8);
+  EXPECT_THROW((void)r.get_bit(), CorruptStream);
+}
+
+TEST(BitStream, BitCountTracksExactly) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.put_bits(1, 1);
+  EXPECT_EQ(w.bit_count(), 1u);
+  w.put_bits(0xFFFF, 16);
+  EXPECT_EQ(w.bit_count(), 17u);
+}
+
+TEST(BitStream, EmptyFinishYieldsEmptyBuffer) {
+  BitWriter w;
+  EXPECT_TRUE(w.finish().empty());
+}
+
+}  // namespace
+}  // namespace ocelot

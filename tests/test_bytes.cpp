@@ -1,0 +1,104 @@
+// Unit tests for the byte-buffer serialization primitives.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(Bytes, PodRoundTrip) {
+  BytesWriter w;
+  w.put<std::uint32_t>(0xDEADBEEF);
+  w.put<double>(3.25);
+  w.put<std::uint8_t>(7);
+
+  BytesReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get<std::uint8_t>(), 7u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, VarintSmallValues) {
+  BytesWriter w;
+  for (std::uint64_t v = 0; v < 300; ++v) w.put_varint(v);
+  BytesReader r(w.bytes());
+  for (std::uint64_t v = 0; v < 300; ++v) EXPECT_EQ(r.get_varint(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, VarintBoundaryValues) {
+  const std::uint64_t values[] = {
+      0,    127,  128,   16383, 16384,
+      (1ull << 32) - 1, 1ull << 32, std::numeric_limits<std::uint64_t>::max()};
+  BytesWriter w;
+  for (const auto v : values) w.put_varint(v);
+  BytesReader r(w.bytes());
+  for (const auto v : values) EXPECT_EQ(r.get_varint(), v);
+}
+
+TEST(Bytes, VarintEncodingIsCompact) {
+  BytesWriter w;
+  w.put_varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.put_varint(300);
+  EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(Bytes, BlobRoundTrip) {
+  const Bytes payload = {1, 2, 3, 4, 5};
+  BytesWriter w;
+  w.put_blob(payload);
+  w.put_string("hello");
+
+  BytesReader r(w.bytes());
+  const auto blob = r.get_blob();
+  EXPECT_EQ(Bytes(blob.begin(), blob.end()), payload);
+  EXPECT_EQ(r.get_string(), "hello");
+}
+
+TEST(Bytes, EmptyBlobAndString) {
+  BytesWriter w;
+  w.put_blob({});
+  w.put_string("");
+  BytesReader r(w.bytes());
+  EXPECT_TRUE(r.get_blob().empty());
+  EXPECT_TRUE(r.get_string().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  BytesWriter w;
+  w.put<std::uint32_t>(1);
+  BytesReader r(w.bytes());
+  (void)r.get<std::uint16_t>();
+  (void)r.get<std::uint16_t>();
+  EXPECT_THROW((void)r.get<std::uint8_t>(), CorruptStream);
+}
+
+TEST(Bytes, TruncatedBlobThrows) {
+  BytesWriter w;
+  w.put_varint(100);  // claims 100 bytes follow
+  w.put<std::uint8_t>(1);
+  BytesReader r(w.bytes());
+  EXPECT_THROW((void)r.get_blob(), CorruptStream);
+}
+
+TEST(Bytes, OverlongVarintThrows) {
+  Bytes bad(11, 0xFF);  // continuation bit forever
+  BytesReader r(bad);
+  EXPECT_THROW((void)r.get_varint(), CorruptStream);
+}
+
+TEST(Bytes, TakeMovesBuffer) {
+  BytesWriter w;
+  w.put<std::uint8_t>(42);
+  const Bytes taken = w.take();
+  EXPECT_EQ(taken.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ocelot

@@ -1,0 +1,138 @@
+// Tests for end-to-end transfer campaigns (the Table VIII machinery).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "core/campaign.hpp"
+
+namespace ocelot {
+namespace {
+
+CampaignConfig base_config(const std::string& app) {
+  CampaignConfig config;
+  config.src = "Anvil";
+  config.dst = "Cori";
+  config.compression_ratio = 8.0;
+  config.rates = paper_compute_rates(app);
+  return config;
+}
+
+TEST(Campaign, DirectMovesEverythingUncompressed) {
+  const FileInventory inv = paper_inventory("Miranda");
+  const CampaignReport report =
+      run_campaign(inv, TransferMode::kDirect, base_config("Miranda"));
+  EXPECT_EQ(report.files_transferred, 768u);
+  EXPECT_DOUBLE_EQ(report.bytes_transferred, inv.total_bytes());
+  EXPECT_DOUBLE_EQ(report.total_seconds, report.transfer_seconds);
+  EXPECT_EQ(report.compress_seconds, 0.0);
+}
+
+TEST(Campaign, CompressionReducesTotalTime) {
+  // The headline claim: compress-then-transfer beats direct transfer.
+  for (const char* app : {"CESM", "RTM", "Miranda"}) {
+    const FileInventory inv = paper_inventory(app);
+    const CampaignConfig config = base_config(app);
+    const CampaignReport direct =
+        run_campaign(inv, TransferMode::kDirect, config);
+    const CampaignReport cp =
+        run_campaign(inv, TransferMode::kCompressedPerFile, config);
+    EXPECT_LT(cp.total_seconds, direct.total_seconds) << app;
+    const double gain = campaign_gain(direct, cp);
+    EXPECT_GT(gain, 0.3) << app;  // the paper reports 41-91%
+    EXPECT_LT(gain, 0.99) << app;
+  }
+}
+
+TEST(Campaign, CompressedBytesShrinkByRatio) {
+  const FileInventory inv = paper_inventory("RTM");
+  CampaignConfig config = base_config("RTM");
+  config.compression_ratio = 40.0;
+  const CampaignReport cp =
+      run_campaign(inv, TransferMode::kCompressedPerFile, config);
+  EXPECT_NEAR(cp.bytes_transferred, inv.total_bytes() / 40.0,
+              inv.total_bytes() * 0.01);
+  EXPECT_EQ(cp.files_transferred, inv.file_count());
+}
+
+TEST(Campaign, GroupingReducesWireFileCount) {
+  const FileInventory inv = paper_inventory("Miranda");
+  CampaignConfig config = base_config("Miranda");
+  config.group_world_size = 96;
+  const CampaignReport op =
+      run_campaign(inv, TransferMode::kCompressedGrouped, config);
+  EXPECT_EQ(op.files_transferred, 8u);  // 768 / 96, the paper's count
+}
+
+TEST(Campaign, GroupingHelpsManySmallFilesHurtsFewLarge) {
+  // RTM (3601 files): grouping speeds up the wire leg.
+  {
+    const FileInventory inv = paper_inventory("RTM");
+    CampaignConfig config = base_config("RTM");
+    config.compression_ratio = 40.0;  // small compressed files
+    const CampaignReport cp =
+        run_campaign(inv, TransferMode::kCompressedPerFile, config);
+    const CampaignReport op =
+        run_campaign(inv, TransferMode::kCompressedGrouped, config);
+    EXPECT_LT(op.transfer_seconds, cp.transfer_seconds);
+  }
+  // Miranda (768 files -> 8 groups): grouping starves concurrency.
+  {
+    const FileInventory inv = paper_inventory("Miranda");
+    CampaignConfig config = base_config("Miranda");
+    const CampaignReport cp =
+        run_campaign(inv, TransferMode::kCompressedPerFile, config);
+    const CampaignReport op =
+        run_campaign(inv, TransferMode::kCompressedGrouped, config);
+    EXPECT_GT(op.transfer_seconds, cp.transfer_seconds);
+  }
+}
+
+TEST(Campaign, EffectiveSpeedDropsAfterCompressionWithoutGrouping) {
+  // Table VIII: Speed(CP) < Speed(NP) because files shrink but the
+  // per-file handling cost stays.
+  const FileInventory inv = paper_inventory("RTM");
+  CampaignConfig config = base_config("RTM");
+  config.compression_ratio = 40.0;
+  const CampaignReport np =
+      run_campaign(inv, TransferMode::kDirect, config);
+  const CampaignReport cp =
+      run_campaign(inv, TransferMode::kCompressedPerFile, config);
+  EXPECT_LT(cp.effective_speed_bps, np.effective_speed_bps);
+}
+
+TEST(Campaign, TotalDecomposes) {
+  const FileInventory inv = paper_inventory("Miranda");
+  const CampaignReport cp = run_campaign(
+      inv, TransferMode::kCompressedPerFile, base_config("Miranda"));
+  EXPECT_NEAR(cp.total_seconds,
+              cp.compress_seconds + cp.transfer_seconds +
+                  cp.decompress_seconds + cp.orchestration_seconds,
+              1e-6);
+  EXPECT_GT(cp.orchestration_seconds, 0.0);  // funcX costs are real
+  EXPECT_LT(cp.orchestration_seconds, 30.0); // but small
+}
+
+TEST(Campaign, InvalidConfigThrows) {
+  const FileInventory inv = paper_inventory("Miranda");
+  CampaignConfig config = base_config("Miranda");
+  config.compression_ratio = 0.5;
+  EXPECT_THROW(
+      (void)run_campaign(inv, TransferMode::kCompressedPerFile, config),
+      InvalidArgument);
+
+  FileInventory empty;
+  empty.app = "X";
+  EXPECT_THROW((void)run_campaign(empty, TransferMode::kDirect,
+                                  base_config("Miranda")),
+               InvalidArgument);
+}
+
+TEST(Campaign, ModeNamesAreStable) {
+  EXPECT_EQ(to_string(TransferMode::kDirect), "direct (NP)");
+  EXPECT_EQ(to_string(TransferMode::kCompressedPerFile), "compressed (CP)");
+  EXPECT_EQ(to_string(TransferMode::kCompressedGrouped),
+            "compressed+grouped (OP)");
+}
+
+}  // namespace
+}  // namespace ocelot

@@ -1,0 +1,101 @@
+// Tests for the cluster-scale (de)compression cost model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <vector>
+
+#include "exec/cluster_model.hpp"
+#include "netsim/sites.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(LptMakespan, BasicProperties) {
+  const std::vector<double> tasks = {5.0, 3.0, 2.0, 2.0};
+  // One slot: sum; many slots: max.
+  EXPECT_DOUBLE_EQ(lpt_makespan(tasks, 1), 12.0);
+  EXPECT_DOUBLE_EQ(lpt_makespan(tasks, 100), 5.0);
+  // Two slots: {5, 3+2+2=7} or better -> LPT gives {5+2, 3+2} = 7.
+  EXPECT_DOUBLE_EQ(lpt_makespan(tasks, 2), 7.0);
+  EXPECT_DOUBLE_EQ(lpt_makespan({}, 4), 0.0);
+  EXPECT_THROW((void)lpt_makespan(tasks, 0), InvalidArgument);
+}
+
+TEST(LptMakespan, NeverBelowTheoreticalBounds) {
+  std::vector<double> tasks;
+  for (int i = 1; i <= 50; ++i) tasks.push_back(static_cast<double>(i));
+  double sum = 0.0, mx = 0.0;
+  for (const double t : tasks) {
+    sum += t;
+    mx = std::max(mx, t);
+  }
+  for (const int slots : {1, 3, 7, 16, 100}) {
+    const double m = lpt_makespan(tasks, slots);
+    EXPECT_GE(m, mx - 1e-9);
+    EXPECT_GE(m, sum / slots - 1e-9);
+    EXPECT_LE(m, sum + 1e-9);
+  }
+}
+
+TEST(ClusterModel, CompressionScalesWithCores) {
+  // Fig. 9 left: more nodes -> shorter compression, until saturation.
+  const SharedFilesystem fs = site("Anvil").fs;
+  ComputeRates rates;
+  const std::vector<double> files(768, 151e6);  // Miranda-like
+
+  double prev = 1e18;
+  for (const int nodes : {1, 2, 4, 8}) {
+    const double t = cluster_compress_seconds(files, nodes, 128, rates, fs);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ClusterModel, CompressionSaturatesWhenCoresExceedFiles) {
+  const SharedFilesystem fs = site("Anvil").fs;
+  ComputeRates rates;
+  const std::vector<double> files(100, 1e8);  // 100 files only
+  const double t1 = cluster_compress_seconds(files, 1, 128, rates, fs);
+  const double t2 = cluster_compress_seconds(files, 16, 128, rates, fs);
+  // 128 cores already cover 100 files; 2048 cores cannot be faster
+  // than the single-file cost (modulo the I/O term).
+  EXPECT_NEAR(t2, t1 * (100.0 / 128.0 < 1.0 ? 1.0 : 1.0), t1);
+  EXPECT_GE(t2, 1e8 / rates.compress_bps_per_core - 1e-9);
+}
+
+TEST(ClusterModel, DecompressionDegradesBeyondContention) {
+  // Fig. 9 right: decompression time is not monotone in node count.
+  const SharedFilesystem fs = site("Anvil").fs;
+  ComputeRates rates;
+  rates.decompress_bps_per_core = 400e6;  // compute-rich -> I/O bound
+  const std::vector<double> files(768, 151e6);
+
+  const double t2 = cluster_decompress_seconds(files, 2, 128, rates, fs);
+  const double t16 = cluster_decompress_seconds(files, 16, 128, rates, fs);
+  EXPECT_GT(t16, t2);  // more nodes made it worse
+}
+
+TEST(ClusterModel, DecompressionWriteBoundMatchesFilesystem) {
+  const SharedFilesystem fs = site("Cori").fs;
+  ComputeRates rates;
+  rates.decompress_bps_per_core = 1e12;  // compute is free
+  const std::vector<double> files(1000, 1.61e9);  // 1.61 TB total
+  const double t = cluster_decompress_seconds(files, 8, 32, rates, fs);
+  EXPECT_NEAR(t, 1.61e12 / fs.write_bandwidth(8), 1.0);
+}
+
+TEST(ClusterModel, BadGeometryThrows) {
+  const SharedFilesystem fs = site("Anvil").fs;
+  ComputeRates rates;
+  const std::vector<double> files(10, 1e6);
+  EXPECT_THROW(
+      (void)cluster_compress_seconds(files, 0, 128, rates, fs),
+      InvalidArgument);
+  EXPECT_THROW(
+      (void)cluster_decompress_seconds(files, 4, 0, rates, fs),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ocelot

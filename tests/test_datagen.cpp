@@ -1,0 +1,147 @@
+// Tests for the synthetic dataset generators.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/stats.hpp"
+#include "datagen/datasets.hpp"
+#include "compressor/traversal.hpp"
+#include "datagen/synth.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(Synth, FourierFieldShapeAndDeterminism) {
+  Rng rng1(1), rng2(1);
+  const Shape shape(16, 24);
+  const FloatArray a = fourier_field(shape, rng1, 1.5);
+  const FloatArray b = fourier_field(shape, rng2, 1.5);
+  EXPECT_EQ(a.shape(), shape);
+  EXPECT_EQ(a.vector(), b.vector());
+}
+
+TEST(Synth, SmootherSlopeIsMorePredictable) {
+  Rng rng1(2), rng2(2);
+  const Shape shape(48, 48);
+  FloatArray rough = fourier_field(shape, rng1, 0.5);
+  FloatArray smooth = fourier_field(shape, rng2, 3.0);
+  rescale(rough, 0.0, 1.0);
+  rescale(smooth, 0.0, 1.0);
+  // Average Lorenzo error is the predictability proxy the paper uses.
+  EXPECT_GT(average_lorenzo_error(rough), average_lorenzo_error(smooth));
+}
+
+TEST(Synth, RescaleHitsTargets) {
+  Rng rng(3);
+  FloatArray f = fourier_field(Shape(32, 32), rng, 1.0);
+  rescale(f, -5.0, 10.0);
+  const ValueSummary s = summarize(f.values());
+  EXPECT_NEAR(s.min, -5.0, 1e-3);
+  EXPECT_NEAR(s.max, 10.0, 1e-3);
+}
+
+TEST(Synth, ClampBelowQuantileCreatesPlateau) {
+  Rng rng(4);
+  FloatArray f = fourier_field(Shape(40, 40), rng, 1.0);
+  clamp_below_quantile(f, 0.6);
+  const ValueSummary s = summarize(f.values());
+  std::size_t at_floor = 0;
+  for (const float v : f.values()) {
+    if (static_cast<double>(v) <= s.min + 1e-6) ++at_floor;
+  }
+  // ~60% of points should sit at the floor level.
+  EXPECT_GT(at_floor, f.size() / 2);
+}
+
+TEST(Synth, GaussianBlobsAreNonNegativeAndPeaked) {
+  Rng rng(5);
+  const FloatArray f = gaussian_blobs(Shape(16, 16, 16), rng, 10, 0.05, 0.2);
+  const ValueSummary s = summarize(f.values());
+  EXPECT_GE(s.min, 0.0);
+  EXPECT_GT(s.max, s.mean * 2.0);  // clustered, not flat
+}
+
+TEST(Synth, RadialWavesRespectFront) {
+  Rng rng(6);
+  // A tiny front leaves most of the domain untouched (zeros).
+  const FloatArray f = radial_waves(Shape(24, 24, 24), rng, 1, 4.0, 3.0);
+  std::size_t zeros = 0;
+  for (const float v : f.values()) {
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_GT(zeros, f.size() * 8 / 10);
+}
+
+TEST(Catalog, HasAllSixApplications) {
+  const auto& catalog = dataset_catalog();
+  ASSERT_EQ(catalog.size(), 6u);
+  EXPECT_EQ(catalog[0].name, "QMCPACK");
+  EXPECT_EQ(catalog[3].name, "CESM");
+  for (const auto& app : catalog) {
+    EXPECT_GT(app.full_file_count, 0u);
+    EXPECT_GT(app.full_bytes, 0.0);
+  }
+}
+
+TEST(Datasets, FieldNamesNonEmptyForEveryApp) {
+  for (const auto& app : dataset_catalog()) {
+    EXPECT_FALSE(field_names(app.name).empty()) << app.name;
+  }
+  EXPECT_FALSE(field_names("HACC").empty());
+  EXPECT_THROW((void)field_names("NoSuchApp"), NotFound);
+}
+
+TEST(Datasets, CesmFieldsMatchTableOneRanges) {
+  // Table I: CLDHGH in [0, 0.92], FLDSC in [92.84, 418.24].
+  const FloatArray cldhgh = generate_field("CESM", "CLDHGH", 0.05, 42);
+  const ValueSummary s1 = summarize(cldhgh.values());
+  EXPECT_NEAR(s1.min, 0.0, 0.01);
+  EXPECT_NEAR(s1.max, 0.92, 0.01);
+
+  const FloatArray fldsc = generate_field("CESM", "FLDSC", 0.05, 42);
+  const ValueSummary s2 = summarize(fldsc.values());
+  EXPECT_NEAR(s2.min, 92.84, 1.0);
+  EXPECT_NEAR(s2.max, 418.24, 1.0);
+}
+
+TEST(Datasets, CesmIs2DOthersAre3D) {
+  EXPECT_EQ(generate_field("CESM", "TMQ", 0.05, 1).shape().rank(), 2);
+  EXPECT_EQ(generate_field("Miranda", "density", 0.05, 1).shape().rank(), 3);
+  EXPECT_EQ(generate_field("Nyx", "temperature", 0.03, 1).shape().rank(), 3);
+}
+
+TEST(Datasets, DeterministicAcrossCalls) {
+  const FloatArray a = generate_field("ISABEL", "Wf48", 0.05, 9);
+  const FloatArray b = generate_field("ISABEL", "Wf48", 0.05, 9);
+  EXPECT_EQ(a.vector(), b.vector());
+  const FloatArray c = generate_field("ISABEL", "Wf48", 0.05, 10);
+  EXPECT_NE(a.vector(), c.vector());
+}
+
+TEST(Datasets, RtmSnapshotsGrowWithTime) {
+  // Early snapshot: wave barely expanded -> mostly flat field; late
+  // snapshot: wavefronts everywhere. Nonzero fraction must grow.
+  const FloatArray early = generate_rtm_snapshot(0.08, 300, 3600, 3);
+  const FloatArray late = generate_rtm_snapshot(0.08, 3300, 3600, 3);
+  auto spread = [](const FloatArray& f) {
+    return summarize(f.values()).stddev;
+  };
+  EXPECT_LT(spread(early), spread(late));
+}
+
+TEST(Datasets, GenerateApplicationProducesVariants) {
+  const auto fields = generate_application("Miranda", 0.04, 11, 2);
+  EXPECT_EQ(fields.size(), field_names("Miranda").size() * 2);
+  for (const auto& f : fields) {
+    EXPECT_EQ(f.app, "Miranda");
+    EXPECT_GT(f.data.size(), 0u);
+  }
+}
+
+TEST(Datasets, UnknownAppThrows) {
+  EXPECT_THROW((void)generate_field("Unknown", "x", 0.1, 1), NotFound);
+  EXPECT_THROW((void)generate_application("Unknown", 0.1, 1), NotFound);
+}
+
+}  // namespace
+}  // namespace ocelot

@@ -1,0 +1,161 @@
+// Tests for the three feature categories feeding the quality model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "features/features.hpp"
+
+namespace ocelot {
+namespace {
+
+FloatArray constant_field(float value) {
+  FloatArray data(Shape(32, 32));
+  for (float& v : data.values()) v = value;
+  return data;
+}
+
+FloatArray noisy_field(std::uint64_t seed, double amplitude) {
+  FloatArray data(Shape(32, 32));
+  Rng rng(seed);
+  for (float& v : data.values()) {
+    v = static_cast<float>(rng.uniform(0.0, amplitude));
+  }
+  return data;
+}
+
+FloatArray smooth_field(std::uint64_t seed) {
+  FloatArray data(Shape(32, 32));
+  Rng rng(seed);
+  const double phase = rng.uniform(0.0, 6.28);
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      data.at(i, j) = static_cast<float>(
+          std::sin(0.2 * static_cast<double>(i) + phase) +
+          std::cos(0.15 * static_cast<double>(j)));
+    }
+  }
+  return data;
+}
+
+TEST(DataFeatures, BasicsMatchSummary) {
+  FloatArray data = constant_field(0.0f);
+  data[0] = -2.0f;
+  data[1] = 6.0f;
+  const DataFeatures f = extract_data_features(data);
+  EXPECT_FLOAT_EQ(static_cast<float>(f.min), -2.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>(f.max), 6.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>(f.value_range), 8.0f);
+}
+
+TEST(DataFeatures, EntropyOrdersByChaos) {
+  const DataFeatures smooth = extract_data_features(smooth_field(1));
+  const DataFeatures noisy = extract_data_features(noisy_field(2, 1000.0));
+  EXPECT_GT(noisy.byte_entropy, smooth.byte_entropy * 0.9);
+  EXPECT_GT(noisy.avg_lorenzo_error, smooth.avg_lorenzo_error);
+}
+
+TEST(CompressorFeatures, ConstantFieldIsPerfectlyPredictable) {
+  // All predictions hit except the zero-neighbor corner point, whose
+  // residual is the value itself.
+  const FloatArray data = constant_field(5.0f);
+  const CompressorFeatures f = extract_compressor_features(data, 1e-3, 1);
+  EXPECT_GT(f.p0, 0.99);
+  EXPECT_LT(f.quant_entropy, 0.1);
+  EXPECT_GT(f.rrle, 100.0);  // run-length estimator explodes
+}
+
+TEST(CompressorFeatures, NoisyFieldHasLowP0AndHighEntropy) {
+  // Noise of ~1.0 against a bin width of 2e-3 spreads residuals over
+  // hundreds of bins within the quantizer range.
+  const FloatArray data = noisy_field(3, 1.0);
+  const CompressorFeatures f = extract_compressor_features(data, 1e-3, 1);
+  EXPECT_LT(f.p0, 0.1);
+  EXPECT_GT(f.quant_entropy, 4.0);
+}
+
+TEST(CompressorFeatures, OutOfRangeResidualsCollapseToUnpredictable) {
+  // Huge values against a tiny bound overflow the quantizer: the bins
+  // collapse to the unpredictable marker, and p0 goes to ~0.
+  const FloatArray data = noisy_field(4, 1000.0);
+  const CompressorFeatures f = extract_compressor_features(data, 1e-6, 1);
+  EXPECT_LT(f.p0, 0.01);
+  EXPECT_LT(f.quant_entropy, 1.0);  // one dominant marker symbol
+}
+
+TEST(CompressorFeatures, P0RisesWithErrorBound) {
+  // Larger bounds swallow more residuals into the zero bin.
+  const FloatArray data = smooth_field(4);
+  const CompressorFeatures tight =
+      extract_compressor_features(data, 1e-6, 1);
+  const CompressorFeatures loose =
+      extract_compressor_features(data, 1e-1, 1);
+  EXPECT_GE(loose.p0, tight.p0);
+  EXPECT_LE(loose.quant_entropy, tight.quant_entropy + 1e-9);
+}
+
+TEST(CompressorFeatures, RrleFormulaIsConsistent) {
+  const FloatArray data = smooth_field(5);
+  const CompressorFeatures f = extract_compressor_features(data, 1e-3, 1);
+  if (f.big_p0 > 0.0 && f.big_p0 < 1.0) {
+    const double denom = (1.0 - f.p0) * f.big_p0 + (1.0 - f.big_p0);
+    EXPECT_NEAR(f.rrle, 1.0 / denom, 1e-9);
+  }
+}
+
+TEST(CompressorFeatures, SamplingApproximatesFullScan) {
+  const FloatArray data = smooth_field(6);
+  const CompressorFeatures full = extract_compressor_features(data, 1e-3, 1);
+  const CompressorFeatures sampled =
+      extract_compressor_features(data, 1e-3, 10);
+  EXPECT_NEAR(sampled.p0, full.p0, 0.15);
+  EXPECT_NEAR(sampled.quant_entropy, full.quant_entropy, 1.0);
+  EXPECT_EQ(sampled.sampled_points, (data.size() + 9) / 10);
+}
+
+TEST(FeatureVector, AssemblyLayout) {
+  const FloatArray data = smooth_field(7);
+  CompressionConfig config;
+  config.pipeline = Pipeline::kSz2;
+  config.eb = 1e-3;
+  const FeatureVector v = make_feature_vector(data, config, 10);
+  EXPECT_EQ(kFeatureCount, 11u);
+  EXPECT_NEAR(v[0], -3.0, 1e-9);                       // log10 eb
+  EXPECT_DOUBLE_EQ(v[1], static_cast<double>(Pipeline::kSz2));
+  EXPECT_LE(v[2], v[3]);                               // min <= max
+  EXPECT_NEAR(v[4], v[3] - v[2], 1e-6);                // range
+  EXPECT_GE(v[7], 0.0);                                // p0 in [0,1]
+  EXPECT_LE(v[7], 1.0);
+  EXPECT_GE(v[8], 0.0);                                // P0 in [0,1]
+  EXPECT_LE(v[8], 1.0);
+}
+
+TEST(FeatureVector, InvalidArgsThrow) {
+  const FloatArray data = smooth_field(8);
+  EXPECT_THROW((void)extract_compressor_features(data, 0.0, 1),
+               InvalidArgument);
+  EXPECT_THROW((void)extract_compressor_features(data, 1e-3, 0),
+               InvalidArgument);
+}
+
+/// p0 must be monotone (within tolerance) in the error bound across
+/// sampling strides — the relationship the predictor learns from.
+class P0Monotonicity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(P0Monotonicity, AcrossBounds) {
+  const std::size_t stride = GetParam();
+  const FloatArray data = smooth_field(9);
+  double prev_p0 = -1.0;
+  for (const double eb : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}) {
+    const CompressorFeatures f =
+        extract_compressor_features(data, eb, stride);
+    EXPECT_GE(f.p0, prev_p0 - 0.05) << "eb=" << eb;
+    prev_p0 = f.p0;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, P0Monotonicity,
+                         ::testing::Values(1u, 7u, 50u));
+
+}  // namespace
+}  // namespace ocelot

@@ -1,0 +1,56 @@
+// Tests for the shared-filesystem contention model (Fig. 9 shape).
+#include <gtest/gtest.h>
+
+#include "netsim/filesystem.hpp"
+#include "netsim/sites.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(Filesystem, WriteBandwidthPeaksThenDegrades) {
+  const SharedFilesystem fs = site("Anvil").fs;
+  const double w1 = fs.write_bandwidth(1);
+  const double w4 = fs.write_bandwidth(4);
+  const double w16 = fs.write_bandwidth(16);
+  EXPECT_GT(w4, w1);    // more nodes help at first
+  EXPECT_LT(w16, w4);   // then contention wins (Fig. 9 right)
+}
+
+TEST(Filesystem, SixteenNodesSubstantiallySlowerThanFour) {
+  // The paper saw CESM decompression go from ~69 s at 4 nodes to
+  // minutes at 16; the model must degrade by at least 2x.
+  const SharedFilesystem fs = site("Anvil").fs;
+  EXPECT_GT(fs.write_bandwidth(4) / fs.write_bandwidth(16), 2.0);
+}
+
+TEST(Filesystem, ReadsContendMuchLessThanWrites) {
+  const SharedFilesystem fs = site("Anvil").fs;
+  const double degrade_w = fs.write_bandwidth(4) / fs.write_bandwidth(16);
+  const double degrade_r = fs.read_bandwidth(4) / fs.read_bandwidth(16);
+  EXPECT_GT(degrade_w, degrade_r);
+  // Reads should still scale up to 16 nodes.
+  EXPECT_GT(fs.read_bandwidth(16), fs.read_bandwidth(2));
+}
+
+TEST(Filesystem, BandwidthIsAlwaysPositive) {
+  const SharedFilesystem fs = site("Cori").fs;
+  for (int n = 1; n <= 64; n *= 2) {
+    EXPECT_GT(fs.write_bandwidth(n), 0.0);
+    EXPECT_GT(fs.read_bandwidth(n), 0.0);
+  }
+}
+
+TEST(Filesystem, ZeroOrNegativeNodesClampToOne) {
+  const SharedFilesystem fs = site("Bebop").fs;
+  EXPECT_DOUBLE_EQ(fs.write_bandwidth(0), fs.write_bandwidth(1));
+  EXPECT_DOUBLE_EQ(fs.read_bandwidth(-3), fs.read_bandwidth(1));
+}
+
+TEST(Filesystem, CoriSustainsPaperWriteRateAtEightNodes) {
+  // Calibration contract: ~23 GB/s for 8 writers (Table VIII DPTime).
+  const SharedFilesystem fs = site("Cori").fs;
+  EXPECT_NEAR(fs.write_bandwidth(8) / 23e9, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace ocelot

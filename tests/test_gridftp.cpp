@@ -1,0 +1,143 @@
+// Tests for the GridFTP transfer cost model: the Table II shape and
+// basic conservation properties.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "netsim/gridftp.hpp"
+#include "netsim/sites.hpp"
+
+namespace ocelot {
+namespace {
+
+LinkProfile test_link() {
+  LinkProfile link = route("Cori", "Bebop");
+  link.jitter_frac = 0.0;  // determinism for property checks
+  return link;
+}
+
+TEST(GridFtp, ThroughputNeverExceedsBandwidth) {
+  const GridFtpModel model;
+  const LinkProfile link = test_link();
+  for (const std::size_t n : {1u, 10u, 1000u}) {
+    const std::vector<double> files(n, 1e9);
+    const TransferEstimate est = model.estimate(files, link);
+    EXPECT_LE(est.effective_speed_bps, link.bandwidth_bps * 1.0001);
+  }
+}
+
+TEST(GridFtp, TableTwoShapeSmallFilesAreSlower) {
+  // 300 GB as 1MB/10MB/100MB/1GB files: effective speed must increase
+  // steeply from the 1 MB case and plateau near the link bandwidth.
+  const GridFtpModel model;
+  const LinkProfile link = test_link();
+  const double total = 300e9;
+  std::vector<double> speeds;
+  for (const double file_size : {1e6, 10e6, 100e6, 1000e6}) {
+    const auto n = static_cast<std::size_t>(total / file_size);
+    const std::vector<double> files(n, file_size);
+    speeds.push_back(model.estimate(files, link).effective_speed_bps);
+  }
+  EXPECT_LT(speeds[0], speeds[1]);
+  EXPECT_LT(speeds[1], speeds[2]);
+  // Paper's ratio: ~4.5x between 1 MB and 100 MB files.
+  EXPECT_GT(speeds[2] / speeds[0], 3.0);
+  // The largest-file case stays within ~10% of the 100 MB case.
+  EXPECT_NEAR(speeds[3] / speeds[2], 1.0, 0.1);
+}
+
+TEST(GridFtp, CompletionTimesAreMonotoneAndEndAtDuration) {
+  const GridFtpModel model;
+  const LinkProfile link = test_link();
+  std::vector<double> files;
+  for (int i = 0; i < 200; ++i) files.push_back(1e6 * (1 + i % 7));
+  const TransferEstimate est = model.estimate(files, link);
+  ASSERT_EQ(est.completion_times.size(), files.size());
+  for (std::size_t i = 1; i < est.completion_times.size(); ++i) {
+    EXPECT_LE(est.completion_times[i - 1], est.completion_times[i]);
+  }
+  EXPECT_DOUBLE_EQ(est.completion_times.back(), est.duration_s);
+  EXPECT_GT(est.completion_times.front(), 0.0);
+}
+
+TEST(GridFtp, FewFilesUnderutilizeTheLink) {
+  // 8 grouped files (the paper's Miranda case) cannot fill the pipe.
+  const GridFtpModel model;
+  const LinkProfile link = test_link();
+  const std::vector<double> few(8, 12.5e9);   // 100 GB in 8 files
+  const std::vector<double> many(100, 1e9);   // 100 GB in 100 files
+  const double speed_few = model.estimate(few, link).effective_speed_bps;
+  const double speed_many = model.estimate(many, link).effective_speed_bps;
+  EXPECT_LT(speed_few, speed_many * 0.75);
+}
+
+TEST(GridFtp, DurationDecomposesIntoDataAndOverhead) {
+  const GridFtpModel model;
+  const LinkProfile link = test_link();
+  const std::vector<double> files(100, 5e8);
+  const TransferEstimate est = model.estimate(files, link);
+  EXPECT_NEAR(est.duration_s, est.data_seconds + est.overhead_seconds, 1e-9);
+  EXPECT_GT(est.overhead_seconds, link.startup_s);
+}
+
+TEST(GridFtp, JitterIsDeterministicPerWorkload) {
+  GridFtpModel model;
+  LinkProfile link = route("Cori", "Bebop");  // jitter enabled
+  const std::vector<double> files(50, 1e8);
+  const double d1 = model.estimate(files, link).duration_s;
+  const double d2 = model.estimate(files, link).duration_s;
+  EXPECT_DOUBLE_EQ(d1, d2);
+}
+
+TEST(GridFtp, EmptyTransferThrows) {
+  const GridFtpModel model;
+  EXPECT_THROW((void)model.estimate({}, test_link()), InvalidArgument);
+}
+
+TEST(Sites, CatalogMatchesTableThree) {
+  const auto& catalog = site_catalog();
+  ASSERT_EQ(catalog.size(), 4u);
+  EXPECT_EQ(catalog[0].partition, "bdwall");
+  EXPECT_EQ(catalog[0].nodes, 664);
+  EXPECT_EQ(catalog[2].site, "Anvil");
+  EXPECT_EQ(catalog[2].cores_per_node, 128);
+  EXPECT_EQ(catalog[3].site, "Cori");
+  EXPECT_EQ(catalog[3].nodes, 2388);
+}
+
+TEST(Sites, RoutesExistForPaperPairs) {
+  EXPECT_GT(route("Anvil", "Cori").bandwidth_bps,
+            route("Anvil", "Bebop").bandwidth_bps);
+  EXPECT_NO_THROW((void)route("Bebop", "Cori"));
+  EXPECT_THROW((void)route("Anvil", "Mars"), NotFound);
+  EXPECT_THROW((void)site("Mars"), NotFound);
+}
+
+TEST(Sites, CalibratedDirectTransfersMatchPaper) {
+  // Table VIII T(NP), +-15%: the calibration contract for the model.
+  const GridFtpModel model;
+  struct Case {
+    const char* src;
+    const char* dst;
+    std::size_t files;
+    double bytes;
+    double expected_s;
+  };
+  const Case cases[] = {
+      {"Anvil", "Cori", 7182, 1.61e12, 446.0},   // CESM
+      {"Anvil", "Bebop", 3601, 682e9, 784.0},    // RTM
+      {"Bebop", "Cori", 768, 115e9, 119.0},      // Miranda
+  };
+  for (const auto& c : cases) {
+    const std::vector<double> files(c.files, c.bytes / c.files);
+    const double d = model.estimate(files, route(c.src, c.dst)).duration_s;
+    EXPECT_NEAR(d / c.expected_s, 1.0, 0.15)
+        << c.src << "->" << c.dst << " got " << d << "s";
+  }
+}
+
+}  // namespace
+}  // namespace ocelot

@@ -1,0 +1,110 @@
+// Integration tests: the full local Ocelot pipeline with real
+// compression and a modelled WAN.
+#include <gtest/gtest.h>
+
+#include "core/local_pipeline.hpp"
+#include "datagen/datasets.hpp"
+#include "io/dataset_file.hpp"
+#include "netsim/sites.hpp"
+
+namespace ocelot {
+namespace {
+
+struct Prepared {
+  std::vector<std::string> names;
+  std::vector<FloatArray> fields;
+};
+
+Prepared prepare(const std::string& app, double scale, int variants = 1) {
+  Prepared p;
+  for (auto& field : generate_application(app, scale, 21, variants)) {
+    p.names.push_back(field.app + "/" + field.name);
+    p.fields.push_back(std::move(field.data));
+  }
+  return p;
+}
+
+/// Laptop-scale WAN: the paper-calibrated links assume TB-scale
+/// payloads; for megabyte test data we shrink bandwidth and startup
+/// proportionally so the compression/transfer trade-off is preserved.
+LinkProfile laptop_link() {
+  LinkProfile link;
+  link.name = "laptop-wan";
+  link.bandwidth_bps = 20e6;  // congested wide-area path
+  link.rtt_s = 0.05;
+  link.per_file_overhead_s = 1e-3;
+  link.startup_s = 0.05;
+  link.stream_fraction = 0.012;
+  link.jitter_frac = 0.0;
+  return link;
+}
+
+LocalPipelineConfig pipeline_config(bool grouped) {
+  LocalPipelineConfig config;
+  config.compression.pipeline = Pipeline::kSz3Interp;
+  config.compression.eb_mode = EbMode::kValueRangeRel;
+  config.compression.eb = 1e-3;
+  config.workers = 4;
+  config.link = laptop_link();
+  config.group_files = grouped;
+  config.group_world_size = 4;
+  return config;
+}
+
+TEST(LocalPipeline, EndToEndRespectsErrorBoundAndWritesOutput) {
+  const Prepared p = prepare("CESM", 0.05);
+  FileStore destination;
+  const LocalPipelineResult result =
+      run_local_pipeline(p.names, p.fields, pipeline_config(false),
+                         &destination);
+
+  // Every field must land at the destination, within the error bound.
+  EXPECT_EQ(destination.file_count(), p.fields.size());
+  for (std::size_t i = 0; i < p.names.size(); ++i) {
+    const LoadedField loaded = load_field(destination.read(p.names[i]));
+    EXPECT_EQ(loaded.data.shape(), p.fields[i].shape());
+  }
+  EXPECT_GT(result.compression.ratio(), 1.5);
+  EXPECT_GT(result.min_psnr_db, 40.0);
+  EXPECT_GT(result.speedup(), 1.0);  // compression must pay off
+}
+
+TEST(LocalPipeline, GroupingReducesWireFiles) {
+  const Prepared p = prepare("Miranda", 0.04);
+  const LocalPipelineResult ungrouped =
+      run_local_pipeline(p.names, p.fields, pipeline_config(false));
+  const LocalPipelineResult grouped =
+      run_local_pipeline(p.names, p.fields, pipeline_config(true));
+
+  EXPECT_EQ(ungrouped.wire_files, p.fields.size());
+  EXPECT_EQ(grouped.wire_files, (p.fields.size() + 3) / 4);
+  // Both must reconstruct identically well.
+  EXPECT_EQ(grouped.max_error <= 1e-2, ungrouped.max_error <= 1e-2);
+}
+
+TEST(LocalPipeline, TransferLegShrinksByCompressionRatio) {
+  const Prepared p = prepare("CESM", 0.05);
+  const LocalPipelineResult result =
+      run_local_pipeline(p.names, p.fields, pipeline_config(false));
+  // Modelled data seconds scale with bytes; compare against direct.
+  EXPECT_LT(result.transfer.data_seconds,
+            result.direct_transfer.data_seconds);
+  const double byte_ratio = result.compression.ratio();
+  const double time_ratio =
+      result.direct_transfer.data_seconds / result.transfer.data_seconds;
+  EXPECT_NEAR(time_ratio, byte_ratio, byte_ratio * 0.5);
+}
+
+TEST(LocalPipeline, MismatchedInputsThrow) {
+  const Prepared p = prepare("Miranda", 0.04);
+  std::vector<std::string> short_names(p.names.begin(), p.names.end() - 1);
+  EXPECT_THROW((void)run_local_pipeline(short_names, p.fields,
+                                        pipeline_config(false)),
+               InvalidArgument);
+  EXPECT_THROW(
+      (void)run_local_pipeline({}, {}, pipeline_config(false)),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ocelot

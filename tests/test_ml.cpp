@@ -1,0 +1,210 @@
+// Tests for the CART regression tree, the forest, and the split utils.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/random_forest.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(DecisionTree, FitsConstantTarget) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    x.add_row({rng.uniform(), rng.uniform()});
+    y.push_back(7.5);
+  }
+  const auto tree = DecisionTreeRegressor::fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1u);  // no split improves a constant
+  EXPECT_DOUBLE_EQ(tree.predict({0.3, 0.9}), 7.5);
+}
+
+TEST(DecisionTree, LearnsStepFunctionExactly) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i / 100.0;
+    x.add_row({v});
+    y.push_back(v < 0.5 ? 1.0 : 5.0);
+  }
+  const auto tree = DecisionTreeRegressor::fit(x, y);
+  EXPECT_DOUBLE_EQ(tree.predict({0.2}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict({0.8}), 5.0);
+}
+
+TEST(DecisionTree, PredictionsStayInTargetHull) {
+  Rng rng(2);
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(), b = rng.uniform();
+    x.add_row({a, b});
+    y.push_back(std::sin(6.0 * a) + b * b);
+  }
+  const double lo = *std::min_element(y.begin(), y.end());
+  const double hi = *std::max_element(y.begin(), y.end());
+  const auto tree = DecisionTreeRegressor::fit(x, y);
+  for (int i = 0; i < 100; ++i) {
+    const double p = tree.predict({rng.uniform(), rng.uniform()});
+    EXPECT_GE(p, lo);
+    EXPECT_LE(p, hi);
+  }
+}
+
+TEST(DecisionTree, ApproximatesSmoothFunction) {
+  Rng rng(3);
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform();
+    x.add_row({a});
+    y.push_back(a * a);
+  }
+  TreeParams params;
+  params.max_depth = 10;
+  const auto tree = DecisionTreeRegressor::fit(x, y, params);
+  double max_err = 0.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double a = i / 100.0;
+    max_err = std::max(max_err, std::abs(tree.predict({a}) - a * a));
+  }
+  EXPECT_LT(max_err, 0.05);
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+  Rng rng(4);
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform();
+    x.add_row({a});
+    y.push_back(std::sin(20.0 * a));
+  }
+  TreeParams params;
+  params.max_depth = 3;
+  const auto tree = DecisionTreeRegressor::fit(x, y, params);
+  EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTree, MinLeafRespected) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.add_row({static_cast<double>(i)});
+    y.push_back(static_cast<double>(i % 2));
+  }
+  TreeParams params;
+  params.min_samples_leaf = 8;
+  const auto tree = DecisionTreeRegressor::fit(x, y, params);
+  // With min leaf 8 over 20 samples, the tree can split at most twice.
+  EXPECT_LE(tree.node_count(), 7u);
+}
+
+TEST(DecisionTree, FeatureImportanceFindsSignal) {
+  Rng rng(5);
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double signal = rng.uniform();
+    const double noise = rng.uniform();
+    x.add_row({noise, signal});
+    y.push_back(signal > 0.5 ? 10.0 : 0.0);
+  }
+  const auto tree = DecisionTreeRegressor::fit(x, y);
+  const auto imp = tree.feature_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[1], 0.9);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTree, InvalidInputsThrow) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  EXPECT_THROW((void)DecisionTreeRegressor::fit(x, y), InvalidArgument);
+
+  x.add_row({1.0});
+  y.push_back(1.0);
+  const auto tree = DecisionTreeRegressor::fit(x, y);
+  EXPECT_THROW((void)tree.predict({1.0, 2.0}), InvalidArgument);
+}
+
+TEST(RegressionMetrics, PerfectAndOffset) {
+  const std::vector<double> truth = {1.0, 2.0, 3.0};
+  const RegressionMetrics perfect = evaluate_regression(truth, truth);
+  EXPECT_DOUBLE_EQ(perfect.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(perfect.r2, 1.0);
+
+  const std::vector<double> shifted = {2.0, 3.0, 4.0};
+  const RegressionMetrics off = evaluate_regression(truth, shifted);
+  EXPECT_DOUBLE_EQ(off.rmse, 1.0);
+  EXPECT_DOUBLE_EQ(off.mae, 1.0);
+  EXPECT_LT(off.r2, 1.0);
+}
+
+TEST(RandomForest, BeatsOrMatchesSingleTreeOnNoisyData) {
+  Rng rng(6);
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.uniform(), b = rng.uniform();
+    x.add_row({a, b});
+    y.push_back(3.0 * a - 2.0 * b + rng.normal(0.0, 0.3));
+  }
+  const auto tree = DecisionTreeRegressor::fit(x, y);
+  ForestParams fp;
+  fp.n_trees = 15;
+  const auto forest = RandomForestRegressor::fit(x, y, fp);
+  EXPECT_EQ(forest.tree_count(), 15u);
+
+  double tree_se = 0.0, forest_se = 0.0;
+  Rng test_rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const double a = test_rng.uniform(), b = test_rng.uniform();
+    const double truth = 3.0 * a - 2.0 * b;
+    const double tp = tree.predict({a, b});
+    const double fp2 = forest.predict({a, b});
+    tree_se += (tp - truth) * (tp - truth);
+    forest_se += (fp2 - truth) * (fp2 - truth);
+  }
+  EXPECT_LT(forest_se, tree_se * 1.3);  // forest at least competitive
+}
+
+TEST(TrainTestSplit, FractionAndDisjointness) {
+  const SplitIndices split = train_test_split(100, 0.3, 42);
+  EXPECT_EQ(split.train.size(), 30u);
+  EXPECT_EQ(split.test.size(), 70u);
+  std::vector<bool> seen(100, false);
+  for (const auto i : split.train) seen[i] = true;
+  for (const auto i : split.test) {
+    EXPECT_FALSE(seen[i]) << "index in both sets: " << i;
+  }
+}
+
+TEST(TrainTestSplit, StratifiedPerGroup) {
+  // 3 groups of different sizes: the 30% rule applies per group.
+  std::vector<int> groups;
+  for (int i = 0; i < 50; ++i) groups.push_back(0);
+  for (int i = 0; i < 30; ++i) groups.push_back(1);
+  for (int i = 0; i < 20; ++i) groups.push_back(2);
+  const SplitIndices split = train_test_split(100, 0.3, 7, groups);
+  std::vector<int> train_per_group(3, 0);
+  for (const auto i : split.train) ++train_per_group[groups[i]];
+  EXPECT_EQ(train_per_group[0], 15);
+  EXPECT_EQ(train_per_group[1], 9);
+  EXPECT_EQ(train_per_group[2], 6);
+}
+
+TEST(TrainTestSplit, Deterministic) {
+  const SplitIndices a = train_test_split(50, 0.5, 99);
+  const SplitIndices b = train_test_split(50, 0.5, 99);
+  EXPECT_EQ(a.train, b.train);
+  const SplitIndices c = train_test_split(50, 0.5, 100);
+  EXPECT_NE(a.train, c.train);
+}
+
+}  // namespace
+}  // namespace ocelot

@@ -1,0 +1,119 @@
+// Tests for the pointwise-relative error-bound mode (extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "compressor/pointwise.hpp"
+#include "datagen/datasets.hpp"
+
+namespace ocelot {
+namespace {
+
+FloatArray wide_dynamic_range_field(std::uint64_t seed) {
+  // Values spanning ~7 decades with both signs and exact zeros — the
+  // regime where absolute bounds destroy small values.
+  FloatArray data(Shape(40, 40));
+  Rng rng(seed);
+  for (float& v : data.values()) {
+    const double mag = std::pow(10.0, rng.uniform(-4.0, 3.0));
+    v = static_cast<float>(rng.chance(0.5) ? mag : -mag);
+  }
+  data.at(0, 0) = 0.0f;
+  data.at(7, 7) = 0.0f;
+  return data;
+}
+
+class PointwiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PointwiseSweep, RelativeBoundHoldsEverywhere) {
+  const double rel = GetParam();
+  const FloatArray data = wide_dynamic_range_field(3);
+  const Bytes blob = compress_pointwise_rel(data, rel);
+  const FloatArray recon = decompress_pointwise_rel(blob);
+  ASSERT_EQ(recon.shape(), data.shape());
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double x = data[i];
+    const double xr = recon[i];
+    // A float cast of exp() adds at most ~1 ulp of relative error.
+    EXPECT_LE(std::abs(xr - x), rel * std::abs(x) + 1e-7 * std::abs(x))
+        << "at " << i << ": " << x << " vs " << xr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, PointwiseSweep,
+                         ::testing::Values(1e-4, 1e-3, 1e-2, 1e-1));
+
+TEST(Pointwise, ZerosAreExact) {
+  const FloatArray data = wide_dynamic_range_field(4);
+  const FloatArray recon =
+      decompress_pointwise_rel(compress_pointwise_rel(data, 1e-2));
+  EXPECT_EQ(recon.at(0, 0), 0.0f);
+  EXPECT_EQ(recon.at(7, 7), 0.0f);
+}
+
+TEST(Pointwise, SignsArePreserved) {
+  const FloatArray data = wide_dynamic_range_field(5);
+  const FloatArray recon =
+      decompress_pointwise_rel(compress_pointwise_rel(data, 1e-1));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(std::signbit(data[i]), std::signbit(recon[i])) << i;
+  }
+}
+
+TEST(Pointwise, NonFiniteSurviveVerbatim) {
+  FloatArray data = wide_dynamic_range_field(6);
+  data.at(3, 3) = std::numeric_limits<float>::quiet_NaN();
+  data.at(9, 9) = std::numeric_limits<float>::infinity();
+  const FloatArray recon =
+      decompress_pointwise_rel(compress_pointwise_rel(data, 1e-2));
+  EXPECT_TRUE(std::isnan(recon.at(3, 3)));
+  EXPECT_TRUE(std::isinf(recon.at(9, 9)));
+}
+
+TEST(Pointwise, BeatsAbsoluteBoundOnSmallValues) {
+  // With an absolute bound sized for the largest values, small values
+  // lose all precision; the pointwise mode preserves them.
+  const FloatArray data = wide_dynamic_range_field(7);
+  const FloatArray recon =
+      decompress_pointwise_rel(compress_pointwise_rel(data, 1e-2));
+  double worst_rel = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != 0.0f) {
+      worst_rel = std::max(
+          worst_rel, std::abs(static_cast<double>(recon[i]) - data[i]) /
+                         std::abs(static_cast<double>(data[i])));
+    }
+  }
+  EXPECT_LE(worst_rel, 1e-2 + 1e-6);
+}
+
+TEST(Pointwise, CompressesWideRangeData) {
+  const FloatArray data = generate_field("Nyx", "baryon_density", 0.05, 8);
+  const Bytes blob = compress_pointwise_rel(data, 1e-2);
+  EXPECT_LT(blob.size(), data.byte_size());
+}
+
+TEST(Pointwise, InvalidArgsThrow) {
+  const FloatArray data = wide_dynamic_range_field(9);
+  EXPECT_THROW((void)compress_pointwise_rel(data, 0.0), InvalidArgument);
+  EXPECT_THROW((void)compress_pointwise_rel(data, 1.5), InvalidArgument);
+  FloatArray empty;
+  EXPECT_THROW((void)compress_pointwise_rel(empty, 0.1), InvalidArgument);
+}
+
+TEST(Pointwise, CorruptBlobThrows) {
+  const FloatArray data = wide_dynamic_range_field(10);
+  Bytes blob = compress_pointwise_rel(data, 1e-2);
+  blob[0] = 'X';
+  EXPECT_THROW((void)decompress_pointwise_rel(blob), CorruptStream);
+
+  Bytes truncated = compress_pointwise_rel(data, 1e-2);
+  truncated.resize(truncated.size() - 10);
+  EXPECT_THROW((void)decompress_pointwise_rel(truncated), CorruptStream);
+}
+
+}  // namespace
+}  // namespace ocelot

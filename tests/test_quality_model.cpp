@@ -1,0 +1,152 @@
+// Tests for the quality-prediction models (tree, forest, ad-hoc).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "predictor/quality_model.hpp"
+
+namespace ocelot {
+namespace {
+
+/// Synthetic training samples with a learnable structure: ratio driven
+/// by p0/rrle, time by element count and entropy, PSNR by log-eb.
+std::vector<QualitySample> make_samples(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QualitySample> samples;
+  samples.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    QualitySample s;
+    const double log_eb = rng.uniform(-6.0, -1.0);
+    const double p0 = rng.uniform(0.0, 1.0);
+    const double big_p0 = rng.uniform(0.1, 0.9);
+    const double entropy = rng.uniform(1.0, 8.0);
+    const double rrle = 1.0 / ((1.0 - p0) * big_p0 + (1.0 - big_p0));
+    s.features = {log_eb, 2.0,      0.0,  1.0,  1.0, entropy,
+                  0.01,   p0,       big_p0, (1.0 - p0) * 10.0, rrle};
+    s.n_elements = static_cast<std::size_t>(rng.uniform_int(10000, 200000));
+    s.compression_ratio = 1.5 + 40.0 * p0 * p0 + rng.normal(0.0, 0.3);
+    s.compression_ratio = std::max(1.0, s.compression_ratio);
+    const double per_elem = 1e-8 * (1.0 + entropy / 4.0);
+    s.compress_seconds = per_elem * static_cast<double>(s.n_elements);
+    s.psnr_db = 30.0 - 18.0 * log_eb + rng.normal(0.0, 2.0);
+    s.group = i % 3;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+TEST(QualityModel, LearnsRatioStructure) {
+  const auto train = make_samples(600, 1);
+  const auto test = make_samples(150, 2);
+  const QualityModel model = QualityModel::train(train);
+
+  std::vector<double> truth, pred;
+  for (const auto& s : test) {
+    truth.push_back(std::log2(s.compression_ratio));
+    pred.push_back(
+        std::log2(model.predict(s.features, s.n_elements).compression_ratio));
+  }
+  const RegressionMetrics m = evaluate_regression(truth, pred);
+  EXPECT_GT(m.r2, 0.8) << "log-ratio prediction should capture structure";
+}
+
+TEST(QualityModel, TimeScalesWithElementCount) {
+  const auto train = make_samples(600, 3);
+  const QualityModel model = QualityModel::train(train);
+  const auto& probe = train.front();
+  const double t_small = model.predict(probe.features, 10000).compress_seconds;
+  const double t_large =
+      model.predict(probe.features, 1000000).compress_seconds;
+  EXPECT_NEAR(t_large / t_small, 100.0, 1.0);
+}
+
+TEST(QualityModel, PsnrTracksErrorBound) {
+  const auto train = make_samples(800, 4);
+  const QualityModel model = QualityModel::train(train);
+  FeatureVector tight = train.front().features;
+  FeatureVector loose = tight;
+  tight[0] = -6.0;
+  loose[0] = -1.0;
+  EXPECT_GT(model.predict(tight, 1000).psnr_db,
+            model.predict(loose, 1000).psnr_db);
+}
+
+TEST(QualityModel, EmptyTrainingThrows) {
+  EXPECT_THROW((void)QualityModel::train({}), InvalidArgument);
+}
+
+TEST(ForestQualityModel, ComparableToTree) {
+  const auto train = make_samples(500, 5);
+  const auto test = make_samples(100, 6);
+  const QualityModel tree_model = QualityModel::train(train);
+  const ForestQualityModel forest_model = ForestQualityModel::train(train);
+
+  double tree_se = 0.0, forest_se = 0.0;
+  for (const auto& s : test) {
+    const double t = std::log2(s.compression_ratio);
+    const double tp = std::log2(
+        tree_model.predict(s.features, s.n_elements).compression_ratio);
+    const double fp = std::log2(
+        forest_model.predict(s.features, s.n_elements).compression_ratio);
+    tree_se += (tp - t) * (tp - t);
+    forest_se += (fp - t) * (fp - t);
+  }
+  EXPECT_LT(forest_se, tree_se * 1.5);
+}
+
+TEST(AdHocEstimator, ExactWhenModelMatches) {
+  // Build samples whose true ratio follows the formula with C1 = 2.
+  std::vector<QualitySample> samples;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    QualitySample s;
+    const double p0 = rng.uniform(0.2, 0.95);
+    const double big_p0 = rng.uniform(0.2, 0.8);
+    s.features = {};
+    s.features[7] = p0;
+    s.features[8] = big_p0;
+    s.compression_ratio = 1.0 / (2.0 * (1.0 - p0) * big_p0 + (1.0 - big_p0));
+    samples.push_back(s);
+  }
+  const AdHocRatioEstimator est = AdHocRatioEstimator::fit(samples);
+  EXPECT_NEAR(est.c1, 2.0, 1e-6);
+  for (const auto& s : samples) {
+    EXPECT_NEAR(est.estimate(s.features[7], s.features[8]),
+                s.compression_ratio, 1e-6);
+  }
+}
+
+TEST(AdHocEstimator, C1DoesNotTransferAcrossRegimes) {
+  // Fit C1 on a Nyx-like regime, evaluate on a Miranda-like regime
+  // whose ratio law differs: errors should blow up (the Fig. 6 story).
+  Rng rng(8);
+  std::vector<QualitySample> nyx;
+  for (int i = 0; i < 100; ++i) {
+    QualitySample s;
+    const double p0 = rng.uniform(0.3, 0.9);
+    const double big_p0 = rng.uniform(0.3, 0.7);
+    s.features[7] = p0;
+    s.features[8] = big_p0;
+    s.compression_ratio =
+        1.0 / (1.0 * (1.0 - p0) * big_p0 + (1.0 - big_p0));
+    nyx.push_back(s);
+  }
+  const AdHocRatioEstimator est = AdHocRatioEstimator::fit(nyx);
+
+  double worst_rel_err = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double p0 = rng.uniform(0.3, 0.9);
+    const double big_p0 = rng.uniform(0.3, 0.7);
+    // Miranda-like: ratio deviates non-linearly from the formula.
+    const double truth =
+        3.0 * std::pow(1.0 / ((1.0 - p0) * big_p0 + (1.0 - big_p0)), 1.6);
+    const double guess = est.estimate(p0, big_p0);
+    worst_rel_err =
+        std::max(worst_rel_err, std::abs(guess - truth) / truth);
+  }
+  EXPECT_GT(worst_rel_err, 0.5);
+}
+
+}  // namespace
+}  // namespace ocelot

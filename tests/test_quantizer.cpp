@@ -1,0 +1,117 @@
+// Property tests for the linear quantizer: the error-bound contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "compressor/quantizer.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(Quantizer, PerfectPredictionLandsOnZeroBin) {
+  QuantEncoder<double> enc(1e-3);
+  const double recon = enc.encode(5.0, 5.0);
+  EXPECT_EQ(recon, 5.0);
+  ASSERT_EQ(enc.codes().size(), 1u);
+  EXPECT_EQ(enc.codes()[0], kDefaultQuantRadius);
+  EXPECT_TRUE(enc.raw_values().empty());
+}
+
+TEST(Quantizer, ReconstructionWithinBound) {
+  Rng rng(20);
+  const double eb = 1e-2;
+  QuantEncoder<double> enc(eb);
+  for (int i = 0; i < 10000; ++i) {
+    const double pred = rng.normal(0.0, 10.0);
+    const double real = pred + rng.normal(0.0, 5.0);
+    const double recon = enc.encode(pred, real);
+    EXPECT_LE(std::abs(recon - real), eb);
+  }
+}
+
+TEST(Quantizer, FarResidualFallsBackToRaw) {
+  const double eb = 1e-6;
+  QuantEncoder<double> enc(eb);
+  // Residual of 1.0 = 5e5 bins > radius: must store verbatim.
+  const double recon = enc.encode(0.0, 1.0);
+  EXPECT_EQ(recon, 1.0);
+  EXPECT_EQ(enc.codes()[0], 0u);
+  ASSERT_EQ(enc.raw_values().size(), 1u);
+  EXPECT_EQ(enc.raw_values()[0], 1.0);
+}
+
+TEST(Quantizer, DecoderReplaysEncoderExactly) {
+  Rng rng(21);
+  const double eb = 1e-3;
+  QuantEncoder<float> enc(eb);
+  std::vector<double> preds;
+  std::vector<float> recons;
+  for (int i = 0; i < 5000; ++i) {
+    const double pred = rng.normal(0.0, 2.0);
+    const float real = static_cast<float>(pred + rng.normal(0.0, 1.0));
+    preds.push_back(pred);
+    recons.push_back(enc.encode(pred, real));
+  }
+  QuantDecoder<float> dec(eb, kDefaultQuantRadius, enc.codes(),
+                          enc.raw_values());
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    EXPECT_EQ(dec.decode(preds[i]), recons[i]) << "at " << i;
+  }
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(Quantizer, FloatCastGuardPreservesBound) {
+  // Large magnitudes with tiny bounds: float casting could break the
+  // bound; the encoder must detect it and fall back to raw storage.
+  const double eb = 1e-7;
+  QuantEncoder<float> enc(eb);
+  Rng rng(22);
+  for (int i = 0; i < 1000; ++i) {
+    const double pred = 1e8 + rng.uniform(0.0, 100.0);
+    const float real = static_cast<float>(pred + rng.uniform(-1e-5, 1e-5));
+    const float recon = enc.encode(pred, real);
+    EXPECT_LE(std::abs(static_cast<double>(recon) -
+                       static_cast<double>(real)),
+              eb);
+  }
+}
+
+TEST(Quantizer, ExhaustedDecoderThrows) {
+  QuantEncoder<double> enc(1e-3);
+  (void)enc.encode(0.0, 0.5);
+  QuantDecoder<double> dec(1e-3, kDefaultQuantRadius, enc.codes(),
+                           enc.raw_values());
+  (void)dec.decode(0.0);
+  EXPECT_THROW((void)dec.decode(0.0), CorruptStream);
+}
+
+TEST(Quantizer, InvalidParamsThrow) {
+  EXPECT_THROW(QuantEncoder<double>(0.0), InvalidArgument);
+  EXPECT_THROW(QuantEncoder<double>(-1.0), InvalidArgument);
+  EXPECT_THROW(QuantEncoder<double>(1.0, 1), InvalidArgument);
+}
+
+/// Error-bound property across magnitudes and bounds.
+class QuantizerSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(QuantizerSweep, BoundHolds) {
+  const auto [eb, magnitude] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(std::log10(eb) * -100 + magnitude));
+  QuantEncoder<double> enc(eb);
+  for (int i = 0; i < 2000; ++i) {
+    const double pred = rng.normal(0.0, magnitude);
+    const double real = pred + rng.normal(0.0, magnitude * 0.1);
+    const double recon = enc.encode(pred, real);
+    EXPECT_LE(std::abs(recon - real), eb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundsAndMagnitudes, QuantizerSweep,
+    ::testing::Combine(::testing::Values(1e-6, 1e-4, 1e-2, 1.0),
+                       ::testing::Values(1.0, 1e3, 1e6)));
+
+}  // namespace
+}  // namespace ocelot

@@ -1,0 +1,94 @@
+// Unit tests for RLE and the pluggable lossless backend chain.
+#include <gtest/gtest.h>
+
+#include "codec/lossless.hpp"
+#include "codec/rle.hpp"
+#include "common/rng.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(Rle, EmptyInput) {
+  EXPECT_TRUE(rle_decompress(rle_compress({})).empty());
+}
+
+TEST(Rle, NoRuns) {
+  const Bytes input = {1, 2, 3, 4, 5};
+  EXPECT_EQ(rle_decompress(rle_compress(input)), input);
+}
+
+TEST(Rle, PureRun) {
+  const Bytes input(10000, 9);
+  const Bytes packed = rle_compress(input);
+  EXPECT_EQ(rle_decompress(packed), input);
+  EXPECT_LT(packed.size(), 16u);
+}
+
+TEST(Rle, ExactDoubleByteIsNotExpandedWrongly) {
+  const Bytes input = {5, 5, 6, 6, 7};
+  EXPECT_EQ(rle_decompress(rle_compress(input)), input);
+}
+
+TEST(Rle, MixedRunsAndLiterals) {
+  Rng rng(11);
+  Bytes input;
+  for (int block = 0; block < 200; ++block) {
+    const auto v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto run = static_cast<std::size_t>(rng.uniform_int(1, 50));
+    input.insert(input.end(), run, v);
+  }
+  EXPECT_EQ(rle_decompress(rle_compress(input)), input);
+}
+
+TEST(Rle, RunOverflowThrows) {
+  BytesWriter w;
+  w.put_varint(3);            // claims 3 bytes
+  w.put<std::uint8_t>(1);
+  w.put<std::uint8_t>(1);
+  w.put_varint(100);          // run of 102 > 3
+  EXPECT_THROW((void)rle_decompress(w.bytes()), CorruptStream);
+}
+
+TEST(Lossless, AllBackendsRoundTrip) {
+  Rng rng(12);
+  Bytes input;
+  for (int i = 0; i < 20000; ++i) {
+    input.push_back(rng.chance(0.8)
+                        ? 0
+                        : static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+  }
+  for (const auto backend :
+       {LosslessBackend::kNone, LosslessBackend::kLzb,
+        LosslessBackend::kRleLzb}) {
+    const Bytes packed = lossless_compress(input, backend);
+    EXPECT_EQ(lossless_decompress(packed), input)
+        << "backend=" << to_string(backend);
+  }
+}
+
+TEST(Lossless, BackendIdIsEmbedded) {
+  const Bytes input(100, 3);
+  const Bytes packed = lossless_compress(input, LosslessBackend::kLzb);
+  EXPECT_EQ(packed[0], static_cast<std::uint8_t>(LosslessBackend::kLzb));
+}
+
+TEST(Lossless, UnknownBackendIdThrows) {
+  Bytes bad = {99, 1, 2, 3};
+  EXPECT_THROW((void)lossless_decompress(bad), CorruptStream);
+}
+
+TEST(Lossless, SparseDataPrefersRleChain) {
+  // Heavily sparse stream: RLE+LZB should beat plain storage by a lot.
+  const Bytes input(50000, 0);
+  const Bytes packed = lossless_compress(input, LosslessBackend::kRleLzb);
+  EXPECT_LT(packed.size(), 100u);
+}
+
+TEST(Lossless, NamesAreStable) {
+  EXPECT_EQ(to_string(LosslessBackend::kNone), "none");
+  EXPECT_EQ(to_string(LosslessBackend::kLzb), "lzb");
+  EXPECT_EQ(to_string(LosslessBackend::kRleLzb), "rle+lzb");
+}
+
+}  // namespace
+}  // namespace ocelot

@@ -1,0 +1,101 @@
+// Tests for the sentinel (node-waiting failover, Section VII-B).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <memory>
+
+#include "core/campaign.hpp"
+#include "core/sentinel.hpp"
+
+namespace ocelot {
+namespace {
+
+SentinelConfig make_config(const std::string& app, double wait_seconds) {
+  SentinelConfig config;
+  config.campaign.src = "Anvil";
+  config.campaign.dst = "Cori";
+  config.campaign.compression_ratio = 10.0;
+  config.campaign.rates = paper_compute_rates(app);
+  config.machine_nodes = 750;
+  config.wait_model =
+      std::make_unique<TraceWait>(std::vector<double>{wait_seconds});
+  return config;
+}
+
+TEST(Sentinel, ImmediateGrantCompressesAlmostEverything) {
+  const FileInventory inv = paper_inventory("Miranda");
+  SentinelReport report = run_sentinel(inv, make_config("Miranda", 0.0));
+  EXPECT_TRUE(report.nodes_granted);
+  EXPECT_EQ(report.files_sent_raw, 0u);
+  EXPECT_EQ(report.files_sent_compressed, inv.file_count());
+  EXPECT_TRUE(report.meta_file.empty());
+}
+
+TEST(Sentinel, NodesNeverGrantedFallsBackToDirectTransfer) {
+  // Worst case (Section VII-B): the full dataset moves uncompressed.
+  const FileInventory inv = paper_inventory("Miranda");
+  SentinelReport report = run_sentinel(inv, make_config("Miranda", 1e9));
+  EXPECT_FALSE(report.nodes_granted);
+  EXPECT_EQ(report.files_sent_raw, inv.file_count());
+  EXPECT_EQ(report.files_sent_compressed, 0u);
+  EXPECT_NEAR(report.bytes_on_wire, inv.total_bytes(), 1.0);
+
+  // And the time equals a plain direct campaign.
+  CampaignConfig direct_config;
+  direct_config.src = "Anvil";
+  direct_config.dst = "Cori";
+  direct_config.rates = paper_compute_rates("Miranda");
+  const CampaignReport direct =
+      run_campaign(inv, TransferMode::kDirect, direct_config);
+  EXPECT_NEAR(report.total_seconds, direct.total_seconds,
+              direct.total_seconds * 0.01);
+}
+
+TEST(Sentinel, MidTransferGrantSplitsRawAndCompressed) {
+  const FileInventory inv = paper_inventory("RTM");
+  // Grant nodes about a third into the raw transfer (~180s window).
+  SentinelReport report = run_sentinel(inv, make_config("RTM", 60.0));
+  EXPECT_TRUE(report.nodes_granted);
+  EXPECT_GT(report.files_sent_raw, 0u);
+  EXPECT_GT(report.files_sent_compressed, 0u);
+  EXPECT_EQ(report.files_sent_raw + report.files_sent_compressed,
+            inv.file_count());
+  // Meta file lists exactly the raw-transferred files.
+  EXPECT_EQ(report.meta_file.size(), report.files_sent_raw);
+}
+
+TEST(Sentinel, EarlierGrantMovesFewerRawBytes) {
+  const FileInventory inv = paper_inventory("RTM");
+  const SentinelReport early = run_sentinel(inv, make_config("RTM", 20.0));
+  const SentinelReport late = run_sentinel(inv, make_config("RTM", 120.0));
+  EXPECT_LT(early.files_sent_raw, late.files_sent_raw);
+  EXPECT_LT(early.bytes_on_wire, late.bytes_on_wire);
+}
+
+TEST(Sentinel, BeatsWaitingForNodesWhenWaitIsLong) {
+  // Compare against a naive strategy that waits for nodes before
+  // starting anything: sentinel total <= wait + compressed campaign.
+  const FileInventory inv = paper_inventory("Miranda");
+  const double wait = 300.0;
+  SentinelReport sentinel = run_sentinel(inv, make_config("Miranda", wait));
+
+  CampaignConfig config;
+  config.src = "Anvil";
+  config.dst = "Cori";
+  config.compression_ratio = 10.0;
+  config.rates = paper_compute_rates("Miranda");
+  const CampaignReport cp =
+      run_campaign(inv, TransferMode::kCompressedPerFile, config);
+  EXPECT_LT(sentinel.total_seconds, wait + cp.total_seconds);
+}
+
+TEST(Sentinel, NullWaitModelThrows) {
+  const FileInventory inv = paper_inventory("Miranda");
+  SentinelConfig config;
+  config.campaign.rates = paper_compute_rates("Miranda");
+  EXPECT_THROW((void)run_sentinel(inv, std::move(config)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ocelot

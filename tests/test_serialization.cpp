@@ -1,0 +1,79 @@
+// Tests for model serialization (tree + quality model round trips).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/decision_tree.hpp"
+#include "predictor/quality_model.hpp"
+
+namespace ocelot {
+namespace {
+
+DecisionTreeRegressor trained_tree(std::uint64_t seed) {
+  Rng rng(seed);
+  FeatureMatrix x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(), b = rng.uniform(), c = rng.uniform();
+    x.add_row({a, b, c});
+    y.push_back(2.0 * a - b + (c > 0.5 ? 3.0 : 0.0));
+  }
+  return DecisionTreeRegressor::fit(x, y);
+}
+
+TEST(TreeSerialization, RoundTripPredictsIdentically) {
+  const DecisionTreeRegressor tree = trained_tree(1);
+  const Bytes blob = tree.to_bytes();
+  const DecisionTreeRegressor restored =
+      DecisionTreeRegressor::from_bytes(blob);
+
+  EXPECT_EQ(restored.node_count(), tree.node_count());
+  EXPECT_EQ(restored.feature_count(), tree.feature_count());
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> row = {rng.uniform(), rng.uniform(),
+                                     rng.uniform()};
+    EXPECT_DOUBLE_EQ(restored.predict(row), tree.predict(row));
+  }
+}
+
+TEST(TreeSerialization, CorruptBlobThrows) {
+  const Bytes blob = trained_tree(3).to_bytes();
+  Bytes bad_magic = blob;
+  bad_magic[0] = 'Z';
+  EXPECT_THROW((void)DecisionTreeRegressor::from_bytes(bad_magic),
+               CorruptStream);
+
+  Bytes truncated = blob;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW((void)DecisionTreeRegressor::from_bytes(truncated),
+               CorruptStream);
+}
+
+TEST(QualityModelSerialization, RoundTripPredictsIdentically) {
+  Rng rng(4);
+  std::vector<QualitySample> samples;
+  for (int i = 0; i < 200; ++i) {
+    QualitySample s;
+    for (double& f : s.features) f = rng.uniform();
+    s.compression_ratio = 1.0 + 20.0 * s.features[7];
+    s.compress_seconds = 1e-8 * 50000;
+    s.psnr_db = 40.0 + 100.0 * s.features[0];
+    s.n_elements = 50000;
+    samples.push_back(s);
+  }
+  const QualityModel model = QualityModel::train(samples);
+  const QualityModel restored = QualityModel::from_bytes(model.to_bytes());
+
+  for (int i = 0; i < 50; ++i) {
+    FeatureVector fv;
+    for (double& f : fv) f = rng.uniform();
+    const QualityPrediction a = model.predict(fv, 123456);
+    const QualityPrediction b = restored.predict(fv, 123456);
+    EXPECT_DOUBLE_EQ(a.compression_ratio, b.compression_ratio);
+    EXPECT_DOUBLE_EQ(a.compress_seconds, b.compress_seconds);
+    EXPECT_DOUBLE_EQ(a.psnr_db, b.psnr_db);
+  }
+}
+
+}  // namespace
+}  // namespace ocelot

@@ -1,0 +1,114 @@
+// Unit tests for the statistics utilities (PSNR, entropy, summaries).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/stats.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const ValueSummary s = summarize<double>(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.range, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, SummarizeEmptyAndConstant) {
+  const std::vector<float> empty;
+  const ValueSummary se = summarize<float>(empty);
+  EXPECT_EQ(se.range, 0.0);
+
+  const std::vector<float> constant(10, 5.0f);
+  const ValueSummary sc = summarize<float>(constant);
+  EXPECT_EQ(sc.range, 0.0);
+  EXPECT_EQ(sc.stddev, 0.0);
+  EXPECT_EQ(sc.mean, 5.0);
+}
+
+TEST(Stats, ByteEntropyUniformIsEight) {
+  Bytes data;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int b = 0; b < 256; ++b) data.push_back(static_cast<std::uint8_t>(b));
+  }
+  EXPECT_NEAR(byte_entropy(data), 8.0, 1e-12);
+}
+
+TEST(Stats, ByteEntropyConstantIsZero) {
+  const Bytes data(1000, 42);
+  EXPECT_EQ(byte_entropy(data), 0.0);
+}
+
+TEST(Stats, ByteEntropyTwoSymbols) {
+  Bytes data;
+  for (int i = 0; i < 500; ++i) {
+    data.push_back(0);
+    data.push_back(255);
+  }
+  EXPECT_NEAR(byte_entropy(data), 1.0, 1e-12);
+}
+
+TEST(Stats, SymbolEntropyMatchesDistribution) {
+  // 3/4 of symbol A, 1/4 of symbol B: H = 0.8113 bits.
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 750; ++i) syms.push_back(7);
+  for (int i = 0; i < 250; ++i) syms.push_back(9);
+  EXPECT_NEAR(symbol_entropy(syms),
+              -(0.75 * std::log2(0.75) + 0.25 * std::log2(0.25)), 1e-12);
+}
+
+TEST(Stats, RmseAndPsnr) {
+  const std::vector<float> a = {0.0f, 1.0f, 2.0f, 3.0f};
+  std::vector<float> b = a;
+  EXPECT_EQ(rmse<float>(a, b), 0.0);
+  EXPECT_TRUE(std::isinf(psnr<float>(a, b)));
+
+  b[0] += 0.3f;
+  const double expected_rmse = 0.3 / 2.0;  // sqrt(0.09/4)
+  EXPECT_NEAR(rmse<float>(a, b), expected_rmse, 1e-6);
+  EXPECT_NEAR(psnr<float>(a, b), 20.0 * std::log10(3.0 / expected_rmse), 1e-4);
+}
+
+TEST(Stats, MaxAbsError) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.1, 1.7, 3.0};
+  EXPECT_NEAR(max_abs_error<double>(a, b), 0.3, 1e-12);
+}
+
+TEST(Stats, SizeMismatchThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW((void)rmse<double>(a, b), InvalidArgument);
+  EXPECT_THROW((void)max_abs_error<double>(a, b), InvalidArgument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 10.0), 1.4);
+}
+
+TEST(Stats, PearsonCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+
+  const std::vector<double> ny = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, ny), -1.0, 1e-12);
+
+  const std::vector<double> constant = {3, 3, 3, 3, 3};
+  EXPECT_EQ(pearson(x, constant), 0.0);
+}
+
+}  // namespace
+}  // namespace ocelot

@@ -1,0 +1,58 @@
+// Unit tests for string helpers and the text-table renderer.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/str.hpp"
+#include "common/table.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(Str, SplitAndJoin) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(starts_with("ocelot/file", "ocelot/"));
+  EXPECT_FALSE(starts_with("oce", "ocelot"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Str, EbLabel) {
+  EXPECT_EQ(eb_label(1e-3), "1e-3");
+  EXPECT_EQ(eb_label(1e-6), "1e-6");
+  EXPECT_EQ(eb_label(0.1), "1e-1");
+}
+
+TEST(Table, RendersAlignedRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_bytes(1536.0), "1.50KB");
+  EXPECT_EQ(fmt_bytes(3.0 * 1024 * 1024 * 1024), "3.00GB");
+  EXPECT_EQ(fmt_seconds(5.25), "5.25s");
+  EXPECT_EQ(fmt_seconds(125.0), "2m5s");
+  EXPECT_EQ(fmt_rate(2.5e9), "2.50GB/s");
+  EXPECT_EQ(fmt_rate(850e6), "850.0MB/s");
+}
+
+}  // namespace
+}  // namespace ocelot

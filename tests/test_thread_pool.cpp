@@ -1,0 +1,78 @@
+// Tests for the thread pool and parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "exec/thread_pool.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++count;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, ExceptionsLandInFutures) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroThreadsThrows) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> counts(1000);
+  parallel_for(1000, 8, [&](std::size_t i) { ++counts[i]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelFor, WorksWithMoreThreadsThanWork) {
+  std::atomic<int> count{0};
+  parallel_for(3, 16, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoOp) {
+  parallel_for(0, 4, [&](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [&](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("task failure");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SingleThreadIsSequential) {
+  std::vector<std::size_t> order;
+  parallel_for(10, 1, [&](std::size_t i) { order.push_back(i); });
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace ocelot

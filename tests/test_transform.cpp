@@ -1,0 +1,123 @@
+// Tests for the ZFP-style transform-based compressor (extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "compressor/transform.hpp"
+#include "datagen/datasets.hpp"
+
+namespace ocelot {
+namespace {
+
+FloatArray wave_field(const Shape& shape, std::uint64_t seed) {
+  FloatArray data(shape);
+  Rng rng(seed);
+  const double f = rng.uniform(1.0, 4.0);
+  const std::size_t n1 = shape.rank() >= 2 ? shape.dim(1) : 1;
+  const std::size_t n2 = shape.rank() >= 3 ? shape.dim(2) : 1;
+  auto vals = data.values();
+  for (std::size_t i = 0; i < shape.dim(0); ++i) {
+    for (std::size_t j = 0; j < n1; ++j) {
+      for (std::size_t k = 0; k < n2; ++k) {
+        vals[(i * n1 + j) * n2 + k] = static_cast<float>(
+            std::sin(f * static_cast<double>(i) / 7.0) *
+                std::cos(f * static_cast<double>(j) / 9.0) +
+            0.3 * std::sin(static_cast<double>(k) / 3.0));
+      }
+    }
+  }
+  return data;
+}
+
+class TransformSweep
+    : public ::testing::TestWithParam<std::tuple<Shape, double>> {};
+
+TEST_P(TransformSweep, ErrorBoundHolds) {
+  const auto [shape, eb] = GetParam();
+  const FloatArray data = wave_field(shape, 33);
+  TransformConfig config;
+  config.abs_eb = eb;
+  const Bytes blob = transform_compress(data, config);
+  const FloatArray recon = transform_decompress(blob);
+  ASSERT_EQ(recon.shape(), data.shape());
+  EXPECT_LE(max_abs_error<float>(data.values(), recon.values()), eb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndBounds, TransformSweep,
+    ::testing::Combine(
+        ::testing::Values(Shape(64), Shape(33), Shape(16, 24), Shape(13, 7),
+                          Shape(12, 12, 12), Shape(9, 10, 11)),
+        ::testing::Values(1e-1, 1e-3, 1e-5)));
+
+TEST(Transform, ZeroBlocksCompressToAlmostNothing) {
+  FloatArray data(Shape(64, 64));  // all zeros
+  TransformConfig config;
+  config.abs_eb = 1e-4;
+  const Bytes blob = transform_compress(data, config);
+  EXPECT_LT(blob.size(), 200u);
+  const FloatArray recon = transform_decompress(blob);
+  for (const float v : recon.values()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Transform, SmoothDataCompressesWell) {
+  const FloatArray data = generate_field("Miranda", "pressure", 0.08, 9);
+  TransformConfig config;
+  const ValueSummary s = summarize(data.values());
+  config.abs_eb = 1e-3 * s.range;
+  const Bytes blob = transform_compress(data, config);
+  const double ratio = static_cast<double>(data.byte_size()) /
+                       static_cast<double>(blob.size());
+  EXPECT_GT(ratio, 2.0);
+  const FloatArray recon = transform_decompress(blob);
+  EXPECT_LE(max_abs_error<float>(data.values(), recon.values()),
+            config.abs_eb);
+}
+
+TEST(Transform, NonFiniteBlocksSurviveVerbatim) {
+  FloatArray data = wave_field(Shape(16, 16), 5);
+  data.at(3, 3) = std::numeric_limits<float>::quiet_NaN();
+  data.at(10, 2) = std::numeric_limits<float>::infinity();
+  TransformConfig config;
+  config.abs_eb = 1e-3;
+  const FloatArray recon =
+      transform_decompress(transform_compress(data, config));
+  EXPECT_TRUE(std::isnan(recon.at(3, 3)));
+  EXPECT_TRUE(std::isinf(recon.at(10, 2)));
+}
+
+TEST(Transform, TighterBoundLargerBlob) {
+  const FloatArray data = wave_field(Shape(32, 32, 8), 6);
+  TransformConfig loose;
+  loose.abs_eb = 1e-2;
+  TransformConfig tight;
+  tight.abs_eb = 1e-6;
+  EXPECT_LT(transform_compress(data, loose).size(),
+            transform_compress(data, tight).size());
+}
+
+TEST(Transform, MalformedInputThrows) {
+  const FloatArray data = wave_field(Shape(8, 8), 7);
+  Bytes blob = transform_compress(data, TransformConfig{});
+  blob[0] = 'X';
+  EXPECT_THROW((void)transform_decompress(blob), CorruptStream);
+
+  Bytes truncated = transform_compress(data, TransformConfig{});
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW((void)transform_decompress(truncated), CorruptStream);
+}
+
+TEST(Transform, InvalidArgsThrow) {
+  FloatArray empty;
+  EXPECT_THROW((void)transform_compress(empty, TransformConfig{}),
+               InvalidArgument);
+  const FloatArray data = wave_field(Shape(8), 8);
+  TransformConfig bad;
+  bad.abs_eb = 0.0;
+  EXPECT_THROW((void)transform_compress(data, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ocelot

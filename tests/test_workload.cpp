@@ -1,0 +1,72 @@
+// Tests for the paper-scale workload inventories.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "core/workload.hpp"
+#include "netsim/sites.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(Workload, MirandaMatchesPaper) {
+  const FileInventory inv = paper_inventory("Miranda");
+  EXPECT_EQ(inv.file_count(), 768u);
+  EXPECT_NEAR(inv.total_bytes(), 115e9, 3e9);
+}
+
+TEST(Workload, RtmMatchesPaper) {
+  const FileInventory inv = paper_inventory("RTM");
+  EXPECT_EQ(inv.file_count(), 3601u);
+  EXPECT_NEAR(inv.total_bytes(), 682e9, 5e9);
+}
+
+TEST(Workload, CesmMatchesPaper) {
+  const FileInventory inv = paper_inventory("CESM");
+  EXPECT_EQ(inv.file_count(), 7182u);
+  EXPECT_NEAR(inv.total_bytes(), 1.61e12, 0.02e12);
+  // Two distinct file sizes (3-D and 2-D shapes).
+  double mn = 1e18, mx = 0.0;
+  for (const double b : inv.raw_bytes) {
+    mn = std::min(mn, b);
+    mx = std::max(mx, b);
+  }
+  EXPECT_NEAR(mn, 1800.0 * 3600.0 * 4.0, 1.0);
+  EXPECT_NEAR(mx, 26.0 * 1800.0 * 3600.0 * 4.0, 1.0);
+}
+
+TEST(Workload, UnknownAppThrows) {
+  EXPECT_THROW((void)paper_inventory("Nyx"), NotFound);
+  EXPECT_THROW((void)paper_compute_rates("Nope"), NotFound);
+}
+
+TEST(Workload, ComputeRatesArePositiveAndDistinct) {
+  const ComputeRates cesm = paper_compute_rates("CESM");
+  const ComputeRates rtm = paper_compute_rates("RTM");
+  const ComputeRates miranda = paper_compute_rates("Miranda");
+  EXPECT_GT(cesm.compress_bps_per_core, 0.0);
+  EXPECT_GT(miranda.compress_bps_per_core, 0.0);
+  EXPECT_GT(rtm.compress_bps_per_core, cesm.compress_bps_per_core);
+}
+
+TEST(Workload, CalibratedCompressionTimesMatchTableEight) {
+  // CPTime on Anvil (16 x 128 cores), +-20% of the paper's numbers.
+  // An effectively unbounded filesystem isolates the compute model.
+  SharedFilesystem fs;
+  fs.peak_bps = 1e13;
+  fs.node_bps = 1e12;
+  struct Case {
+    const char* app;
+    double expected_s;
+  };
+  for (const Case& c :
+       {Case{"CESM", 32.5}, Case{"RTM", 9.0}, Case{"Miranda", 6.5}}) {
+    const FileInventory inv = paper_inventory(c.app);
+    const double t = cluster_compress_seconds(
+        inv.raw_bytes, 16, 128, paper_compute_rates(c.app), fs);
+    EXPECT_NEAR(t / c.expected_s, 1.0, 0.2) << c.app << " got " << t;
+  }
+}
+
+}  // namespace
+}  // namespace ocelot

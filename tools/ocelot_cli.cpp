@@ -1,0 +1,190 @@
+// ocelot — command-line front end for the Ocelot compression library.
+//
+// Subcommands:
+//   generate <app> <field> <scale> <out.ocf>   synthesize a test field
+//   compress <in.ocf> <out.ocz> [eb] [mode] [pipeline]
+//   decompress <in.ocz> <out.ocf>
+//   info <file>                                inspect OCF1/OCZ1 headers
+//   diff <a.ocf> <b.ocf>                       PSNR / max error
+//
+// Files use the repo's self-describing formats: OCF1 raw fields and
+// OCZ1 compressed blobs.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "compressor/compressor.hpp"
+#include "datagen/datasets.hpp"
+#include "io/dataset_file.hpp"
+
+namespace {
+
+using namespace ocelot;
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw NotFound("cannot open " + path);
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+std::string shape_label(const Shape& shape) {
+  std::string label = std::to_string(shape.dim(0));
+  for (int d = 1; d < shape.rank(); ++d) {
+    label += "x" + std::to_string(shape.dim(d));
+  }
+  return label;
+}
+
+int cmd_generate(const std::vector<std::string>& args) {
+  if (args.size() != 4) {
+    std::cerr << "usage: ocelot generate <app> <field> <scale> <out.ocf>\n";
+    return 2;
+  }
+  const FloatArray data =
+      generate_field(args[0], args[1], std::stod(args[2]), 42);
+  write_file(args[3], save_field(args[0] + "/" + args[1], data));
+  std::cout << "wrote " << args[3] << " (" << shape_label(data.shape())
+            << ", " << fmt_bytes(static_cast<double>(data.byte_size()))
+            << ")\n";
+  return 0;
+}
+
+Pipeline parse_pipeline(const std::string& name) {
+  if (name == "lorenzo") return Pipeline::kLorenzo;
+  if (name == "lorenzo2") return Pipeline::kLorenzo2;
+  if (name == "sz2") return Pipeline::kSz2;
+  if (name == "sz3" || name == "sz3-interp") return Pipeline::kSz3Interp;
+  throw InvalidArgument("unknown pipeline: " + name +
+                        " (expected lorenzo|lorenzo2|sz2|sz3)");
+}
+
+int cmd_compress(const std::vector<std::string>& args) {
+  if (args.size() < 2 || args.size() > 5) {
+    std::cerr << "usage: ocelot compress <in.ocf> <out.ocz> [eb=1e-3] "
+                 "[mode=rel|abs] [pipeline=sz3]\n";
+    return 2;
+  }
+  const LoadedField field = load_field(read_file(args[0]));
+  CompressionConfig config;
+  config.eb = args.size() > 2 ? std::stod(args[2]) : 1e-3;
+  config.eb_mode = (args.size() > 3 && args[3] == "abs")
+                       ? EbMode::kAbsolute
+                       : EbMode::kValueRangeRel;
+  config.pipeline =
+      args.size() > 4 ? parse_pipeline(args[4]) : Pipeline::kSz3Interp;
+
+  const Bytes blob = compress(field.data, config);
+  write_file(args[1], blob);
+  const double ratio = static_cast<double>(field.data.byte_size()) /
+                       static_cast<double>(blob.size());
+  std::cout << "compressed " << args[0] << " -> " << args[1] << "  ratio "
+            << fmt_double(ratio, 2) << "x  (abs eb "
+            << resolve_abs_eb(field.data, config) << ", "
+            << to_string(config.pipeline) << ")\n";
+  return 0;
+}
+
+int cmd_decompress(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    std::cerr << "usage: ocelot decompress <in.ocz> <out.ocf>\n";
+    return 2;
+  }
+  const Bytes blob = read_file(args[0]);
+  const FloatArray data = decompress<float>(blob);
+  write_file(args[1], save_field("decompressed", data));
+  std::cout << "decompressed " << args[0] << " -> " << args[1] << " ("
+            << shape_label(data.shape()) << ")\n";
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::cerr << "usage: ocelot info <file>\n";
+    return 2;
+  }
+  const Bytes bytes = read_file(args[0]);
+  if (bytes.size() >= 4 && bytes[0] == 'O' && bytes[1] == 'C' &&
+      bytes[2] == 'F' && bytes[3] == '1') {
+    const LoadedField field = load_field(bytes);
+    std::cout << "OCF1 raw field: name=" << field.name << " shape="
+              << shape_label(field.data.shape()) << " ("
+              << fmt_bytes(static_cast<double>(field.data.byte_size()))
+              << ")\n";
+    const ValueSummary s = summarize(field.data.values());
+    std::cout << "  min " << s.min << "  max " << s.max << "  mean "
+              << s.mean << "  stddev " << s.stddev << "\n";
+    return 0;
+  }
+  const BlobInfo info = inspect_blob(bytes);
+  std::cout << "OCZ1 compressed blob: pipeline=" << to_string(info.pipeline)
+            << " dtype=" << (info.is_double ? "f64" : "f32") << " shape="
+            << shape_label(info.shape) << "\n"
+            << "  abs eb " << info.abs_eb << ", "
+            << fmt_bytes(static_cast<double>(info.compressed_bytes))
+            << " compressed / "
+            << fmt_bytes(static_cast<double>(info.raw_bytes)) << " raw ("
+            << fmt_double(static_cast<double>(info.raw_bytes) /
+                              static_cast<double>(info.compressed_bytes),
+                          2)
+            << "x)\n";
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    std::cerr << "usage: ocelot diff <a.ocf> <b.ocf>\n";
+    return 2;
+  }
+  const LoadedField a = load_field(read_file(args[0]));
+  const LoadedField b = load_field(read_file(args[1]));
+  if (!(a.data.shape() == b.data.shape())) {
+    std::cerr << "shape mismatch: " << shape_label(a.data.shape()) << " vs "
+              << shape_label(b.data.shape()) << "\n";
+    return 1;
+  }
+  std::cout << "max |error| = "
+            << max_abs_error<float>(a.data.values(), b.data.values())
+            << "\nRMSE        = "
+            << rmse<float>(a.data.values(), b.data.values())
+            << "\nPSNR        = "
+            << fmt_double(psnr<float>(a.data.values(), b.data.values()), 2)
+            << " dB\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "ocelot — error-bounded lossy compression toolkit\n"
+              << "commands: generate, compress, decompress, info, diff\n";
+    return 2;
+  }
+  try {
+    const std::string cmd = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (cmd == "generate") return cmd_generate(rest);
+    if (cmd == "compress") return cmd_compress(rest);
+    if (cmd == "decompress") return cmd_decompress(rest);
+    if (cmd == "info") return cmd_info(rest);
+    if (cmd == "diff") return cmd_diff(rest);
+    std::cerr << "unknown command: " << cmd << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
