@@ -1,11 +1,7 @@
 #include "core/campaign.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
-#include "core/grouping.hpp"
-#include "netsim/simulation.hpp"
-#include "transfer/globus.hpp"
+#include "orchestrator/orchestrator.hpp"
 
 namespace ocelot {
 
@@ -23,102 +19,16 @@ std::string to_string(TransferMode mode) {
 
 CampaignReport run_campaign(const FileInventory& inventory, TransferMode mode,
                             const CampaignConfig& config) {
-  require(!inventory.raw_bytes.empty(), "run_campaign: empty inventory");
-  require(config.compression_ratio >= 1.0,
-          "run_campaign: compression ratio must be >= 1");
-
-  const LinkProfile link = route(config.src, config.dst);
-  const SiteSpec& src_site = site(config.src);
-  const SiteSpec& dst_site = site(config.dst);
-
-  Simulation sim;
-  FuncXService faas(sim);
-  FuncXEndpointConfig src_faas = config.faas;
-  if (src_faas.name.empty()) src_faas.name = config.src + "-ep";
-  FuncXEndpointConfig dst_faas = config.faas;
-  if (dst_faas.name.empty()) dst_faas.name = config.dst + "-ep";
-  const std::size_t src_ep = faas.add_endpoint(src_faas);
-  const std::size_t dst_ep = faas.add_endpoint(dst_faas);
-  faas.register_function("compress");
-  faas.register_function("decompress");
-  GlobusService globus(sim);
-
-  CampaignReport report;
-  report.mode = mode;
-
-  if (mode == TransferMode::kDirect) {
-    TransferRequest req{inventory.app + "/direct", link, inventory.raw_bytes};
-    auto task = globus.submit(req, [&](const TransferTask& t) {
-      report.transfer_seconds = t.estimate().duration_s;
-    });
-    sim.run();
-    report.files_transferred = inventory.file_count();
-    report.bytes_transferred = inventory.total_bytes();
-    report.effective_speed_bps =
-        report.bytes_transferred / report.transfer_seconds;
-    report.total_seconds = report.transfer_seconds;
-    return report;
-  }
-
-  // --- Compressed modes: funcX-dispatched compression at the source,
-  // transfer of compressed payloads, funcX-dispatched decompression.
-  std::vector<double> compressed(inventory.raw_bytes.size());
-  for (std::size_t i = 0; i < compressed.size(); ++i) {
-    compressed[i] = inventory.raw_bytes[i] / config.compression_ratio;
-  }
-
-  const double cp_seconds = cluster_compress_seconds(
-      inventory.raw_bytes, config.compress_nodes,
-      config.compress_cores_per_node, config.rates, src_site.fs);
-
-  std::vector<double> wire_files;
-  if (mode == TransferMode::kCompressedGrouped) {
-    const GroupPlan plan = plan_groups_by_world_size(
-        compressed.size(), config.group_world_size);
-    wire_files = group_sizes(plan, compressed);
-  } else {
-    wire_files = compressed;
-  }
-
-  const double dp_seconds = cluster_decompress_seconds(
-      inventory.raw_bytes, config.decompress_nodes,
-      config.decompress_cores_per_node, config.rates, dst_site.fs);
-
-  // Virtual-time sequencing: dispatch compression, then transfer, then
-  // dispatch decompression; completion time of the chain is Total T.
-  double compress_done = 0.0;
-  double transfer_done = 0.0;
-  double total_done = 0.0;
-
-  FuncXTask compress_task;
-  compress_task.compute_seconds = cp_seconds;
-  compress_task.on_complete = [&] {
-    compress_done = sim.now();
-    TransferRequest req{inventory.app + "/compressed", link, wire_files};
-    globus.submit(req, [&](const TransferTask& t) {
-      transfer_done = sim.now();
-      report.transfer_seconds = t.estimate().duration_s;
-      FuncXTask decompress_task;
-      decompress_task.compute_seconds = dp_seconds;
-      decompress_task.on_complete = [&] { total_done = sim.now(); };
-      faas.submit(dst_ep, "decompress", std::move(decompress_task));
-    });
-  };
-  faas.submit(src_ep, "compress", std::move(compress_task));
-  sim.run();
-
-  report.compress_seconds = cp_seconds;
-  report.decompress_seconds = dp_seconds;
-  report.files_transferred = wire_files.size();
-  for (const double b : wire_files) report.bytes_transferred += b;
-  report.effective_speed_bps =
-      report.bytes_transferred / report.transfer_seconds;
-  report.total_seconds = total_done;
-  report.orchestration_seconds =
-      total_done - cp_seconds - report.transfer_seconds - dp_seconds;
-  (void)compress_done;
-  (void)transfer_done;
-  return report;
+  // A single campaign is the N=1 case of the multi-campaign
+  // orchestrator: with an empty system and immediate node grants the
+  // event-driven run reproduces the closed-form pipeline numbers.
+  Orchestrator orch;
+  CampaignSpec spec;
+  spec.inventory = inventory;
+  spec.mode = mode;
+  spec.config = config;
+  orch.add_campaign(std::move(spec));
+  return orch.run().campaigns.front().report;
 }
 
 double campaign_gain(const CampaignReport& direct,

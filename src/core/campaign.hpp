@@ -60,6 +60,7 @@ struct CampaignReport {
   double compress_seconds = 0.0;      ///< CPTime
   double decompress_seconds = 0.0;    ///< DPTime
   double orchestration_seconds = 0.0; ///< funcX dispatch + container costs
+  double node_wait_seconds = 0.0;     ///< time queued for compute nodes
   double total_seconds = 0.0;         ///< Total T
   std::size_t files_transferred = 0;
   double bytes_transferred = 0.0;

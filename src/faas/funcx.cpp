@@ -8,6 +8,31 @@ std::size_t FuncXService::add_endpoint(FuncXEndpointConfig config) {
   return endpoints_.size() - 1;
 }
 
+std::size_t FuncXService::acquire_endpoint(const FuncXEndpointConfig& config) {
+  require(!config.name.empty(), "FuncXService: endpoint needs a name");
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const FuncXEndpointConfig& existing = endpoints_[i].config;
+    if (existing.name != config.name) continue;
+    // Sharing an endpoint with different cost parameters would make
+    // simulated timings depend on registration order; reject it.
+    require(existing.dispatch_latency_s == config.dispatch_latency_s &&
+                existing.cold_start_s == config.cold_start_s &&
+                existing.warm_overhead_s == config.warm_overhead_s &&
+                existing.batch_latency_s == config.batch_latency_s &&
+                existing.max_warm_containers == config.max_warm_containers,
+            "FuncXService: endpoint " + config.name +
+                " already registered with a different config");
+    return i;
+  }
+  return add_endpoint(config);
+}
+
+std::size_t FuncXService::warm_pool_size(std::size_t id) const {
+  if (id >= endpoints_.size())
+    throw NotFound("FuncXService: unknown endpoint id");
+  return endpoints_[id].warm.size();
+}
+
 void FuncXService::register_function(const std::string& name) {
   require(!name.empty(), "FuncXService: function needs a name");
   functions_[name] = true;
@@ -32,9 +57,27 @@ void FuncXService::check_function(const std::string& function) const {
 
 double FuncXService::container_cost(EndpointState& ep,
                                     const std::string& function) {
-  const bool warm = ep.warm[function];
-  ep.warm[function] = true;  // container stays warm afterwards
-  return warm ? ep.config.warm_overhead_s : ep.config.cold_start_s;
+  auto it = ep.warm.find(function);
+  if (it != ep.warm.end()) {
+    it->second = use_seq_++;  // refresh LRU position
+    ++warm_hits_;
+    return ep.config.warm_overhead_s;
+  }
+  // Cold start; the container stays warm afterwards. A bounded pool
+  // evicts the least recently used container to make room.
+  ++cold_starts_;
+  ep.warm[function] = use_seq_++;
+  const int max_warm = ep.config.max_warm_containers;
+  if (max_warm > 0 &&
+      ep.warm.size() > static_cast<std::size_t>(max_warm)) {
+    auto lru = ep.warm.begin();
+    for (auto jt = ep.warm.begin(); jt != ep.warm.end(); ++jt) {
+      if (jt->second < lru->second) lru = jt;
+    }
+    ep.warm.erase(lru);
+    ++evictions_;
+  }
+  return ep.config.cold_start_s;
 }
 
 void FuncXService::submit(std::size_t endpoint, const std::string& function,

@@ -28,6 +28,11 @@ struct FuncXEndpointConfig {
   double cold_start_s = 2.5;          ///< container instantiation
   double warm_overhead_s = 0.01;      ///< per-task overhead when warm
   double batch_latency_s = 0.02;      ///< marginal dispatch per batched task
+  /// Warm-container pool size: how many distinct functions stay warm
+  /// at once (0 = unbounded). When the pool overflows, the least
+  /// recently used container is evicted and its next invocation pays a
+  /// cold start again.
+  int max_warm_containers = 0;
 };
 
 /// One function invocation: modelled compute time plus a completion
@@ -45,6 +50,11 @@ class FuncXService {
   /// Registers an endpoint; returns its id.
   std::size_t add_endpoint(FuncXEndpointConfig config);
 
+  /// Idempotent registration: returns the existing endpoint with the
+  /// same name if one is registered, else adds `config`. This is how
+  /// concurrent campaigns share one warm-container pool per site.
+  std::size_t acquire_endpoint(const FuncXEndpointConfig& config);
+
   /// Registers a function body by name (idempotent).
   void register_function(const std::string& name);
 
@@ -61,10 +71,19 @@ class FuncXService {
   [[nodiscard]] std::uint64_t completed_tasks() const { return completed_; }
   [[nodiscard]] const FuncXEndpointConfig& endpoint(std::size_t id) const;
 
+  /// Container-pool counters across all endpoints.
+  [[nodiscard]] std::uint64_t cold_starts() const { return cold_starts_; }
+  [[nodiscard]] std::uint64_t warm_hits() const { return warm_hits_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  /// Number of warm containers currently held at `id`.
+  [[nodiscard]] std::size_t warm_pool_size(std::size_t id) const;
+
  private:
   struct EndpointState {
     FuncXEndpointConfig config;
-    std::map<std::string, bool> warm;  ///< function -> container warm?
+    /// function -> last-use sequence number; present iff warm.
+    std::map<std::string, std::uint64_t> warm;
   };
 
   double container_cost(EndpointState& ep, const std::string& function);
@@ -75,6 +94,10 @@ class FuncXService {
   std::vector<EndpointState> endpoints_;
   std::map<std::string, bool> functions_;
   std::uint64_t completed_ = 0;
+  std::uint64_t cold_starts_ = 0;
+  std::uint64_t warm_hits_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t use_seq_ = 0;
 };
 
 }  // namespace ocelot

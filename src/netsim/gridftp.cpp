@@ -65,6 +65,10 @@ TransferEstimate GridFtpModel::estimate(std::span<const double> file_bytes,
   est.overhead_seconds = overhead;
   est.duration_s = overhead + est.data_seconds;
   est.effective_speed_bps = total_bytes / est.duration_s;
+  est.eff_bandwidth_bps = eff_bw;
+  est.startup_seconds = link.startup_s;
+  est.per_file_seconds = per_file;
+  est.jitter = jitter;
 
   // Per-file completions: files stream through the link with handling
   // interleaved, so completion offsets accumulate both terms.

@@ -40,12 +40,19 @@ struct LinkProfile {
   std::uint64_t jitter_seed = 0;  ///< seed for deterministic jitter
 };
 
-/// Result of a modelled transfer.
+/// Result of a modelled transfer (the *uncontended* cost: what this
+/// transfer achieves with the link to itself).
 struct TransferEstimate {
   double duration_s = 0.0;
   double effective_speed_bps = 0.0;  ///< total bytes / duration
   double data_seconds = 0.0;         ///< time attributable to payload
   double overhead_seconds = 0.0;     ///< startup + per-file handling
+  /// Payload bandwidth this transfer can use alone (bytes/s); this is
+  /// its demand when it contends with other flows on the shared link.
+  double eff_bandwidth_bps = 0.0;
+  double startup_seconds = 0.0;      ///< task auth/listing startup
+  double per_file_seconds = 0.0;     ///< control-channel cost per file
+  double jitter = 1.0;               ///< applied speed fluctuation factor
   /// Per-file completion offsets from transfer start, nondecreasing.
   std::vector<double> completion_times;
 };

@@ -1,90 +1,17 @@
 #pragma once
-// Discrete-event simulation engine.
+// Compatibility header: the discrete-event engine moved to src/sim/.
 //
 // The WAN transfer testbed (three supercomputers, batch schedulers,
-// funcX dispatch) runs in virtual time on this engine: events are
-// (time, callback) pairs executed in nondecreasing time order, with a
-// monotone sequence number breaking ties deterministically.
+// funcX dispatch) runs in virtual time on sim::Engine: events are
+// (time, callback) pairs executed in nondecreasing time order with a
+// monotone sequence number breaking ties deterministically, plus
+// cancellable event handles and named process handles. Existing code
+// keeps using the `Simulation` name.
 
-#include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
-
-#include "common/error.hpp"
+#include "sim/engine.hpp"
 
 namespace ocelot {
 
-/// Single-threaded discrete-event scheduler with a virtual clock.
-class Simulation {
- public:
-  using Callback = std::function<void()>;
-
-  /// Current virtual time in seconds.
-  [[nodiscard]] double now() const { return now_; }
-
-  /// Schedules `cb` at absolute virtual time `time` (>= now).
-  void schedule_at(double time, Callback cb) {
-    require(time >= now_, "Simulation: cannot schedule in the past");
-    queue_.push(Event{time, seq_++, std::move(cb)});
-  }
-
-  /// Schedules `cb` after `delay` seconds of virtual time.
-  void schedule_in(double delay, Callback cb) {
-    require(delay >= 0.0, "Simulation: negative delay");
-    schedule_at(now_ + delay, std::move(cb));
-  }
-
-  /// Runs until the event queue drains. Returns events executed.
-  std::size_t run() {
-    std::size_t executed = 0;
-    while (!queue_.empty()) {
-      step();
-      ++executed;
-    }
-    return executed;
-  }
-
-  /// Runs events with time <= `t`, then advances the clock to `t`.
-  std::size_t run_until(double t) {
-    require(t >= now_, "Simulation: cannot run backwards");
-    std::size_t executed = 0;
-    while (!queue_.empty() && queue_.top().time <= t) {
-      step();
-      ++executed;
-    }
-    now_ = t;
-    return executed;
-  }
-
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
-  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
-
- private:
-  struct Event {
-    double time;
-    std::uint64_t seq;
-    Callback cb;
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
-  };
-
-  void step() {
-    // Move the event out before invoking: callbacks may schedule more.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ++executed_;
-    ev.cb();
-  }
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  double now_ = 0.0;
-  std::uint64_t seq_ = 0;
-  std::uint64_t executed_ = 0;
-};
+using Simulation = sim::Engine;
 
 }  // namespace ocelot

@@ -1,15 +1,27 @@
 #include "scheduler/batch.hpp"
 
+#include <algorithm>
+
 namespace ocelot {
 
-void BatchScheduler::submit(int nodes, GrantCallback on_grant) {
+void BatchScheduler::submit(int nodes, GrantCallback on_grant, int priority) {
   require(nodes > 0, "BatchScheduler: request must be positive");
   require(nodes <= total_nodes_,
           "BatchScheduler: request exceeds machine size");
   auto pending = std::make_shared<Pending>();
   pending->nodes = nodes;
+  pending->priority = priority;
+  pending->submitted_at = sim_.now();
   pending->on_grant = std::move(on_grant);
-  queue_.push_back(pending);
+
+  // Insert behind every request of the same or higher priority so that
+  // equal priorities keep strict FIFO order.
+  auto pos = std::find_if(queue_.begin(), queue_.end(),
+                          [priority](const std::shared_ptr<Pending>& p) {
+                            return p->priority < priority;
+                          });
+  queue_.insert(pos, pending);
+  stats_.peak_queue_length = std::max(stats_.peak_queue_length, queue_.size());
 
   // The ambient wait (other users' queue pressure) elapses first; only
   // then does the request contend for capacity.
@@ -22,24 +34,47 @@ void BatchScheduler::submit(int nodes, GrantCallback on_grant) {
 
 void BatchScheduler::release(const Allocation& alloc) {
   require(alloc.nodes > 0, "BatchScheduler: bad release");
+  account_usage();
   free_nodes_ += alloc.nodes;
   require(free_nodes_ <= total_nodes_, "BatchScheduler: double release");
   try_dispatch();
 }
 
 void BatchScheduler::try_dispatch() {
-  // FIFO: grant from the head while the head is ready and fits.
+  // Grant from the head while the head is ready and fits; a blocked
+  // head blocks everything behind it (no backfill).
   while (!queue_.empty()) {
     const auto& head = queue_.front();
     if (!head->wait_elapsed || head->nodes > free_nodes_) break;
+    account_usage();
     free_nodes_ -= head->nodes;
     Allocation alloc;
     alloc.nodes = head->nodes;
     alloc.granted_at = sim_.now();
+    ++stats_.grants;
+    stats_.total_wait_seconds += sim_.now() - head->submitted_at;
+    stats_.peak_nodes_in_use =
+        std::max(stats_.peak_nodes_in_use, total_nodes_ - free_nodes_);
     auto cb = std::move(head->on_grant);
     queue_.pop_front();
     cb(alloc);
   }
+}
+
+void BatchScheduler::account_usage() {
+  const double now = sim_.now();
+  stats_.node_seconds +=
+      static_cast<double>(total_nodes_ - free_nodes_) *
+      (now - last_usage_update_);
+  last_usage_update_ = now;
+}
+
+SchedulerStats BatchScheduler::stats() const {
+  SchedulerStats snapshot = stats_;
+  snapshot.node_seconds +=
+      static_cast<double>(total_nodes_ - free_nodes_) *
+      (sim_.now() - last_usage_update_);
+  return snapshot;
 }
 
 }  // namespace ocelot

@@ -80,7 +80,20 @@ struct Allocation {
   double granted_at = 0.0;
 };
 
-/// Capacity-constrained FIFO batch scheduler over a Simulation.
+/// Utilization counters for one scheduler, integrated in virtual time.
+struct SchedulerStats {
+  std::uint64_t grants = 0;
+  double total_wait_seconds = 0.0;  ///< sum of submit->grant latencies
+  double node_seconds = 0.0;        ///< integral of nodes in use
+  int peak_nodes_in_use = 0;
+  std::size_t peak_queue_length = 0;
+};
+
+/// Capacity-constrained batch scheduler over a Simulation. Requests
+/// are served in (priority desc, submission order) — plain FIFO when
+/// every request carries the default priority. The head of the queue
+/// blocks later requests (no backfill), matching the conservative
+/// behaviour the paper's sentinel assumes.
 class BatchScheduler {
  public:
   using GrantCallback = std::function<void(const Allocation&)>;
@@ -94,8 +107,9 @@ class BatchScheduler {
   }
 
   /// Queues a request for `nodes`; `on_grant` fires (in virtual time)
-  /// after both the ambient wait and capacity are satisfied.
-  void submit(int nodes, GrantCallback on_grant);
+  /// after both the ambient wait and capacity are satisfied. Higher
+  /// `priority` requests overtake lower ones still in the queue.
+  void submit(int nodes, GrantCallback on_grant, int priority = 0);
 
   /// Returns an allocation's nodes to the pool, unblocking the queue.
   void release(const Allocation& alloc);
@@ -104,20 +118,28 @@ class BatchScheduler {
   [[nodiscard]] int total_nodes() const { return total_nodes_; }
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
 
+  /// Counters valid up to the current virtual time.
+  [[nodiscard]] SchedulerStats stats() const;
+
  private:
   struct Pending {
     int nodes;
+    int priority;
+    double submitted_at;
     GrantCallback on_grant;
     bool wait_elapsed = false;
   };
 
   void try_dispatch();
+  void account_usage();
 
   Simulation& sim_;
   int free_nodes_;
   int total_nodes_;
   std::unique_ptr<WaitModel> wait_;
   std::deque<std::shared_ptr<Pending>> queue_;
+  SchedulerStats stats_;
+  double last_usage_update_ = 0.0;
 };
 
 }  // namespace ocelot

@@ -1,0 +1,26 @@
+#pragma once
+// Monotonic virtual clock for the discrete-event engine.
+//
+// The clock only ever moves forward; the engine advances it to each
+// event's timestamp before running the event, so every callback
+// observes a consistent "now".
+
+#include "common/error.hpp"
+
+namespace ocelot::sim {
+
+class SimClock {
+ public:
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Advances the clock to `t`; throws InvalidArgument on regression.
+  void advance_to(double t) {
+    require(t >= now_, "SimClock: time cannot move backwards");
+    now_ = t;
+  }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace ocelot::sim

@@ -1,0 +1,56 @@
+#pragma once
+// Cancellable event handles for the discrete-event engine.
+//
+// Every scheduled callback gets an EventHandle. Cancelling a handle
+// before the event fires removes it from the logical queue (the entry
+// is dropped lazily when it reaches the head); cancelling after it
+// fired is a no-op. Handles are cheap to copy and may outlive the
+// engine safely.
+
+#include <cstdint>
+#include <memory>
+
+namespace ocelot::sim {
+
+namespace detail {
+
+/// Live-event bookkeeping shared between the queue and its handles.
+struct QueueCounters {
+  std::size_t live = 0;
+};
+
+struct EventState {
+  bool cancelled = false;
+  bool fired = false;
+  std::weak_ptr<QueueCounters> counters;
+};
+
+}  // namespace detail
+
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True while the event is scheduled and not cancelled.
+  [[nodiscard]] bool active() const {
+    return state_ && !state_->cancelled && !state_->fired;
+  }
+
+  /// Cancels the event; returns false if it already fired or was
+  /// already cancelled (or the handle is empty).
+  bool cancel() {
+    if (!active()) return false;
+    state_->cancelled = true;
+    if (auto counters = state_->counters.lock()) --counters->live;
+    return true;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<detail::EventState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::EventState> state_;
+};
+
+}  // namespace ocelot::sim

@@ -1,0 +1,81 @@
+#pragma once
+// Priority event queue with deterministic tie-breaking.
+//
+// Events are ordered by (time, sequence number): two events at the
+// same virtual time run in submission order, which makes every run of
+// the same scenario reproduce the same schedule bit for bit.
+// Cancelled events stay in the heap and are discarded lazily when they
+// reach the head, so cancellation is O(1).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace ocelot::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() : counters_(std::make_shared<detail::QueueCounters>()) {}
+
+  /// Enqueues `cb` at virtual time `time`; returns a cancellable handle.
+  EventHandle push(double time, Callback cb) {
+    auto state = std::make_shared<detail::EventState>();
+    state->counters = counters_;
+    ++counters_->live;
+    heap_.push(Entry{time, seq_++, state, std::move(cb)});
+    return EventHandle(state);
+  }
+
+  /// Earliest live event time; only valid when !empty().
+  [[nodiscard]] double next_time() {
+    drop_cancelled();
+    return heap_.top().time;
+  }
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() {
+    drop_cancelled();
+    return heap_.empty();
+  }
+
+  /// Number of live (non-cancelled, unfired) events.
+  [[nodiscard]] std::size_t live() const { return counters_->live; }
+
+  /// Pops the earliest live event; only valid when !empty().
+  std::pair<double, Callback> pop() {
+    drop_cancelled();
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    entry.state->fired = true;
+    --counters_->live;
+    return {entry.time, std::move(entry.cb)};
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    std::shared_ptr<detail::EventState> state;
+    Callback cb;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled() {
+    while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::shared_ptr<detail::QueueCounters> counters_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace ocelot::sim

@@ -1,0 +1,216 @@
+#include "sim/fair_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ocelot::sim {
+
+namespace {
+
+/// Slack for floating-point completion checks, relative to `scale`.
+double eps_for(double scale) { return 1e-9 * (1.0 + std::abs(scale)); }
+
+}  // namespace
+
+std::vector<double> max_min_allocation(double capacity,
+                                       std::span<const double> demands) {
+  require(capacity > 0.0, "max_min_allocation: capacity must be positive");
+  std::vector<double> alloc(demands.size(), 0.0);
+  if (demands.empty()) return alloc;
+
+  // Process demands smallest-first: each round either satisfies the
+  // smallest unmet demand or splits what is left evenly.
+  std::vector<std::size_t> order(demands.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (demands[a] != demands[b]) return demands[a] < demands[b];
+    return a < b;
+  });
+
+  double remaining = capacity;
+  std::size_t unmet = demands.size();
+  for (const std::size_t i : order) {
+    require(demands[i] > 0.0, "max_min_allocation: demands must be positive");
+    const double fair = remaining / static_cast<double>(unmet);
+    alloc[i] = std::min(demands[i], fair);
+    remaining -= alloc[i];
+    --unmet;
+  }
+  return alloc;
+}
+
+FairShareChannel::FairShareChannel(Engine& engine, std::string name,
+                                   double capacity)
+    : engine_(engine), name_(std::move(name)), capacity_(capacity),
+      last_update_(engine.now()) {
+  require(capacity > 0.0, "FairShareChannel: capacity must be positive");
+}
+
+FairShareChannel::FlowId FairShareChannel::open_flow(
+    double demand, double work_seconds, std::function<void()> on_complete,
+    double stat_units) {
+  require(demand > 0.0, "FairShareChannel: demand must be positive");
+  require(work_seconds >= 0.0, "FairShareChannel: negative work");
+  sync_progress();
+
+  if (stat_units < 0.0) stat_units = demand * work_seconds;
+  const FlowId id = next_id_++;
+  Flow flow;
+  flow.demand = demand;
+  flow.work = work_seconds;
+  flow.stat_rate = work_seconds > 0.0 ? stat_units / work_seconds : 0.0;
+  flow.opened_at = engine_.now();
+  flow.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(flow));
+  active_.push_back(id);
+  ++stats_.flows_opened;
+  stats_.peak_flows = std::max(stats_.peak_flows, active_.size());
+
+  reallocate();
+  return id;
+}
+
+void FairShareChannel::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  require(it != flows_.end(), "FairShareChannel: unknown flow");
+  if (!it->second.active) return;
+  sync_progress();
+  it->second.active = false;
+  it->second.closed_at = engine_.now();
+  // The completion callback will never fire; drop it now so whatever
+  // it captures (e.g. the cancelled transfer task) can be freed.
+  it->second.on_complete = nullptr;
+  active_.erase(std::find(active_.begin(), active_.end(), id));
+  ++stats_.flows_cancelled;
+  reallocate();
+}
+
+bool FairShareChannel::flow_active(FlowId id) const {
+  return flow_ref(id).active;
+}
+
+const FairShareChannel::Flow& FairShareChannel::flow_ref(FlowId id) const {
+  auto it = flows_.find(id);
+  require(it != flows_.end(), "FairShareChannel: unknown flow");
+  return it->second;
+}
+
+double FairShareChannel::progress_at(FlowId id, double t) const {
+  const Flow& flow = flow_ref(id);
+  if (t <= flow.opened_at || flow.segments.empty()) return 0.0;
+  const double horizon = std::min(t, flow.closed_at);
+  double progress = 0.0;
+  for (std::size_t k = 0; k < flow.segments.size(); ++k) {
+    const Segment& seg = flow.segments[k];
+    if (seg.wall >= horizon) break;
+    const double seg_end = (k + 1 < flow.segments.size())
+                               ? flow.segments[k + 1].wall
+                               : horizon;
+    const double dt = std::min(horizon, seg_end) - seg.wall;
+    progress = seg.service + seg.fraction * std::max(0.0, dt);
+  }
+  // An active flow may have progressed past the last sync point, but
+  // never past its total work.
+  return std::min(progress, flow.work);
+}
+
+double FairShareChannel::delivery_time(FlowId id, double s) const {
+  const Flow& flow = flow_ref(id);
+  if (s <= 0.0) return flow.opened_at;
+  const double eps = eps_for(flow.work);
+  // Service the flow ever receives: all of it while active or once
+  // completed; frozen at the cancellation point otherwise. An active
+  // flow's last segment extrapolates at the current rate.
+  const double ceiling =
+      (flow.active || flow.completed) ? flow.work : flow.progress;
+  if (s > ceiling + eps) return kNever;
+  for (std::size_t k = 0; k < flow.segments.size(); ++k) {
+    const Segment& seg = flow.segments[k];
+    const double seg_service_end = (k + 1 < flow.segments.size())
+                                       ? flow.segments[k + 1].service
+                                       : ceiling;
+    if (s <= seg_service_end + eps || k + 1 == flow.segments.size()) {
+      if (seg.fraction <= 0.0) return seg.wall;
+      const double wall = seg.wall + (s - seg.service) / seg.fraction;
+      return std::min(wall, flow.closed_at);
+    }
+  }
+  return kNever;
+}
+
+void FairShareChannel::sync_progress() {
+  const double now = engine_.now();
+  const double dt = now - last_update_;
+  if (dt > 0.0) {
+    double rate_units = 0.0;
+    for (const FlowId id : active_) {
+      Flow& flow = flows_[id];
+      flow.progress =
+          std::min(flow.work, flow.progress + flow.fraction * dt);
+      rate_units += flow.fraction * flow.stat_rate;
+    }
+    stats_.units_delivered += rate_units * dt;
+    stats_.flow_seconds += static_cast<double>(active_.size()) * dt;
+    if (!active_.empty()) stats_.busy_seconds += dt;
+  }
+  last_update_ = now;
+}
+
+void FairShareChannel::reallocate() {
+  const double now = engine_.now();
+  std::vector<double> demands;
+  demands.reserve(active_.size());
+  for (const FlowId id : active_) demands.push_back(flows_[id].demand);
+  const std::vector<double> alloc = max_min_allocation(capacity_, demands);
+
+  double earliest = kNever;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    Flow& flow = flows_[active_[i]];
+    const double fraction = alloc[i] / flow.demand;
+    if (flow.segments.empty() ||
+        flow.segments.back().fraction != fraction) {
+      flow.segments.push_back(Segment{now, flow.progress, fraction});
+    }
+    flow.fraction = fraction;
+    const double remaining = flow.work - flow.progress;
+    const double finish =
+        remaining <= 0.0 ? now : now + remaining / fraction;
+    earliest = std::min(earliest, finish);
+  }
+
+  next_completion_.cancel();
+  if (earliest < kNever) {
+    next_completion_ =
+        engine_.schedule_at(earliest, [this] { on_completion_event(); });
+  }
+}
+
+void FairShareChannel::on_completion_event() {
+  sync_progress();
+  // Collect every flow that has (numerically) finished, in id order —
+  // ids are assigned monotonically, so this is deterministic.
+  std::vector<FlowId> done;
+  for (const FlowId id : active_) {
+    Flow& flow = flows_[id];
+    if (flow.progress >= flow.work - eps_for(flow.work)) {
+      done.push_back(id);
+    }
+  }
+  std::vector<std::function<void()>> callbacks;
+  for (const FlowId id : done) {
+    Flow& flow = flows_[id];
+    flow.progress = flow.work;  // pin exact completion
+    flow.active = false;
+    flow.completed = true;
+    flow.closed_at = engine_.now();
+    active_.erase(std::find(active_.begin(), active_.end(), id));
+    ++stats_.flows_completed;
+    if (flow.on_complete) callbacks.push_back(std::move(flow.on_complete));
+  }
+  reallocate();
+  for (auto& cb : callbacks) cb();
+}
+
+}  // namespace ocelot::sim

@@ -1,0 +1,66 @@
+#pragma once
+// Process handles: named, observable activities in the simulation.
+//
+// A process is a logical thread of virtual-time work (a campaign, a
+// transfer, a sentinel run). The engine stamps spawn/exit times and
+// notifies observers on exit, which is how the orchestrator tracks
+// per-campaign lifetimes without threading state through callbacks.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ocelot::sim {
+
+class Engine;
+
+enum class ProcessState { kRunning, kDone, kCancelled };
+
+class Process {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] ProcessState state() const { return state_; }
+  [[nodiscard]] bool running() const {
+    return state_ == ProcessState::kRunning;
+  }
+  [[nodiscard]] double spawned_at() const { return spawned_at_; }
+
+  /// Exit time; only meaningful once the process left kRunning.
+  [[nodiscard]] double exited_at() const { return exited_at_; }
+
+  /// Registers an exit observer; fires once, on finish() or cancel().
+  void on_exit(std::function<void()> cb) {
+    require(state_ == ProcessState::kRunning,
+            "Process: cannot observe an exited process");
+    observers_.push_back(std::move(cb));
+  }
+
+  /// Marks the process done at the current virtual time.
+  void finish();
+
+  /// Marks the process cancelled at the current virtual time.
+  void cancel();
+
+ private:
+  friend class Engine;
+  Process(Engine& engine, std::string name, std::uint64_t id, double now)
+      : engine_(engine), name_(std::move(name)), id_(id), spawned_at_(now) {}
+
+  void exit_with(ProcessState state);
+
+  Engine& engine_;
+  std::string name_;
+  std::uint64_t id_;
+  ProcessState state_ = ProcessState::kRunning;
+  double spawned_at_ = 0.0;
+  double exited_at_ = 0.0;
+  std::vector<std::function<void()>> observers_;
+};
+
+using ProcessHandle = std::shared_ptr<Process>;
+
+}  // namespace ocelot::sim

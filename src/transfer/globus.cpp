@@ -1,19 +1,42 @@
 #include "transfer/globus.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/error.hpp"
 
 namespace ocelot {
 
+double TransferTask::file_completion_offset(std::size_t i) const {
+  const double delivered_at = channel_->delivery_time(flow_, data_service_[i]);
+  if (delivered_at == sim::FairShareChannel::kNever) {
+    return sim::FairShareChannel::kNever;
+  }
+  return estimate_.startup_seconds +
+         estimate_.per_file_seconds * static_cast<double>(i + 1) +
+         (delivered_at - submitted_at_);
+}
+
 std::size_t TransferTask::completed_files_at(double t) const {
+  if (status_ == Status::kSucceeded && t >= completed_at_) {
+    return file_bytes_.size();
+  }
   double horizon = t - submitted_at_;
   if (status_ == Status::kCancelled) {
     horizon = std::min(horizon, cancelled_at_ - submitted_at_);
   }
-  const auto& ct = estimate_.completion_times;
-  const auto it = std::upper_bound(ct.begin(), ct.end(), horizon);
-  return static_cast<std::size_t>(it - ct.begin());
+  // Completion offsets are nondecreasing in the file index, so the
+  // first not-yet-complete file bounds the count.
+  std::size_t lo = 0, hi = file_bytes_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (file_completion_offset(mid) <= horizon) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 double TransferTask::completed_bytes_at(double t) const {
@@ -27,6 +50,19 @@ void TransferTask::cancel(double now) {
   if (status_ != Status::kActive) return;
   status_ = Status::kCancelled;
   cancelled_at_ = now;
+  if (!service_done_) channel_->cancel_flow(flow_);
+  completion_event_.cancel();
+}
+
+sim::FairShareChannel& GlobusService::channel_for(const LinkProfile& link) {
+  auto it = channels_.find(link.name);
+  if (it == channels_.end()) {
+    it = channels_
+             .emplace(link.name, std::make_unique<sim::FairShareChannel>(
+                                     sim_, link.name, link.bandwidth_bps))
+             .first;
+  }
+  return *it->second;
 }
 
 std::shared_ptr<TransferTask> GlobusService::submit(
@@ -38,13 +74,37 @@ std::shared_ptr<TransferTask> GlobusService::submit(
   task->file_bytes_ = request.file_bytes;
   task->submitted_at_ = sim_.now();
 
-  sim_.schedule_in(task->estimate_.duration_s,
-                   [task, cb = std::move(on_complete)] {
-                     if (task->status_ != TransferTask::Status::kActive)
-                       return;  // cancelled mid-flight
-                     task->status_ = TransferTask::Status::kSucceeded;
-                     if (cb) cb(*task);
-                   });
+  // Per-file payload service offsets, derived from the estimate's
+  // completion times (offset minus the overhead terms) so the model's
+  // formula lives in one place and the solo case matches exactly.
+  const TransferEstimate& est = task->estimate_;
+  task->data_service_.reserve(request.file_bytes.size());
+  for (std::size_t i = 0; i < est.completion_times.size(); ++i) {
+    task->data_service_.push_back(
+        est.completion_times[i] - est.startup_seconds -
+        est.per_file_seconds * static_cast<double>(i + 1));
+  }
+
+  sim::FairShareChannel& channel = channel_for(request.link);
+  task->channel_ = &channel;
+  const double overhead = est.overhead_seconds;
+  const double payload_bytes = std::accumulate(
+      request.file_bytes.begin(), request.file_bytes.end(), 0.0);
+  task->flow_ = channel.open_flow(
+      est.eff_bandwidth_bps, est.data_seconds,
+      [this, task, overhead, cb = std::move(on_complete)] {
+        // Payload delivered; the control channel wraps up for the
+        // fixed overhead, then the task completes.
+        task->service_done_ = true;
+        task->completion_event_ =
+            sim_.schedule_in(overhead, [this, task, cb = std::move(cb)] {
+              if (task->status_ != TransferTask::Status::kActive) return;
+              task->status_ = TransferTask::Status::kSucceeded;
+              task->completed_at_ = sim_.now();
+              if (cb) cb(*task);
+            });
+      },
+      payload_bytes);
   return task;
 }
 

@@ -6,15 +6,24 @@
 // completion so the sentinel can learn which files already moved, and
 // supports cancellation mid-flight (the sentinel stops the
 // uncompressed transfer when compute nodes are granted).
+//
+// The WAN is a contended resource: all tasks submitted on the same
+// route draw from one FairShareChannel whose capacity is the link's
+// aggregate bandwidth. A task's demand is its uncontended GridFTP
+// effective bandwidth, so a transfer running alone reproduces the
+// closed-form estimate exactly, while concurrent transfers stretch
+// max-min fairly.
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "netsim/gridftp.hpp"
 #include "netsim/simulation.hpp"
+#include "sim/fair_share.hpp"
 
 namespace ocelot {
 
@@ -31,8 +40,19 @@ class TransferTask {
   enum class Status { kActive, kSucceeded, kCancelled };
 
   [[nodiscard]] Status status() const { return status_; }
+
+  /// The *uncontended* cost model for this task (duration if alone).
   [[nodiscard]] const TransferEstimate& estimate() const { return estimate_; }
   [[nodiscard]] double submitted_at() const { return submitted_at_; }
+
+  /// Wall completion time; only meaningful once status is kSucceeded.
+  [[nodiscard]] double completed_at() const { return completed_at_; }
+
+  /// Actual elapsed transfer time (== estimate().duration_s when the
+  /// link was uncontended for the task's whole life).
+  [[nodiscard]] double actual_duration() const {
+    return completed_at_ - submitted_at_;
+  }
 
   /// Number of files fully transferred by virtual time `t`.
   [[nodiscard]] std::size_t completed_files_at(double t) const;
@@ -40,22 +60,36 @@ class TransferTask {
   /// Bytes fully transferred by virtual time `t` (whole files only).
   [[nodiscard]] double completed_bytes_at(double t) const;
 
-  /// Cancels the task; files completed before `now` stay transferred.
+  /// Cancels the task; files completed before `now` stay transferred,
+  /// and the flow's bandwidth share is released immediately.
   void cancel(double now);
 
  private:
   friend class GlobusService;
+
+  /// Completion offset of file `i` from submission (kNever if the
+  /// flow ended before that file's payload was delivered).
+  [[nodiscard]] double file_completion_offset(std::size_t i) const;
+
   Status status_ = Status::kActive;
   TransferEstimate estimate_;
   std::vector<double> file_bytes_;
+  /// Cumulative solo-service seconds needed for files [0..i].
+  std::vector<double> data_service_;
   double submitted_at_ = 0.0;
   double cancelled_at_ = 0.0;
+  double completed_at_ = 0.0;
+  bool service_done_ = false;
+  sim::FairShareChannel* channel_ = nullptr;
+  sim::FairShareChannel::FlowId flow_ = 0;
+  sim::EventHandle completion_event_;
 };
 
-/// The transfer service facade.
+/// The transfer service facade. One service owns one fair-share
+/// channel per route, shared by every task it carries.
 class GlobusService {
  public:
-  GlobusService(Simulation& sim, EndpointSettings settings = {})
+  explicit GlobusService(Simulation& sim, EndpointSettings settings = {})
       : sim_(sim), model_(settings) {}
 
   /// Submits a transfer; `on_complete` fires at finish (not on cancel).
@@ -65,9 +99,20 @@ class GlobusService {
 
   [[nodiscard]] const GridFtpModel& model() const { return model_; }
 
+  /// The per-route fair-share channels created so far (keyed by link
+  /// name), for utilization/concurrency reporting.
+  [[nodiscard]] const std::map<std::string,
+                               std::unique_ptr<sim::FairShareChannel>>&
+  channels() const {
+    return channels_;
+  }
+
  private:
+  sim::FairShareChannel& channel_for(const LinkProfile& link);
+
   Simulation& sim_;
   GridFtpModel model_;
+  std::map<std::string, std::unique_ptr<sim::FairShareChannel>> channels_;
 };
 
 }  // namespace ocelot

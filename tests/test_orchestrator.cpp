@@ -1,0 +1,237 @@
+// Tests for the multi-campaign orchestrator: N=1 equivalence with the
+// closed-form pipeline, link fair-sharing under contention, shared
+// node pools and warm-container pools, and byte-identical determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/campaign.hpp"
+#include "core/grouping.hpp"
+#include "exec/cluster_model.hpp"
+#include "netsim/gridftp.hpp"
+#include "netsim/sites.hpp"
+#include "orchestrator/orchestrator.hpp"
+
+namespace ocelot {
+namespace {
+
+CampaignSpec spec_of(const std::string& app, TransferMode mode,
+                     double submit_time = 0.0, int priority = 0) {
+  CampaignSpec spec;
+  spec.name = app + "@" + std::to_string(submit_time);
+  spec.inventory = paper_inventory(app);
+  spec.mode = mode;
+  spec.config.src = "Anvil";
+  spec.config.dst = "Cori";
+  spec.config.compression_ratio = 10.0;
+  spec.config.rates = paper_compute_rates(app);
+  spec.submit_time = submit_time;
+  spec.priority = priority;
+  return spec;
+}
+
+/// The seed's closed-form Total T for a compressed campaign: funcX
+/// dispatch + cold start + compression makespan, the uncontended
+/// GridFTP estimate, then dispatch + cold start + decompression.
+double closed_form_total(const CampaignSpec& spec) {
+  const CampaignConfig& config = spec.config;
+  const LinkProfile link = route(config.src, config.dst);
+  if (spec.mode == TransferMode::kDirect) {
+    return GridFtpModel().estimate(spec.inventory.raw_bytes, link).duration_s;
+  }
+  std::vector<double> compressed(spec.inventory.raw_bytes.size());
+  for (std::size_t i = 0; i < compressed.size(); ++i) {
+    compressed[i] = spec.inventory.raw_bytes[i] / config.compression_ratio;
+  }
+  std::vector<double> wire = compressed;
+  if (spec.mode == TransferMode::kCompressedGrouped) {
+    const GroupPlan plan = plan_groups_by_world_size(
+        compressed.size(), config.group_world_size);
+    wire = group_sizes(plan, compressed);
+  }
+  const double cp = cluster_compress_seconds(
+      spec.inventory.raw_bytes, config.compress_nodes,
+      config.compress_cores_per_node, config.rates, site(config.src).fs);
+  const double dp = cluster_decompress_seconds(
+      spec.inventory.raw_bytes, config.decompress_nodes,
+      config.decompress_cores_per_node, config.rates, site(config.dst).fs);
+  const double transfer = GridFtpModel().estimate(wire, link).duration_s;
+  const double faas_costs =
+      2.0 * (config.faas.dispatch_latency_s + config.faas.cold_start_s);
+  return cp + transfer + dp + faas_costs;
+}
+
+TEST(Orchestrator, SingleCampaignMatchesClosedForm) {
+  for (const char* app : {"Miranda", "RTM", "CESM"}) {
+    for (const TransferMode mode :
+         {TransferMode::kDirect, TransferMode::kCompressedPerFile,
+          TransferMode::kCompressedGrouped}) {
+      const CampaignSpec spec = spec_of(app, mode);
+      const CampaignReport report =
+          run_campaign(spec.inventory, mode, spec.config);
+      EXPECT_NEAR(report.total_seconds, closed_form_total(spec), 1e-6)
+          << app << " " << to_string(mode);
+      EXPECT_DOUBLE_EQ(report.node_wait_seconds, 0.0);
+    }
+  }
+}
+
+TEST(Orchestrator, FourCampaignContentionStretchesEveryTransfer) {
+  // Four campaigns share Anvil->Cori from t=0; each transfer must be
+  // strictly slower than the same campaign run alone.
+  std::vector<CampaignSpec> specs;
+  specs.push_back(spec_of("Miranda", TransferMode::kDirect));
+  specs.push_back(spec_of("Miranda", TransferMode::kDirect));
+  specs.push_back(spec_of("RTM", TransferMode::kDirect));
+  specs.push_back(spec_of("CESM", TransferMode::kDirect));
+
+  const OrchestratorReport isolated = run_campaigns(specs, /*isolated=*/true);
+  const OrchestratorReport contended = run_campaigns(specs);
+  ASSERT_EQ(contended.campaigns.size(), 4u);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double alone = isolated.campaigns[i].report.transfer_seconds;
+    const double shared = contended.campaigns[i].report.transfer_seconds;
+    EXPECT_GT(shared, alone) << "campaign " << i;
+    EXPECT_GT(contended.campaigns[i].transfer_stretch, 1.0)
+        << "campaign " << i;
+  }
+  const LinkUsage& link = contended.links.at("Anvil->Cori");
+  EXPECT_EQ(link.stats.peak_flows, 4u);
+  EXPECT_GT(contended.makespan, isolated.makespan);
+}
+
+TEST(Orchestrator, ContendedCompressedCampaignsAlsoStretch) {
+  std::vector<CampaignSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    specs.push_back(spec_of("Miranda", TransferMode::kCompressedPerFile));
+  }
+  const OrchestratorReport isolated = run_campaigns(specs, /*isolated=*/true);
+  const OrchestratorReport contended = run_campaigns(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_GE(contended.campaigns[i].report.transfer_seconds,
+              isolated.campaigns[i].report.transfer_seconds);
+  }
+  // At least one pair of transfers overlapped.
+  EXPECT_GE(contended.links.at("Anvil->Cori").stats.peak_flows, 2u);
+}
+
+TEST(Orchestrator, SharedNodePoolQueuesCompressionJobs) {
+  // A 16-node source pool and two campaigns that each need all 16:
+  // the second compresses only after the first releases.
+  OrchestratorOptions options;
+  options.pool_nodes["Anvil"] = 16;
+  std::vector<CampaignSpec> specs;
+  specs.push_back(spec_of("Miranda", TransferMode::kCompressedPerFile));
+  specs.push_back(spec_of("Miranda", TransferMode::kCompressedPerFile));
+  const OrchestratorReport report =
+      run_campaigns(specs, /*isolated=*/false, options);
+
+  EXPECT_DOUBLE_EQ(report.campaigns[0].report.node_wait_seconds, 0.0);
+  EXPECT_GT(report.campaigns[1].report.node_wait_seconds, 0.0);
+  const PoolUsage& pool = report.pools.at("Anvil");
+  EXPECT_EQ(pool.stats.grants, 2u);
+  EXPECT_EQ(pool.stats.peak_nodes_in_use, 16);
+}
+
+TEST(Orchestrator, PriorityOvertakesInTheNodeQueue) {
+  // Three same-size jobs on a full pool: the high-priority latecomer
+  // is granted before the earlier low-priority one.
+  OrchestratorOptions options;
+  options.pool_nodes["Anvil"] = 16;
+  Orchestrator orch(options);
+  CampaignSpec holder = spec_of("Miranda", TransferMode::kCompressedPerFile);
+  CampaignSpec low = spec_of("Miranda", TransferMode::kCompressedPerFile,
+                             /*submit=*/1.0, /*priority=*/0);
+  CampaignSpec high = spec_of("Miranda", TransferMode::kCompressedPerFile,
+                              /*submit=*/2.0, /*priority=*/5);
+  low.name = "low";
+  high.name = "high";
+  orch.add_campaign(std::move(holder));
+  orch.add_campaign(std::move(low));
+  orch.add_campaign(std::move(high));
+  const OrchestratorReport report = orch.run();
+  const CampaignOutcome* low_out = &report.campaigns[1];
+  const CampaignOutcome* high_out = &report.campaigns[2];
+  ASSERT_EQ(low_out->name, "low");
+  ASSERT_EQ(high_out->name, "high");
+  EXPECT_LT(high_out->finish_time, low_out->finish_time);
+}
+
+TEST(Orchestrator, WarmContainerPoolIsSharedAcrossCampaigns) {
+  std::vector<CampaignSpec> specs;
+  specs.push_back(spec_of("Miranda", TransferMode::kCompressedPerFile));
+  specs.push_back(spec_of("Miranda", TransferMode::kCompressedPerFile));
+  const OrchestratorReport report = run_campaigns(specs);
+  // First campaign cold-starts compress@Anvil and decompress@Cori; the
+  // second finds both containers warm.
+  EXPECT_EQ(report.faas_cold_starts, 2u);
+  EXPECT_EQ(report.faas_warm_hits, 2u);
+
+  const OrchestratorReport isolated = run_campaigns(specs, /*isolated=*/true);
+  EXPECT_EQ(isolated.faas_cold_starts, 4u);  // no sharing across runs
+}
+
+TEST(Orchestrator, StaggeredSubmitTimesAreHonoured) {
+  std::vector<CampaignSpec> specs;
+  specs.push_back(spec_of("Miranda", TransferMode::kDirect, 0.0));
+  specs.push_back(spec_of("Miranda", TransferMode::kDirect, 1000.0));
+  const OrchestratorReport report = run_campaigns(specs);
+  EXPECT_GE(report.campaigns[1].finish_time, 1000.0);
+  // total_seconds stays relative to each campaign's own submit time.
+  EXPECT_NEAR(report.campaigns[1].finish_time -
+                  report.campaigns[1].report.total_seconds,
+              1000.0, 1e-9);
+}
+
+TEST(Orchestrator, DeterministicByteIdenticalReports) {
+  // Satellite: two runs of the same contended scenario (jittered
+  // links, stochastic waits, mixed modes) render identical reports.
+  auto build_report = [] {
+    OrchestratorOptions options;
+    options.pool_nodes["Anvil"] = 32;
+    Orchestrator orch(options);
+    orch.add_campaign(spec_of("Miranda", TransferMode::kCompressedGrouped,
+                              0.0, 1));
+    orch.add_campaign(spec_of("RTM", TransferMode::kCompressedPerFile,
+                              10.0, 0));
+    orch.add_campaign(spec_of("CESM", TransferMode::kDirect, 20.0, 2));
+    orch.add_campaign(spec_of("Miranda", TransferMode::kDirect, 30.0, 0));
+    // Wait models may be configured any time before run().
+    orch.set_site_wait_model("Anvil",
+                             std::make_unique<StochasticWait>(1234));
+    return to_string(orch.run());
+  };
+  const std::string first = build_report();
+  const std::string second = build_report();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Orchestrator, ValidatesSpecs) {
+  Orchestrator orch;
+  CampaignSpec empty_inv = spec_of("Miranda", TransferMode::kDirect);
+  empty_inv.inventory.raw_bytes.clear();
+  EXPECT_THROW(orch.add_campaign(std::move(empty_inv)), InvalidArgument);
+
+  CampaignSpec bad_ratio = spec_of("Miranda", TransferMode::kCompressedPerFile);
+  bad_ratio.config.compression_ratio = 0.5;
+  EXPECT_THROW(orch.add_campaign(std::move(bad_ratio)), InvalidArgument);
+
+  CampaignSpec bad_route = spec_of("Miranda", TransferMode::kDirect);
+  bad_route.config.dst = "Atlantis";
+  EXPECT_THROW(orch.add_campaign(std::move(bad_route)), NotFound);
+
+  OrchestratorOptions tiny;
+  tiny.pool_nodes["Anvil"] = 4;
+  Orchestrator small(tiny);
+  CampaignSpec oversize = spec_of("Miranda", TransferMode::kCompressedPerFile);
+  oversize.config.compress_nodes = 16;
+  EXPECT_THROW(small.add_campaign(std::move(oversize)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ocelot

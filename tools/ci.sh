@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Single entry point for CI and local verification: configure with the
+# full warning set, build everything, run the test suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DOCELOT_WARNINGS=ON "$@"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

@@ -6,6 +6,7 @@
 //   decompress <in.ocz> <out.ocf>
 //   info <file>                                inspect OCF1/OCZ1 headers
 //   diff <a.ocf> <b.ocf>                       PSNR / max error
+//   simulate <campaign>... | --demo            multi-campaign orchestrator
 //
 // Files use the repo's self-describing formats: OCF1 raw fields and
 // OCZ1 compressed blobs.
@@ -16,10 +17,13 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/str.hpp"
 #include "common/table.hpp"
 #include "compressor/compressor.hpp"
+#include "core/workload.hpp"
 #include "datagen/datasets.hpp"
 #include "io/dataset_file.hpp"
+#include "orchestrator/orchestrator.hpp"
 
 namespace {
 
@@ -164,13 +168,139 @@ int cmd_diff(const std::vector<std::string>& args) {
   return 0;
 }
 
+TransferMode parse_mode(const std::string& name) {
+  if (name == "np" || name == "direct") return TransferMode::kDirect;
+  if (name == "cp" || name == "compressed")
+    return TransferMode::kCompressedPerFile;
+  if (name == "op" || name == "grouped")
+    return TransferMode::kCompressedGrouped;
+  throw InvalidArgument("unknown mode: " + name + " (expected np|cp|op)");
+}
+
+std::string mode_tag(TransferMode mode) {
+  switch (mode) {
+    case TransferMode::kDirect:
+      return "np";
+    case TransferMode::kCompressedPerFile:
+      return "cp";
+    case TransferMode::kCompressedGrouped:
+      return "op";
+  }
+  return "??";
+}
+
+/// Parses one campaign spec of the form
+///   app=RTM,src=Anvil,dst=Cori,mode=op,at=0,prio=0,ratio=10
+/// (app is required; everything else has defaults).
+CampaignSpec parse_campaign(const std::string& arg) {
+  CampaignSpec spec;
+  spec.config.compression_ratio = 10.0;
+  std::string app;
+  for (const std::string& field : split(arg, ',')) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) {
+      throw InvalidArgument("bad campaign field: " + field);
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "app") {
+      app = value;
+    } else if (key == "src") {
+      spec.config.src = value;
+    } else if (key == "dst") {
+      spec.config.dst = value;
+    } else if (key == "mode") {
+      spec.mode = parse_mode(value);
+    } else if (key == "at") {
+      spec.submit_time = std::stod(value);
+    } else if (key == "prio") {
+      spec.priority = std::stoi(value);
+    } else if (key == "ratio") {
+      spec.config.compression_ratio = std::stod(value);
+    } else if (key == "nodes") {
+      spec.config.compress_nodes = std::stoi(value);
+    } else if (key == "name") {
+      spec.name = value;
+    } else {
+      throw InvalidArgument("unknown campaign key: " + key);
+    }
+  }
+  if (app.empty()) throw InvalidArgument("campaign needs app=...");
+  spec.inventory = paper_inventory(app);
+  spec.config.rates = paper_compute_rates(app);
+  if (spec.name.empty()) {
+    spec.name = app + "/" + mode_tag(spec.mode);
+  }
+  return spec;
+}
+
+int cmd_simulate(const std::vector<std::string>& args) {
+  std::vector<CampaignSpec> specs;
+  if (args.size() == 1 && args[0] == "--demo") {
+    specs.push_back(parse_campaign("app=Miranda,mode=op,at=0,prio=1"));
+    specs.push_back(parse_campaign("app=RTM,mode=cp,at=0"));
+    specs.push_back(parse_campaign("app=CESM,mode=np,at=30"));
+    specs.push_back(parse_campaign("app=Miranda,mode=np,at=60,prio=2"));
+  } else if (!args.empty()) {
+    for (const std::string& arg : args) {
+      specs.push_back(parse_campaign(arg));
+    }
+  } else {
+    std::cerr
+        << "usage: ocelot simulate --demo\n"
+        << "       ocelot simulate app=RTM[,src=Anvil][,dst=Cori]"
+           "[,mode=np|cp|op][,at=0][,prio=0][,ratio=10][,nodes=16] ...\n"
+        << "Runs the campaigns concurrently over shared links, node\n"
+        << "pools and funcX endpoints, then compares against isolated\n"
+        << "runs of the same campaigns.\n";
+    return 2;
+  }
+
+  const OrchestratorReport isolated = run_campaigns(specs, /*isolated=*/true);
+  const OrchestratorReport report = run_campaigns(specs);
+
+  TextTable table({"campaign", "mode", "submit", "total", "transfer",
+                   "stretch", "node wait", "finish"});
+  for (std::size_t i = 0; i < report.campaigns.size(); ++i) {
+    const CampaignOutcome& c = report.campaigns[i];
+    table.add_row({c.name, to_string(c.mode), fmt_seconds(c.submit_time),
+                   fmt_seconds(c.report.total_seconds),
+                   fmt_seconds(c.report.transfer_seconds),
+                   fmt_double(c.transfer_stretch, 3) + "x",
+                   fmt_seconds(c.report.node_wait_seconds),
+                   fmt_seconds(c.finish_time)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n";
+  for (const auto& [name, link] : report.links) {
+    std::cout << "link " << name << ": peak " << link.stats.peak_flows
+              << " flows, " << fmt_bytes(link.stats.units_delivered)
+              << " over " << fmt_seconds(link.stats.busy_seconds)
+              << " busy\n";
+  }
+  for (const auto& [name, pool] : report.pools) {
+    std::cout << "pool " << name << ": " << pool.stats.grants
+              << " grants, peak " << pool.stats.peak_nodes_in_use << "/"
+              << pool.total_nodes << " nodes, queue wait "
+              << fmt_seconds(pool.stats.total_wait_seconds) << "\n";
+  }
+  std::cout << "funcX: " << report.faas_cold_starts << " cold / "
+            << report.faas_warm_hits << " warm\n";
+  std::cout << "makespan " << fmt_seconds(report.makespan)
+            << " (isolated " << fmt_seconds(isolated.makespan) << "), "
+            << report.events_executed << " events\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
     std::cerr << "ocelot — error-bounded lossy compression toolkit\n"
-              << "commands: generate, compress, decompress, info, diff\n";
+              << "commands: generate, compress, decompress, info, diff, "
+                 "simulate\n";
     return 2;
   }
   try {
@@ -181,6 +311,7 @@ int main(int argc, char** argv) {
     if (cmd == "decompress") return cmd_decompress(rest);
     if (cmd == "info") return cmd_info(rest);
     if (cmd == "diff") return cmd_diff(rest);
+    if (cmd == "simulate") return cmd_simulate(rest);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {
