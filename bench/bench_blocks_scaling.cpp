@@ -1,0 +1,162 @@
+// Block-parallel intra-file scaling: one large field, many cores.
+//
+// The paper's executor (Fig. 9) parallelizes across whole files, so a
+// single field cannot use more than one core. This bench splits one
+// Miranda field into slab blocks, compresses/decompresses the blocks
+// on the thread pool, and reports wall time and speedup per worker
+// count — then feeds the measured walls into the campaign timing model
+// (calibrate_rates + CampaignConfig::block_bytes) so the virtual-time
+// orchestrator consumes real block-parallel measurements.
+//
+// Usage: bench_blocks_scaling [--smoke]
+//   --smoke  tiny field + reduced sweep; emits BENCH_smoke.json for
+//            the CI bench-smoke gate (tools/check_bench.py). The
+//            default emits BENCH_blocks_scaling.json.
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/campaign.hpp"
+#include "datagen/datasets.hpp"
+#include "exec/parallel_codec.hpp"
+
+using namespace ocelot;
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const double scale = smoke ? 0.12 : 0.4;
+  const std::vector<std::size_t> worker_sweep =
+      smoke ? std::vector<std::size_t>{1, 2, 4}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+
+  FloatArray field = generate_field("Miranda", "density", scale, 11);
+  const Shape& shape = field.shape();
+  // ~32 blocks: enough tasks for good LPT balance at 8 workers.
+  const std::size_t block_slabs = std::max<std::size_t>(1, shape.dim(0) / 32);
+
+  CompressionConfig config;
+  config.pipeline = Pipeline::kSz3Interp;
+  config.eb_mode = EbMode::kValueRangeRel;
+  config.eb = 1e-3;
+
+  std::cout << "=== block-parallel scaling: one Miranda density field "
+            << shape.dim(0) << "x" << shape.dim(1) << "x" << shape.dim(2)
+            << ", block=" << block_slabs << " slabs ===\n\n";
+
+  bench::BenchReport report(smoke ? "smoke" : "blocks_scaling");
+
+  // Baseline: the whole-file executor on a single file cannot scale.
+  const std::vector<FloatArray> one_file{field};
+  const ParallelCompressResult whole1 =
+      parallel_compress(one_file, config, 1);
+  const ParallelCompressResult whole4 =
+      parallel_compress(one_file, config, 4);
+  std::cout << "whole-file executor, 1 file: w=1 "
+            << fmt_double(whole1.wall_seconds * 1e3, 1) << " ms, w=4 "
+            << fmt_double(whole4.wall_seconds * 1e3, 1)
+            << " ms (saturated — Fig. 9's limit)\n\n";
+  report.set_metric("whole_file_speedup_w4",
+                    whole4.wall_seconds > 0.0
+                        ? whole1.wall_seconds / whole4.wall_seconds
+                        : 0.0);
+
+  TextTable table({"workers", "compress (ms)", "decompress (ms)",
+                   "speedup", "ratio"});
+  double c1 = 0.0;
+  double d1 = 0.0;
+  double c4 = 0.0;
+  double d4 = 0.0;
+  double speedup4 = 0.0;
+  double best_speedup = 0.0;
+  BlockCompressResult last;
+  double psnr_db = 0.0;
+  double max_error_over_eb = 0.0;
+  for (const std::size_t workers : worker_sweep) {
+    BlockCompressResult comp =
+        block_compress(field, config, workers, block_slabs);
+    const BlockDecompressResult decomp =
+        block_decompress(comp.container, workers);
+
+    const double abs_eb = resolve_abs_eb(field, config);
+    const double err =
+        max_abs_error<float>(field.values(), decomp.field.values());
+    max_error_over_eb = std::max(max_error_over_eb, err / abs_eb);
+    psnr_db = psnr<float>(field.values(), decomp.field.values());
+
+    if (workers == 1) {
+      c1 = comp.wall_seconds;
+      d1 = decomp.wall_seconds;
+    }
+    const double speedup =
+        (c1 + d1) / (comp.wall_seconds + decomp.wall_seconds);
+    if (workers == 4) {
+      speedup4 = speedup;
+      c4 = comp.wall_seconds;
+      d4 = decomp.wall_seconds;
+    }
+    best_speedup = std::max(best_speedup, speedup);
+    table.add_row({std::to_string(workers),
+                   fmt_double(comp.wall_seconds * 1e3, 1),
+                   fmt_double(decomp.wall_seconds * 1e3, 1),
+                   fmt_double(speedup, 2) + "x",
+                   fmt_double(comp.ratio(), 2)});
+    report.add_row("workers=" + std::to_string(workers),
+                   {{"workers", static_cast<double>(workers)},
+                    {"compress_seconds", comp.wall_seconds},
+                    {"decompress_seconds", decomp.wall_seconds},
+                    {"speedup", speedup},
+                    {"ratio", comp.ratio()}});
+    last = std::move(comp);
+  }
+  table.print(std::cout);
+  std::cout << "\n" << last.n_blocks << " blocks; round-trip max|err|/eb = "
+            << fmt_double(max_error_over_eb, 3) << " (must be <= 1), PSNR "
+            << fmt_double(psnr_db, 1) << " dB\n\n";
+
+  report.set_metric("ratio", last.ratio());
+  report.set_metric("psnr_db", psnr_db);
+  report.set_metric("max_error_over_eb", max_error_over_eb);
+  report.set_metric("speedup_w4", speedup4);
+  report.set_metric("best_speedup", best_speedup);
+  report.set_metric("n_blocks", static_cast<double>(last.n_blocks));
+  report.set_metric("wall_seconds_w1", c1 + d1);
+
+  // Feed the measured block-parallel walls into the campaign model:
+  // per-core rates from the 4-worker run, block size in raw bytes.
+  const ComputeRates rates = calibrate_rates(
+      static_cast<double>(field.byte_size()), c4 > 0.0 ? c4 : c1,
+      d4 > 0.0 ? d4 : d1, c4 > 0.0 ? 4 : 1);
+  const double block_bytes =
+      static_cast<double>(block_slabs * shape.dim(1) * shape.dim(2) *
+                          sizeof(float));
+  CampaignConfig campaign;
+  campaign.compression_ratio = last.ratio();
+  campaign.rates = rates;
+  campaign.block_bytes = block_bytes;
+  FileInventory inventory;
+  inventory.app = "Miranda-single";
+  inventory.raw_bytes = {static_cast<double>(field.byte_size())};
+  const CampaignReport blocked_report = run_campaign(
+      inventory, TransferMode::kCompressedPerFile, campaign);
+  campaign.block_bytes = 0.0;  // whole-file executor for contrast
+  const CampaignReport whole_report = run_campaign(
+      inventory, TransferMode::kCompressedPerFile, campaign);
+  std::cout << "campaign model (calibrated from measured walls): "
+               "compress leg "
+            << fmt_double(blocked_report.compress_seconds, 4)
+            << " s block-parallel vs "
+            << fmt_double(whole_report.compress_seconds, 4)
+            << " s whole-file on " << campaign.compress_nodes << "x"
+            << campaign.compress_cores_per_node << " cores\n";
+  report.set_metric("model_compress_seconds_blocked",
+                    blocked_report.compress_seconds);
+  report.set_metric("model_compress_seconds_whole",
+                    whole_report.compress_seconds);
+
+  const std::string path = report.write();
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}

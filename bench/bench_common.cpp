@@ -1,10 +1,109 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
+#include "common/error.hpp"
 #include "ml/random_forest.hpp"
 
 namespace ocelot::bench {
+
+namespace {
+
+/// JSON number or null for non-finite values; max_digits10 so the
+/// trajectory round-trips doubles exactly.
+void append_number(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  std::ostringstream num;
+  num.precision(17);
+  num << value;
+  os << num.str();
+}
+
+void append_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  require(!name_.empty(), "BenchReport: empty name");
+}
+
+void BenchReport::set_metric(const std::string& key, double value) {
+  for (auto& [k, v] : metrics_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(key, value);
+}
+
+void BenchReport::add_row(
+    const std::string& label,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  rows_.push_back({label, fields});
+}
+
+std::string BenchReport::write() const {
+  std::ostringstream os;
+  os << "{\n  \"bench\": ";
+  append_string(os, name_);
+  os << ",\n  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (i > 0) os << ", ";
+    append_string(os, metrics_[i].first);
+    os << ": ";
+    append_number(os, metrics_[i].second);
+  }
+  os << "},\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r > 0 ? ",\n    {" : "\n    {");
+    os << "\"label\": ";
+    append_string(os, rows_[r].label);
+    for (const auto& [key, value] : rows_[r].fields) {
+      os << ", ";
+      append_string(os, key);
+      os << ": ";
+      append_number(os, value);
+    }
+    os << "}";
+  }
+  os << (rows_.empty() ? "]\n}\n" : "\n  ]\n}\n");
+
+  std::string dir = ".";
+  if (const char* env = std::getenv("OCELOT_BENCH_DIR");
+      env != nullptr && env[0] != '\0') {
+    dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  require(out.good(), "BenchReport: cannot open " + path);
+  out << os.str();
+  return path;
+}
 
 std::vector<double> default_eb_sweep() {
   return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1};

@@ -1,9 +1,11 @@
 #pragma once
 // Shared helpers for the bench binaries that regenerate the paper's
 // tables and figures: sample collection (real compression runs over
-// generated datasets) and quality-model training.
+// generated datasets), quality-model training, and the machine-
+// readable BENCH_<name>.json emitter that records the perf trajectory.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "compressor/compressor.hpp"
@@ -12,6 +14,43 @@
 #include "predictor/quality_model.hpp"
 
 namespace ocelot::bench {
+
+/// Machine-readable bench output. Every bench binary can accumulate
+/// top-level metrics (e.g. ratio, psnr_db, speedup) plus per-setting
+/// rows and dump them as BENCH_<name>.json, which tools/check_bench.py
+/// gates in CI and the perf trajectory archives:
+///
+///   {"bench": "<name>",
+///    "metrics": {"ratio": 8.1, ...},
+///    "rows": [{"label": "workers=4", "wall_seconds": 0.12, ...}, ...]}
+///
+/// Non-finite values serialize as null. Files land in $OCELOT_BENCH_DIR
+/// when set, else the working directory.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  /// Sets a top-level scalar metric (insertion order preserved).
+  void set_metric(const std::string& key, double value);
+
+  /// Appends one measurement row.
+  void add_row(const std::string& label,
+               const std::vector<std::pair<std::string, double>>& fields);
+
+  /// Writes BENCH_<name>.json; returns the path written.
+  std::string write() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::vector<Row> rows_;
+};
 
 /// One measured observation: a (field, config) pair with its features
 /// and ground-truth compression outcomes.

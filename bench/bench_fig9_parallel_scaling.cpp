@@ -6,6 +6,7 @@
 // data, demonstrating the same compression-scaling shape on a laptop.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "core/workload.hpp"
 #include "datagen/datasets.hpp"
@@ -53,16 +54,25 @@ int main() {
   config.eb_mode = EbMode::kValueRangeRel;
   config.eb = 1e-3;
 
+  bench::BenchReport report("fig9_parallel_scaling");
   TextTable real_table({"workers", "wall (ms)", "speedup"});
   double t1 = 0.0;
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
     const ParallelCompressResult r =
         parallel_compress(fields, config, workers);
-    if (workers == 1) t1 = r.wall_seconds;
+    if (workers == 1) {
+      t1 = r.wall_seconds;
+      report.set_metric("ratio", r.ratio());
+    }
     real_table.add_row({std::to_string(workers),
                         fmt_double(r.wall_seconds * 1e3, 1),
                         fmt_double(t1 / r.wall_seconds, 2) + "x"});
+    report.add_row("workers=" + std::to_string(workers),
+                   {{"workers", static_cast<double>(workers)},
+                    {"wall_seconds", r.wall_seconds},
+                    {"speedup", t1 / r.wall_seconds}});
   }
   real_table.print(std::cout);
+  std::cout << "\nwrote " << report.write() << "\n";
   return 0;
 }

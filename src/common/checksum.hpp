@@ -1,0 +1,18 @@
+#pragma once
+// CRC-32 (IEEE 802.3) over byte spans.
+//
+// Used by the block container to detect payload corruption: every
+// compressed block carries its checksum so a damaged block is rejected
+// before decompression instead of producing silent garbage.
+
+#include <cstdint>
+#include <span>
+
+namespace ocelot {
+
+/// CRC-32 of `data`, optionally continuing from a previous value
+/// (pass the prior return value to checksum a buffer in pieces).
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t crc = 0);
+
+}  // namespace ocelot

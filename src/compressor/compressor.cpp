@@ -114,7 +114,7 @@ std::vector<T> unpack_raw_values(std::span<const std::uint8_t> packed) {
   if (bytes.size() % sizeof(T) != 0)
     throw CorruptStream("blob: raw value section misaligned");
   std::vector<T> values(bytes.size() / sizeof(T));
-  std::memcpy(values.data(), bytes.data(), bytes.size());
+  if (!bytes.empty()) std::memcpy(values.data(), bytes.data(), bytes.size());
   return values;
 }
 

@@ -103,7 +103,10 @@ FloatArray decompress_pointwise_rel(std::span<const std::uint8_t> blob) {
   if (verbatim_bytes.size() % sizeof(float) != 0)
     throw CorruptStream("pointwise blob: misaligned verbatim stream");
   std::vector<float> verbatim(verbatim_bytes.size() / sizeof(float));
-  std::memcpy(verbatim.data(), verbatim_bytes.data(), verbatim_bytes.size());
+  if (!verbatim_bytes.empty()) {
+    std::memcpy(verbatim.data(), verbatim_bytes.data(),
+                verbatim_bytes.size());
+  }
 
   const FloatArray log_mag = decompress<float>(in.get_blob());
   if (classes.size() != log_mag.size())

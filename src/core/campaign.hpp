@@ -41,7 +41,14 @@ struct CampaignConfig {
   /// Achieved compression ratio (measured on real data by the caller,
   /// or predicted by the quality model).
   double compression_ratio = 8.0;
+  /// Per-core throughputs; calibrate_rates()/measured_compute_rates()
+  /// derive these from a real block-parallel run.
   ComputeRates rates;
+  /// Block-parallel codec block size in raw bytes: each file becomes
+  /// ceil(size / block_bytes) compute tasks, so the (de)compression
+  /// makespan keeps scaling when cores outnumber files. 0 = the
+  /// paper's whole-file executor.
+  double block_bytes = 0.0;
   /// Files per group for kCompressedGrouped ("world size" strategy).
   std::size_t group_world_size = 96;
   /// funcX endpoint cost structure for the remote orchestration.

@@ -31,9 +31,10 @@ LocalPipelineResult run_local_pipeline(
   }
   result.direct_transfer = model.estimate(raw_sizes, config.link);
 
-  // Stage 1: parallel compression (real).
-  result.compression =
-      parallel_compress(fields, config.compression, config.workers);
+  // Stage 1: parallel compression (real); block mode splits each field
+  // into slab blocks so one large field still fills every worker.
+  result.compression = parallel_compress(fields, config.compression,
+                                         config.workers, config.block_slabs);
 
   // Stage 2 (optional): grouping; wire sizes include archive headers.
   std::vector<double> wire_sizes;
@@ -95,6 +96,13 @@ LocalPipelineResult run_local_pipeline(
     }
   }
   return result;
+}
+
+ComputeRates measured_compute_rates(const LocalPipelineResult& result,
+                                    std::size_t workers) {
+  return calibrate_rates(result.compression.total_raw_bytes,
+                         result.compression.wall_seconds,
+                         result.decompress_seconds, workers);
 }
 
 }  // namespace ocelot

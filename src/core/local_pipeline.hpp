@@ -13,6 +13,7 @@
 
 #include "common/ndarray.hpp"
 #include "compressor/config.hpp"
+#include "exec/cluster_model.hpp"
 #include "exec/parallel_codec.hpp"
 #include "io/file_store.hpp"
 #include "netsim/gridftp.hpp"
@@ -26,6 +27,9 @@ struct LocalPipelineConfig {
   LinkProfile link;           ///< WAN route model for the transfer leg
   bool group_files = false;   ///< apply the grouping optimization
   std::size_t group_world_size = 8;
+  /// Block-parallel codec: slabs per block along each field's slowest
+  /// dimension (0 = whole-file tasks, the paper's executor).
+  std::size_t block_slabs = 0;
 };
 
 /// Full pipeline outcome, with the direct-transfer baseline included.
@@ -55,5 +59,11 @@ LocalPipelineResult run_local_pipeline(
     const std::vector<std::string>& names,
     const std::vector<FloatArray>& fields, const LocalPipelineConfig& config,
     FileStore* destination = nullptr);
+
+/// Converts a pipeline run's measured (de)compression walls into the
+/// per-core throughputs the campaign/orchestrator timing model uses,
+/// so virtual-time estimates consume real block-parallel measurements.
+ComputeRates measured_compute_rates(const LocalPipelineResult& result,
+                                    std::size_t workers);
 
 }  // namespace ocelot

@@ -68,7 +68,8 @@ SentinelReport run_sentinel(const FileInventory& inventory,
                                  inventory.raw_bytes.end());
         const double cp = cluster_compress_seconds(
             rest, alloc.nodes, config.campaign.compress_cores_per_node,
-            config.campaign.rates, src_site.fs);
+            config.campaign.rates, src_site.fs,
+            config.campaign.block_bytes);
         report.compress_seconds = cp;
         report.files_sent_compressed = remaining;
 
@@ -82,11 +83,15 @@ SentinelReport run_sentinel(const FileInventory& inventory,
               compressed.size(), config.campaign.group_world_size);
           TransferRequest comp_req{inventory.app + "/compressed", link,
                                    group_sizes(plan, compressed)};
-          globus.submit(comp_req, [&](const TransferTask&) {
+          // `rest` must be captured by value: the enclosing lambda (and
+          // its copy of `rest`) is destroyed when this scheduled event
+          // finishes, long before the transfer completion fires.
+          globus.submit(comp_req, [&, rest](const TransferTask&) {
             const double dp = cluster_decompress_seconds(
                 rest, config.campaign.decompress_nodes,
                 config.campaign.decompress_cores_per_node,
-                config.campaign.rates, dst_site.fs);
+                config.campaign.rates, dst_site.fs,
+                config.campaign.block_bytes);
             report.decompress_seconds = dp;
             sim.schedule_in(dp, [&] { report.total_seconds = sim.now(); });
           });

@@ -8,6 +8,52 @@
 
 namespace ocelot {
 
+namespace {
+
+/// Expands per-file byte sizes into per-task compute seconds; with a
+/// block size each file becomes several equal block tasks (the last
+/// one short), matching the real block-parallel codec's task list.
+/// The per-file task count is capped: beyond ~1M blocks the makespan
+/// is indistinguishable from perfectly divisible work, and the cap
+/// keeps a mis-scaled block_bytes (e.g. MB-vs-bytes confusion) from
+/// exploding the task list.
+std::vector<double> compute_tasks(std::span<const double> file_bytes,
+                                  double bps_per_core, double block_bytes) {
+  constexpr double kMaxTasksPerFile = 1 << 20;
+  std::vector<double> tasks;
+  tasks.reserve(file_bytes.size());
+  for (const double b : file_bytes) {
+    if (block_bytes <= 0.0 || b <= block_bytes) {
+      tasks.push_back(b / bps_per_core);
+      continue;
+    }
+    const double piece_size =
+        std::max(block_bytes, b / kMaxTasksPerFile);
+    double remaining = b;
+    while (remaining > 0.0) {
+      const double piece = std::min(piece_size, remaining);
+      tasks.push_back(piece / bps_per_core);
+      remaining -= piece;
+    }
+  }
+  return tasks;
+}
+
+}  // namespace
+
+ComputeRates calibrate_rates(double raw_bytes, double compress_wall_s,
+                             double decompress_wall_s, std::size_t workers) {
+  require(raw_bytes > 0.0 && compress_wall_s > 0.0 &&
+              decompress_wall_s > 0.0 && workers > 0,
+          "calibrate_rates: non-positive measurement");
+  ComputeRates rates;
+  rates.compress_bps_per_core =
+      raw_bytes / (compress_wall_s * static_cast<double>(workers));
+  rates.decompress_bps_per_core =
+      raw_bytes / (decompress_wall_s * static_cast<double>(workers));
+  return rates;
+}
+
 double lpt_makespan(std::span<const double> task_seconds, int slots) {
   require(slots > 0, "lpt_makespan: need at least one slot");
   if (task_seconds.empty()) return 0.0;
@@ -35,15 +81,13 @@ double lpt_makespan(std::span<const double> task_seconds, int slots) {
 double cluster_compress_seconds(std::span<const double> file_bytes,
                                 int nodes, int cores_per_node,
                                 const ComputeRates& rates,
-                                const SharedFilesystem& fs) {
+                                const SharedFilesystem& fs,
+                                double block_bytes) {
   require(nodes > 0 && cores_per_node > 0, "cluster model: bad geometry");
-  std::vector<double> tasks;
-  tasks.reserve(file_bytes.size());
-  double total = 0.0;
-  for (const double b : file_bytes) {
-    tasks.push_back(b / rates.compress_bps_per_core);
-    total += b;
-  }
+  const std::vector<double> tasks =
+      compute_tasks(file_bytes, rates.compress_bps_per_core, block_bytes);
+  const double total =
+      std::accumulate(file_bytes.begin(), file_bytes.end(), 0.0);
   const double compute = lpt_makespan(tasks, nodes * cores_per_node);
   const double read_io = total / fs.read_bandwidth(nodes);
   return std::max(compute, read_io);
@@ -52,15 +96,13 @@ double cluster_compress_seconds(std::span<const double> file_bytes,
 double cluster_decompress_seconds(std::span<const double> file_bytes,
                                   int nodes, int cores_per_node,
                                   const ComputeRates& rates,
-                                  const SharedFilesystem& fs) {
+                                  const SharedFilesystem& fs,
+                                  double block_bytes) {
   require(nodes > 0 && cores_per_node > 0, "cluster model: bad geometry");
-  std::vector<double> tasks;
-  tasks.reserve(file_bytes.size());
-  double total = 0.0;
-  for (const double b : file_bytes) {
-    tasks.push_back(b / rates.decompress_bps_per_core);
-    total += b;
-  }
+  const std::vector<double> tasks =
+      compute_tasks(file_bytes, rates.decompress_bps_per_core, block_bytes);
+  const double total =
+      std::accumulate(file_bytes.begin(), file_bytes.end(), 0.0);
   const double compute = lpt_makespan(tasks, nodes * cores_per_node);
   const double write_io = total / fs.write_bandwidth(nodes);
   return std::max(compute, write_io);

@@ -27,21 +27,34 @@ struct ComputeRates {
   double decompress_bps_per_core = 200e6;
 };
 
+/// Derives per-core throughputs from a measured block-parallel run
+/// (raw bytes processed, wall seconds, worker count) — the bridge from
+/// the real thread-pool codec to the virtual-time campaign model.
+ComputeRates calibrate_rates(double raw_bytes, double compress_wall_s,
+                             double decompress_wall_s, std::size_t workers);
+
 /// Longest-processing-time-first makespan of `task_seconds` on `slots`
 /// parallel workers. Exact for our purposes (greedy 4/3-approximation).
 double lpt_makespan(std::span<const double> task_seconds, int slots);
 
 /// Virtual-time cost of compressing `file_bytes` (raw sizes) on
 /// `nodes` x `cores_per_node` workers against filesystem `fs`.
+/// `block_bytes` > 0 models the block-parallel codec: every file is
+/// split into ceil(size / block_bytes) independent tasks, so the
+/// compute makespan keeps falling when workers outnumber files instead
+/// of saturating at the largest whole file. 0 keeps the paper's
+/// whole-file executor.
 double cluster_compress_seconds(std::span<const double> file_bytes,
                                 int nodes, int cores_per_node,
                                 const ComputeRates& rates,
-                                const SharedFilesystem& fs);
+                                const SharedFilesystem& fs,
+                                double block_bytes = 0.0);
 
 /// Virtual-time cost of decompressing back to `file_bytes` raw sizes.
 double cluster_decompress_seconds(std::span<const double> file_bytes,
                                   int nodes, int cores_per_node,
                                   const ComputeRates& rates,
-                                  const SharedFilesystem& fs);
+                                  const SharedFilesystem& fs,
+                                  double block_bytes = 0.0);
 
 }  // namespace ocelot

@@ -1,11 +1,19 @@
 #pragma once
 // Real parallel (de)compression of a file batch (Section VII-A).
 //
-// Each worker compresses whole files ("we let each core handle the
-// compression of a set of files in parallel"); speedup saturates when
-// workers outnumber files, exactly as Fig. 9 (left) shows.
+// Two parallelization modes:
+//   * whole-file (the paper's executor): each worker compresses whole
+//     files ("we let each core handle the compression of a set of
+//     files in parallel"); speedup saturates when workers outnumber
+//     files, exactly as Fig. 9 (left) shows.
+//   * block-parallel: each file is split into fixed-size blocks along
+//     its slowest dimension and every (file, block) pair is an
+//     independent task, so a single large field keeps all cores busy.
+//     Blobs become OCB1 block containers (see io/block_container.hpp)
+//     and decompression is block-parallel too.
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -20,6 +28,7 @@ struct ParallelCompressResult {
   double wall_seconds = 0.0;
   double total_raw_bytes = 0.0;
   double total_compressed_bytes = 0.0;
+  std::size_t task_count = 0;   ///< files (whole-file) or blocks (blocked)
 
   [[nodiscard]] double ratio() const {
     return total_compressed_bytes > 0.0
@@ -28,12 +37,22 @@ struct ParallelCompressResult {
   }
 };
 
-/// Compresses `fields` with `workers` threads.
+/// Compresses `fields` with `workers` threads. `block_slabs` == 0
+/// keeps the whole-file mode; a positive value splits every field into
+/// blocks of that many slowest-dimension slabs, compresses all blocks
+/// of all files concurrently, and emits one OCB1 container per field.
+/// The error bound is resolved against each full field before
+/// splitting, so blocked output honors the same bound as the
+/// single-shot codec, and container bytes are identical for every
+/// worker count.
 ParallelCompressResult parallel_compress(
     const std::vector<FloatArray>& fields, const CompressionConfig& config,
-    std::size_t workers);
+    std::size_t workers, std::size_t block_slabs = 0);
 
-/// Decompresses `blobs` with `workers` threads; returns arrays in order.
+/// Decompresses `blobs` with `workers` threads; returns arrays in
+/// order. Each blob may be a plain OCZ1 blob or an OCB1 block
+/// container (detected by magic); container blocks decompress
+/// concurrently.
 struct ParallelDecompressResult {
   std::vector<FloatArray> fields;
   double wall_seconds = 0.0;
@@ -41,5 +60,39 @@ struct ParallelDecompressResult {
 
 ParallelDecompressResult parallel_decompress(const std::vector<Bytes>& blobs,
                                              std::size_t workers);
+
+/// View-based overload: decodes without copying blob storage (the
+/// single-container wrapper below and zero-copy callers use this).
+ParallelDecompressResult parallel_decompress(
+    const std::vector<std::span<const std::uint8_t>>& blobs,
+    std::size_t workers);
+
+/// Single-field convenience wrappers used by the scaling bench and the
+/// rate calibration path.
+struct BlockCompressResult {
+  Bytes container;
+  double wall_seconds = 0.0;
+  std::size_t n_blocks = 0;
+  double raw_bytes = 0.0;
+
+  [[nodiscard]] double ratio() const {
+    return container.empty() ? 0.0
+                             : raw_bytes /
+                                   static_cast<double>(container.size());
+  }
+};
+
+BlockCompressResult block_compress(const FloatArray& field,
+                                   const CompressionConfig& config,
+                                   std::size_t workers,
+                                   std::size_t block_slabs);
+
+struct BlockDecompressResult {
+  FloatArray field;
+  double wall_seconds = 0.0;
+};
+
+BlockDecompressResult block_decompress(std::span<const std::uint8_t> container,
+                                       std::size_t workers);
 
 }  // namespace ocelot

@@ -1,0 +1,155 @@
+#include "io/block_container.hpp"
+
+#include <cstring>
+
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "compressor/compressor.hpp"
+
+namespace ocelot {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'O', 'C', 'B', '1'};
+
+/// Ceiling on total field elements accepted from an untrusted header
+/// (2^40 elements = 4 TB of floats): far beyond any real field, small
+/// enough that malformed dims fail with CorruptStream instead of a
+/// wrapped Shape::size() or an OOM allocation.
+constexpr std::uint64_t kMaxElements = 1ull << 40;
+
+void write_shape(BytesWriter& out, const Shape& shape) {
+  out.put(static_cast<std::uint8_t>(shape.rank()));
+  for (int d = 0; d < shape.rank(); ++d) out.put_varint(shape.dim(d));
+}
+
+Shape read_shape(BytesReader& in) {
+  const int rank = in.get<std::uint8_t>();
+  if (rank < 1 || rank > 3) throw CorruptStream("block container: bad rank");
+  std::size_t dims[3] = {1, 1, 1};
+  std::uint64_t elements = 1;
+  for (int d = 0; d < rank; ++d) {
+    dims[d] = in.get_varint();
+    if (dims[d] == 0) throw CorruptStream("block container: zero dimension");
+    if (dims[d] > kMaxElements / elements)
+      throw CorruptStream("block container: implausible dimensions");
+    elements *= dims[d];
+  }
+  if (rank == 1) return Shape(dims[0]);
+  if (rank == 2) return Shape(dims[0], dims[1]);
+  return Shape(dims[0], dims[1], dims[2]);
+}
+
+}  // namespace
+
+std::vector<BlockSpan> plan_blocks(std::size_t dim0,
+                                   std::size_t block_slabs) {
+  require(dim0 > 0, "plan_blocks: empty dimension");
+  require(block_slabs > 0, "plan_blocks: zero block size");
+  // Clamping preserves the single-block semantics of oversized blocks
+  // and keeps `begin += block_slabs` from ever wrapping.
+  block_slabs = std::min(block_slabs, dim0);
+  std::vector<BlockSpan> spans;
+  spans.reserve(dim0 / block_slabs + (dim0 % block_slabs != 0 ? 1 : 0));
+  for (std::size_t begin = 0; begin < dim0; begin += block_slabs) {
+    spans.push_back({begin, std::min(block_slabs, dim0 - begin)});
+  }
+  return spans;
+}
+
+Shape block_shape(const Shape& full, const BlockSpan& span) {
+  switch (full.rank()) {
+    case 1:
+      return Shape(span.slab_count);
+    case 2:
+      return Shape(span.slab_count, full.dim(1));
+    default:
+      return Shape(span.slab_count, full.dim(1), full.dim(2));
+  }
+}
+
+bool is_block_container(std::span<const std::uint8_t> data) {
+  return data.size() >= 4 && std::memcmp(data.data(), kMagic, 4) == 0;
+}
+
+Bytes build_block_container(const Shape& shape, std::size_t block_slabs,
+                            const std::vector<Bytes>& block_payloads) {
+  const auto spans = plan_blocks(shape.dim(0), block_slabs);
+  require(block_payloads.size() == spans.size(),
+          "build_block_container: payload count does not match block plan");
+  BytesWriter out;
+  out.put_bytes(kMagic);
+  write_shape(out, shape);
+  out.put_varint(block_slabs);
+  out.put_varint(block_payloads.size());
+  for (const auto& payload : block_payloads) {
+    require(!payload.empty(), "build_block_container: empty block payload");
+    out.put_varint(payload.size());
+    out.put(crc32(payload));
+  }
+  for (const auto& payload : block_payloads) out.put_bytes(payload);
+  return out.take();
+}
+
+BlockContainerInfo read_block_index(
+    std::span<const std::uint8_t> container) {
+  BytesReader in(container);
+  const auto magic = in.get_bytes(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0)
+    throw CorruptStream("block container: bad magic");
+
+  BlockContainerInfo info;
+  info.shape = read_shape(in);
+  info.block_slabs = in.get_varint();
+  if (info.block_slabs == 0)
+    throw CorruptStream("block container: zero block size");
+  const std::uint64_t count = in.get_varint();
+  // Expected block count, computed arithmetically so implausible dims
+  // never materialize a plan; bs is clamped like plan_blocks does.
+  const std::size_t dim0 = info.shape.dim(0);
+  const std::size_t bs = std::min(info.block_slabs, dim0);
+  const std::uint64_t expected = dim0 / bs + (dim0 % bs != 0 ? 1 : 0);
+  if (count != expected)
+    throw CorruptStream("block container: block count does not match shape");
+  if (count > container.size())  // every block carries >= 1 payload byte
+    throw CorruptStream("block container: more blocks than bytes");
+
+  info.blocks.resize(count);
+  for (auto& entry : info.blocks) {
+    entry.size = in.get_varint();
+    if (entry.size == 0) throw CorruptStream("block container: empty block");
+    entry.crc = in.get<std::uint32_t>();
+  }
+  std::size_t offset = container.size() - in.remaining();
+  for (auto& entry : info.blocks) {
+    entry.offset = offset;
+    // Bounds-check before accumulating so crafted sizes can neither
+    // wrap the sum nor send block_payload past the buffer.
+    if (entry.size > container.size() - offset)
+      throw CorruptStream("block container: block overruns the buffer");
+    offset += entry.size;
+  }
+  if (offset != container.size())
+    throw CorruptStream("block container: body size mismatch");
+  return info;
+}
+
+std::span<const std::uint8_t> block_payload(
+    std::span<const std::uint8_t> container, const BlockContainerInfo& info,
+    std::size_t i) {
+  require(i < info.blocks.size(), "block_payload: block index out of range");
+  const BlockIndexEntry& entry = info.blocks[i];
+  const auto payload = container.subspan(entry.offset, entry.size);
+  if (crc32(payload) != entry.crc)
+    throw CorruptStream("block container: checksum mismatch in block " +
+                        std::to_string(i));
+  return payload;
+}
+
+FloatArray decompress_block(std::span<const std::uint8_t> container,
+                            std::size_t i) {
+  const BlockContainerInfo info = read_block_index(container);
+  return decompress<float>(block_payload(container, info, i));
+}
+
+}  // namespace ocelot

@@ -1,0 +1,79 @@
+#pragma once
+// Self-describing container for a block-compressed field ("OCB1").
+//
+// The block-parallel codec splits one FloatArray into fixed-size
+// blocks along the slowest dimension, compresses every block
+// independently (each block is a standard OCZ1 blob), and serializes
+// them here. The container records the full field shape, the block
+// geometry, and a per-block (length, CRC-32) index, so a reader can
+//   * decompress all blocks concurrently,
+//   * fetch a single block without touching the rest (random access),
+//   * reject corrupted payloads before decompression.
+//
+// Layout: magic "OCB1", shape (rank + dims), varint block_slabs,
+// varint block count, per-block varint payload length + u32 CRC-32,
+// then the payloads concatenated in block order. Because block order
+// and per-block compression are deterministic, container bytes do not
+// depend on how many threads produced them.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ndarray.hpp"
+
+namespace ocelot {
+
+/// One block of the slab split: a contiguous run of slowest-dimension
+/// slabs. `slab_begin`/`slab_count` index dimension 0 of the field.
+struct BlockSpan {
+  std::size_t slab_begin = 0;
+  std::size_t slab_count = 0;
+};
+
+/// Splits `dim0` slabs into blocks of `block_slabs` (last may be
+/// short). `block_slabs` >= dim0 yields a single block.
+std::vector<BlockSpan> plan_blocks(std::size_t dim0,
+                                   std::size_t block_slabs);
+
+/// Shape of one block of `full`: the slab count replaces dim 0, the
+/// rank is preserved.
+Shape block_shape(const Shape& full, const BlockSpan& span);
+
+/// Parsed container index.
+struct BlockIndexEntry {
+  std::size_t offset = 0;  ///< payload start within the container
+  std::size_t size = 0;    ///< payload bytes
+  std::uint32_t crc = 0;   ///< CRC-32 of the payload
+};
+
+struct BlockContainerInfo {
+  Shape shape;                   ///< full field shape
+  std::size_t block_slabs = 0;   ///< slabs per block along dim 0
+  std::vector<BlockIndexEntry> blocks;  ///< in slab order
+};
+
+/// True iff `data` starts with the OCB1 magic.
+bool is_block_container(std::span<const std::uint8_t> data);
+
+/// Assembles a container from per-block compressed payloads, which
+/// must be in slab order and match plan_blocks(shape.dim(0),
+/// block_slabs) in count.
+Bytes build_block_container(const Shape& shape, std::size_t block_slabs,
+                            const std::vector<Bytes>& block_payloads);
+
+/// Parses the header/index. Throws CorruptStream on malformed input.
+BlockContainerInfo read_block_index(std::span<const std::uint8_t> container);
+
+/// Returns the payload view for block `i`, verifying its checksum.
+/// Throws CorruptStream on a checksum mismatch.
+std::span<const std::uint8_t> block_payload(
+    std::span<const std::uint8_t> container, const BlockContainerInfo& info,
+    std::size_t i);
+
+/// Random access: decompresses only block `i` of the container.
+FloatArray decompress_block(std::span<const std::uint8_t> container,
+                            std::size_t i);
+
+}  // namespace ocelot

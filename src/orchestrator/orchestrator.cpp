@@ -154,10 +154,12 @@ void Orchestrator::start_compressed_leg(Runtime& rt) {
 
   rt.cp_seconds = cluster_compress_seconds(
       rt.spec.inventory.raw_bytes, config.compress_nodes,
-      config.compress_cores_per_node, config.rates, src_site.fs);
+      config.compress_cores_per_node, config.rates, src_site.fs,
+      config.block_bytes);
   rt.dp_seconds = cluster_decompress_seconds(
       rt.spec.inventory.raw_bytes, config.decompress_nodes,
-      config.decompress_cores_per_node, config.rates, dst_site.fs);
+      config.decompress_cores_per_node, config.rates, dst_site.fs,
+      config.block_bytes);
 
   FuncXEndpointConfig src_faas = config.faas;
   if (src_faas.name.empty()) src_faas.name = config.src + "-ep";

@@ -66,7 +66,11 @@ TEST(LocalPipeline, EndToEndRespectsErrorBoundAndWritesOutput) {
   }
   EXPECT_GT(result.compression.ratio(), 1.5);
   EXPECT_GT(result.min_psnr_db, 40.0);
+#ifndef OCELOT_SANITIZE_BUILD
+  // Wall-clock assertion: sanitizer instrumentation slows the real
+  // compression ~15x, so only plain builds can expect the payoff.
   EXPECT_GT(result.speedup(), 1.0);  // compression must pay off
+#endif
 }
 
 TEST(LocalPipeline, GroupingReducesWireFiles) {

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_<name>.json file against regression thresholds.
+
+The bench binaries (see bench/bench_common.hpp BenchReport) emit
+machine-readable results; CI's bench-smoke job runs
+
+    OCELOT_BENCH_DIR=. build/bench_blocks_scaling --smoke
+    python3 tools/check_bench.py BENCH_smoke.json \
+        --min-ratio 1.5 --min-speedup 0.9
+
+and fails the build when round-trip ratio or parallel speedup regress
+past the thresholds, or when the codec violates its error bound
+(metrics.max_error_over_eb > 1). Only the standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="path to a BENCH_<name>.json")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=None,
+        help="minimum acceptable metrics.ratio",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="minimum acceptable metrics.best_speedup",
+    )
+    parser.add_argument(
+        "--min-metric",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra floor on any metrics entry (repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.bench_json, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot read {args.bench_json}: {exc}")
+
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        fail("no metrics object in report")
+
+    checks = []
+    if args.min_ratio is not None:
+        checks.append(("ratio", args.min_ratio))
+    if args.min_speedup is not None:
+        checks.append(("best_speedup", args.min_speedup))
+    for spec in args.min_metric:
+        key, _, value = spec.partition("=")
+        if not value:
+            fail(f"bad --min-metric '{spec}', expected KEY=VALUE")
+        checks.append((key, float(value)))
+
+    for key, floor in checks:
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)):
+            fail(f"metric '{key}' missing or non-numeric (got {value!r})")
+        if value < floor:
+            fail(f"metric '{key}' = {value:.4g} below floor {floor:.4g}")
+        print(f"check_bench: ok: {key} = {value:.4g} >= {floor:.4g}")
+
+    over_eb = metrics.get("max_error_over_eb")
+    if over_eb is not None:
+        if not isinstance(over_eb, (int, float)):
+            fail("metric 'max_error_over_eb' is non-numeric")
+        if over_eb > 1.0:
+            fail(f"error bound violated: max|err|/eb = {over_eb:.4g} > 1")
+        print(f"check_bench: ok: max_error_over_eb = {over_eb:.4g} <= 1")
+
+    print(f"check_bench: PASS ({report.get('bench', '?')})")
+
+
+if __name__ == "__main__":
+    main()

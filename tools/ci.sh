@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
 # Single entry point for CI and local verification: configure with the
 # full warning set, build everything, run the test suite.
+#
+# Extra cmake flags pass straight through, e.g.
+#   tools/ci.sh -DCMAKE_BUILD_TYPE=Debug
+# Set OCELOT_SANITIZE=1 (or pass -DOCELOT_SANITIZE=ON) for the
+# ASan+UBSan configuration the sanitizer CI job runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 
-cmake -B "$BUILD_DIR" -S . -DOCELOT_WARNINGS=ON "$@"
+EXTRA_FLAGS=()
+if [[ "${OCELOT_SANITIZE:-0}" == "1" ]]; then
+  EXTRA_FLAGS+=(-DOCELOT_SANITIZE=ON)
+fi
+
+cmake -B "$BUILD_DIR" -S . -DOCELOT_WARNINGS=ON \
+  ${EXTRA_FLAGS[@]+"${EXTRA_FLAGS[@]}"} "$@"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
