@@ -17,7 +17,7 @@ int main() {
 
   const auto observations =
       collect_observations({"Nyx", "CESM", "Miranda", "ISABEL"}, 0.06,
-                           default_eb_sweep(), {Pipeline::kSz3Interp});
+                           default_eb_sweep(), {"sz3-interp"});
   const ObservationSplit split = split_observations(observations, 0.3);
 
   std::vector<QualitySample> train_samples;

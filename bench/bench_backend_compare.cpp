@@ -1,0 +1,108 @@
+// Cross-backend comparison: every registered compressor backend on
+// the same synthetic fields at the same value-range-relative bound —
+// ratio, throughput, PSNR, and error-bound compliance per backend.
+// The table a user reads before trusting the advisor's pick, and the
+// CI gate proving each registered family round-trips under its bound.
+//
+// Usage: bench_backend_compare [--smoke]
+//   --smoke  tiny fields for the CI bench-smoke job. Both modes emit
+//            BENCH_backend_compare.json for tools/check_bench.py.
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "compressor/backend.hpp"
+#include "datagen/datasets.hpp"
+
+using namespace ocelot;
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const double scale = smoke ? 0.06 : 0.15;
+  const double eb = 1e-3;  // value-range-relative
+
+  struct Case {
+    const char* app;
+    const char* field;
+  };
+  const Case cases[] = {{"Miranda", "density"}, {"CESM", "TMQ"}};
+
+  bench::BenchReport report("backend_compare");
+  TextTable table({"backend", "field", "ratio", "MB/s comp", "MB/s decomp",
+                   "PSNR (dB)", "|err|/eb"});
+
+  const auto backends = BackendRegistry::instance().list();
+  std::map<std::string, double> worst_ratio_per_backend;
+  double max_error_over_eb = 0.0;
+  double min_psnr_db = 1e12;
+
+  for (const Case& c : cases) {
+    const FloatArray data = generate_field(c.app, c.field, scale, 77);
+    const double mb = static_cast<double>(data.byte_size()) / 1e6;
+    for (const CompressorBackend* backend : backends) {
+      CompressionConfig config;
+      config.backend = backend->name();
+      config.eb_mode = EbMode::kValueRangeRel;
+      config.eb = eb;
+      const RoundTripStats stats = measure_roundtrip(data, config);
+
+      const double err_over_eb =
+          stats.abs_eb > 0.0 ? stats.max_error / stats.abs_eb : 0.0;
+      max_error_over_eb = std::max(max_error_over_eb, err_over_eb);
+      min_psnr_db = std::min(min_psnr_db, stats.psnr_db);
+      const auto it = worst_ratio_per_backend.find(backend->name());
+      if (it == worst_ratio_per_backend.end() ||
+          stats.compression_ratio < it->second) {
+        worst_ratio_per_backend[backend->name()] = stats.compression_ratio;
+      }
+
+      const std::string label =
+          backend->name() + "/" + c.app + "/" + c.field;
+      const double comp_mbs =
+          stats.compress_seconds > 0.0 ? mb / stats.compress_seconds : 0.0;
+      const double decomp_mbs =
+          stats.decompress_seconds > 0.0 ? mb / stats.decompress_seconds : 0.0;
+      table.add_row({backend->name(), std::string(c.app) + "/" + c.field,
+                     fmt_double(stats.compression_ratio, 2),
+                     fmt_double(comp_mbs, 1), fmt_double(decomp_mbs, 1),
+                     fmt_double(stats.psnr_db, 1),
+                     fmt_double(err_over_eb, 3)});
+      report.add_row(label,
+                     {{"ratio", stats.compression_ratio},
+                      {"compress_mb_s", comp_mbs},
+                      {"decompress_mb_s", decomp_mbs},
+                      {"psnr_db", stats.psnr_db},
+                      {"max_error_over_eb", err_over_eb},
+                      {"compressed_bytes",
+                       static_cast<double>(stats.compressed_bytes)}});
+    }
+  }
+
+  std::cout << "=== registered backends on synthetic fields, rel eb " << eb
+            << " (scale " << scale << ") ===\n\n";
+  table.print(std::cout);
+
+  // Gate metrics: every backend's worst-case ratio must clear the
+  // floor, every round trip must respect its bound, and all
+  // registered families must have been exercised.
+  double worst_ratio = 1e12;
+  for (const auto& [name, ratio] : worst_ratio_per_backend) {
+    report.set_metric("ratio_" + name, ratio);
+    worst_ratio = std::min(worst_ratio, ratio);
+  }
+  report.set_metric("ratio", worst_ratio);
+  report.set_metric("psnr_db", min_psnr_db);
+  report.set_metric("max_error_over_eb", max_error_over_eb);
+  report.set_metric("backends", static_cast<double>(backends.size()));
+
+  std::cout << "\nworst ratio across backends "
+            << fmt_double(worst_ratio, 2) << "x, min PSNR "
+            << fmt_double(min_psnr_db, 1) << " dB, max |err|/eb "
+            << fmt_double(max_error_over_eb, 3) << " (must be <= 1)\n";
+  const std::string path = report.write();
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   const std::size_t block_slabs = std::max<std::size_t>(1, shape.dim(0) / 32);
 
   CompressionConfig config;
-  config.pipeline = Pipeline::kSz3Interp;
+  config.backend = "sz3-interp";
   config.eb_mode = EbMode::kValueRangeRel;
   config.eb = 1e-3;
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "compressor/backend.hpp"
 #include "ml/random_forest.hpp"
 
 namespace ocelot::bench {
@@ -122,7 +123,7 @@ std::vector<double> dense_eb_sweep() {
 
 std::vector<Observation> collect_observations(
     const std::vector<std::string>& apps, double scale,
-    const std::vector<double>& ebs, const std::vector<Pipeline>& pipelines,
+    const std::vector<double>& ebs, const std::vector<std::string>& backends,
     std::uint64_t seed, std::size_t sample_stride, int variants) {
   std::vector<Observation> observations;
   for (std::size_t app_idx = 0; app_idx < apps.size(); ++app_idx) {
@@ -130,10 +131,12 @@ std::vector<Observation> collect_observations(
         generate_application(apps[app_idx], scale, seed, variants);
     for (const auto& field : fields) {
       const DataFeatures df = extract_data_features(field.data);
-      for (const Pipeline pipeline : pipelines) {
+      for (const std::string& backend : backends) {
+        const std::uint8_t backend_id =
+            BackendRegistry::instance().by_name(backend).wire_id();
         for (const double eb : ebs) {
           CompressionConfig config;
-          config.pipeline = pipeline;
+          config.backend = backend;
           config.eb_mode = EbMode::kValueRangeRel;
           config.eb = eb;
 
@@ -141,13 +144,13 @@ std::vector<Observation> collect_observations(
           obs.app = apps[app_idx];
           obs.field = field.name;
           obs.eb = eb;
-          obs.pipeline = pipeline;
+          obs.backend = backend;
 
           const double abs_eb = resolve_abs_eb(field.data, config);
           const CompressorFeatures cf = extract_compressor_features(
               field.data, abs_eb, sample_stride);
           obs.sample.features =
-              assemble_feature_vector(abs_eb, pipeline, df, cf);
+              assemble_feature_vector(abs_eb, backend_id, df, cf);
           obs.stats = measure_roundtrip(field.data, config);
           obs.sample.compression_ratio = obs.stats.compression_ratio;
           obs.sample.compress_seconds = obs.stats.compress_seconds;

@@ -58,7 +58,7 @@ struct Observation {
   std::string app;
   std::string field;
   double eb = 0.0;  ///< value-range-relative bound
-  Pipeline pipeline = Pipeline::kSz3Interp;
+  std::string backend = "sz3-interp";  ///< BackendRegistry key
   QualitySample sample;   ///< features + measured targets
   RoundTripStats stats;   ///< full measured round-trip record
 };
@@ -70,11 +70,11 @@ std::vector<double> default_eb_sweep();
 std::vector<double> dense_eb_sweep();
 
 /// Runs real compression over every field of `apps` at `scale` for
-/// each (eb, pipeline) combination; returns one Observation each.
+/// each (eb, backend) combination; returns one Observation each.
 /// `group_ids` in the samples are indices into `apps`.
 std::vector<Observation> collect_observations(
     const std::vector<std::string>& apps, double scale,
-    const std::vector<double>& ebs, const std::vector<Pipeline>& pipelines,
+    const std::vector<double>& ebs, const std::vector<std::string>& backends,
     std::uint64_t seed = 4242, std::size_t sample_stride = 20,
     int variants = 1);
 

@@ -26,13 +26,13 @@ int main() {
     const ValueSummary s = summarize(field.data.values());
     const double abs_eb = 1e-3 * (s.range > 0 ? s.range : 1.0);
 
-    for (const Pipeline p : {Pipeline::kLorenzo, Pipeline::kSz3Interp}) {
+    for (const char* backend : {"lorenzo", "sz3-interp"}) {
       CompressionConfig config;
-      config.pipeline = p;
+      config.backend = backend;
       config.eb_mode = EbMode::kAbsolute;
       config.eb = abs_eb;
       const RoundTripStats stats = measure_roundtrip(field.data, config);
-      table.add_row({std::string(app) + "/" + field.name, to_string(p),
+      table.add_row({std::string(app) + "/" + field.name, backend,
                      fmt_double(stats.compression_ratio, 2),
                      fmt_double(stats.compress_seconds * 1e3, 2),
                      fmt_double(stats.psnr_db, 1),

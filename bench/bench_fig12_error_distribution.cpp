@@ -16,7 +16,7 @@ int main() {
 
   const auto observations =
       collect_observations({"Nyx", "CESM", "Miranda"}, 0.07,
-                           default_eb_sweep(), {Pipeline::kSz3Interp});
+                           default_eb_sweep(), {"sz3-interp"});
   const ObservationSplit split = split_observations(observations, 0.3);
   const QualityModel model = train_on(observations, split.train);
 

@@ -16,7 +16,7 @@ int main() {
 
   const auto nyx_fields = generate_application("Nyx", 0.08, 11);
   CompressionConfig config;
-  config.pipeline = Pipeline::kSz3Interp;
+  config.backend = "sz3-interp";
   config.eb_mode = EbMode::kValueRangeRel;
   config.eb = 1e-3;
 

@@ -15,7 +15,7 @@ int main() {
                "features ===\n\n";
 
   const auto observations = collect_observations(
-      {"RTM"}, 0.09, default_eb_sweep(), {Pipeline::kSz3Interp});
+      {"RTM"}, 0.09, default_eb_sweep(), {"sz3-interp"});
 
   TextTable table({"snapshot", "eb", "p0", "P0", "quant entropy",
                    "time (ms)"});

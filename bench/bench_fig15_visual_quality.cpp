@@ -54,7 +54,7 @@ int main() {
   for (const Case& c : cases) {
     const FloatArray original = generate_field("CESM", c.field, 0.08, 42);
     CompressionConfig config;
-    config.pipeline = Pipeline::kSz3Interp;
+    config.backend = "sz3-interp";
     config.eb_mode = EbMode::kValueRangeRel;
     config.eb = c.eb;
     const Bytes blob = compress(original, config);

@@ -17,7 +17,7 @@ double measured_ratio(const std::string& app) {
   double raw = 0.0, compressed = 0.0;
   for (const auto& field : generate_application(app, 0.12, 77)) {
     CompressionConfig config;
-    config.pipeline = Pipeline::kSz3Interp;
+    config.backend = "sz3-interp";
     config.eb_mode = EbMode::kValueRangeRel;
     config.eb = 1e-3;
     const RoundTripStats stats = measure_roundtrip(field.data, config);

@@ -30,7 +30,7 @@ int main() {
     std::vector<double> times;
     for (std::size_t i = 0; i < snapshots.size(); ++i) {
       CompressionConfig config;
-      config.pipeline = Pipeline::kSz3Interp;
+      config.backend = "sz3-interp";
       config.eb_mode = EbMode::kValueRangeRel;
       config.eb = eb;
       const RoundTripStats stats = measure_roundtrip(snapshots[i], config);

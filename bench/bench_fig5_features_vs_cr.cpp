@@ -16,7 +16,7 @@ int main() {
                "ratio (Nyx) ===\n\n";
 
   const auto observations = collect_observations(
-      {"Nyx"}, 0.07, default_eb_sweep(), {Pipeline::kSz3Interp});
+      {"Nyx"}, 0.07, default_eb_sweep(), {"sz3-interp"});
 
   TextTable table({"field", "eb", "p0", "quant entropy", "Rrle", "CR"});
   std::vector<double> p0s, entropies, rrles, crs;

@@ -18,13 +18,13 @@ int main() {
 
   // Tune the ad-hoc C1 on Nyx (where the formula happens to work).
   const auto nyx = collect_observations({"Nyx"}, 0.07, default_eb_sweep(),
-                                        {Pipeline::kSz3Interp});
+                                        {"sz3-interp"});
   const AdHocRatioEstimator adhoc = AdHocRatioEstimator::fit(to_samples(nyx));
   std::cout << "C1 fitted on Nyx: " << fmt_double(adhoc.c1, 4) << "\n\n";
 
   // Evaluate both estimators on Miranda.
   const auto miranda = collect_observations(
-      {"Miranda"}, 0.07, default_eb_sweep(), {Pipeline::kSz3Interp});
+      {"Miranda"}, 0.07, default_eb_sweep(), {"sz3-interp"});
   const ObservationSplit split = split_observations(miranda, 0.3);
   const QualityModel model = train_on(miranda, split.train);
 

@@ -14,7 +14,7 @@ namespace {
 
 void report(const std::string& app, double scale) {
   const auto observations = collect_observations(
-      {app}, scale, default_eb_sweep(), {Pipeline::kSz3Interp});
+      {app}, scale, default_eb_sweep(), {"sz3-interp"});
 
   TextTable table({"field", "eb", "p0", "P0", "quant entropy", "PSNR"});
   std::vector<double> p0s, big_p0s, entropies, psnrs;

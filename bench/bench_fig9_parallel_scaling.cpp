@@ -50,7 +50,7 @@ int main() {
     fields.push_back(std::move(f.data));
   }
   CompressionConfig config;
-  config.pipeline = Pipeline::kSz3Interp;
+  config.backend = "sz3-interp";
   config.eb_mode = EbMode::kValueRangeRel;
   config.eb = 1e-3;
 

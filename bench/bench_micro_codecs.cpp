@@ -5,6 +5,7 @@
 #include "codec/huffman.hpp"
 #include "codec/lzb.hpp"
 #include "common/rng.hpp"
+#include "compressor/backend.hpp"
 #include "compressor/compressor.hpp"
 #include "datagen/datasets.hpp"
 
@@ -69,7 +70,9 @@ void BM_PipelineCompress(benchmark::State& state) {
   const FloatArray data =
       generate_field("Miranda", "density", 0.08, 31);
   CompressionConfig config;
-  config.pipeline = static_cast<Pipeline>(state.range(0));
+  config.backend = BackendRegistry::instance()
+                       .by_id(static_cast<std::uint8_t>(state.range(0)))
+                       .name();
   config.eb_mode = EbMode::kValueRangeRel;
   config.eb = 1e-3;
   for (auto _ : state) {
@@ -77,15 +80,17 @@ void BM_PipelineCompress(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() *
                           static_cast<std::int64_t>(data.byte_size()));
-  state.SetLabel(to_string(config.pipeline));
+  state.SetLabel(config.backend);
 }
-BENCHMARK(BM_PipelineCompress)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_PipelineCompress)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_PipelineDecompress(benchmark::State& state) {
   const FloatArray data =
       generate_field("Miranda", "density", 0.08, 31);
   CompressionConfig config;
-  config.pipeline = static_cast<Pipeline>(state.range(0));
+  config.backend = BackendRegistry::instance()
+                       .by_id(static_cast<std::uint8_t>(state.range(0)))
+                       .name();
   config.eb_mode = EbMode::kValueRangeRel;
   config.eb = 1e-3;
   const Bytes blob = compress(data, config);
@@ -94,9 +99,9 @@ void BM_PipelineDecompress(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() *
                           static_cast<std::int64_t>(data.byte_size()));
-  state.SetLabel(to_string(config.pipeline));
+  state.SetLabel(config.backend);
 }
-BENCHMARK(BM_PipelineDecompress)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_PipelineDecompress)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

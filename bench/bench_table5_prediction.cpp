@@ -19,7 +19,7 @@ int main() {
 
   const std::vector<std::string> apps = {"Nyx", "CESM", "RTM", "Miranda"};
   const auto observations = collect_observations(
-      apps, 0.07, default_eb_sweep(), {Pipeline::kSz3Interp});
+      apps, 0.07, default_eb_sweep(), {"sz3-interp"});
   const ObservationSplit split = split_observations(observations, 0.3);
   const QualityModel model = train_on(observations, split.train);
 

@@ -15,7 +15,7 @@ int main() {
 
   const auto observations =
       collect_observations({"CESM"}, 0.08, dense_eb_sweep(),
-                           {Pipeline::kSz3Interp}, 4242, 20, /*variants=*/2);
+                           {"sz3-interp"}, 4242, 20, /*variants=*/2);
   const ObservationSplit split = split_observations(observations, 0.5);
   const QualityModel model = train_on(observations, split.train);
 

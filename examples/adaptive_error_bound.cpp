@@ -20,7 +20,7 @@ int main() {
   std::cout << "training quality model on CESM + Miranda history...\n";
   const auto history =
       collect_observations({"CESM", "Miranda"}, 0.05, default_eb_sweep(),
-                           {Pipeline::kSz3Interp});
+                           {"sz3-interp"});
   const QualityModel model = QualityModel::train(to_samples(history));
   std::cout << "  " << history.size() << " observations\n\n";
 
@@ -32,7 +32,7 @@ int main() {
   std::vector<CompressionConfig> candidates;
   for (const double eb : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}) {
     CompressionConfig config;
-    config.pipeline = Pipeline::kSz3Interp;
+    config.backend = "sz3-interp";
     config.eb_mode = EbMode::kValueRangeRel;
     config.eb = eb;
     candidates.push_back(config);

@@ -35,7 +35,7 @@ int main() {
   wan.startup_s = 0.1;
 
   LocalPipelineConfig config;
-  config.compression.pipeline = Pipeline::kSz3Interp;
+  config.compression.backend = "sz3-interp";
   config.compression.eb_mode = EbMode::kValueRangeRel;
   config.compression.eb = 1e-3;
   config.workers = 4;

@@ -6,6 +6,7 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "compressor/backend.hpp"
 #include "compressor/compressor.hpp"
 #include "datagen/datasets.hpp"
 
@@ -19,10 +20,10 @@ int main() {
             << field.shape().dim(1) << " ("
             << fmt_bytes(static_cast<double>(field.byte_size())) << ")\n\n";
 
-  // 2. Pick a compression setting: SZ3-style interpolation pipeline
-  //    with a value-range-relative error bound of 1e-3.
+  // 2. Pick a compression setting: the SZ3-style interpolation
+  //    backend with a value-range-relative error bound of 1e-3.
   CompressionConfig config;
-  config.pipeline = Pipeline::kSz3Interp;
+  config.backend = "sz3-interp";
   config.eb_mode = EbMode::kValueRangeRel;
   config.eb = 1e-3;
 
@@ -45,13 +46,14 @@ int main() {
             << (quality > 50.0 ? "  (no visible difference expected)" : "")
             << "\n\n";
 
-  // 5. Try the other pipelines for comparison.
-  TextTable table({"pipeline", "ratio", "compress (ms)", "PSNR (dB)"});
-  for (const Pipeline p : kAllPipelines) {
+  // 5. Try every registered backend for comparison (a backend added
+  //    to the registry shows up here automatically).
+  TextTable table({"backend", "ratio", "compress (ms)", "PSNR (dB)"});
+  for (const std::string& backend : registered_backend_names()) {
     CompressionConfig c = config;
-    c.pipeline = p;
+    c.backend = backend;
     const RoundTripStats stats = measure_roundtrip(field, c);
-    table.add_row({to_string(p), fmt_double(stats.compression_ratio, 2),
+    table.add_row({backend, fmt_double(stats.compression_ratio, 2),
                    fmt_double(stats.compress_seconds * 1e3, 2),
                    fmt_double(stats.psnr_db, 2)});
   }

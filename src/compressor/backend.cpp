@@ -1,0 +1,134 @@
+#include "compressor/backend.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "codec/huffman.hpp"
+#include "compressor/multigrid.hpp"
+
+namespace ocelot {
+
+Bytes pack_codes(std::span<const std::uint32_t> codes,
+                 LosslessBackend lossless) {
+  const Bytes huff = huffman_encode(codes);
+  return lossless_compress(huff, lossless);
+}
+
+std::vector<std::uint32_t> unpack_codes(std::span<const std::uint8_t> packed) {
+  const Bytes huff = lossless_decompress(packed);
+  return huffman_decode(huff);
+}
+
+template <typename T>
+Bytes pack_raw_values(const std::vector<T>& values, LosslessBackend lossless) {
+  std::span<const std::uint8_t> bytes{
+      reinterpret_cast<const std::uint8_t*>(values.data()),
+      values.size() * sizeof(T)};
+  return lossless_compress(bytes, lossless);
+}
+
+template Bytes pack_raw_values<float>(const std::vector<float>&,
+                                      LosslessBackend);
+template Bytes pack_raw_values<double>(const std::vector<double>&,
+                                       LosslessBackend);
+
+template <typename T>
+std::vector<T> unpack_raw_values(std::span<const std::uint8_t> packed) {
+  const Bytes bytes = lossless_decompress(packed);
+  if (bytes.size() % sizeof(T) != 0)
+    throw CorruptStream("blob: raw value section misaligned");
+  std::vector<T> values(bytes.size() / sizeof(T));
+  if (!bytes.empty()) std::memcpy(values.data(), bytes.data(), bytes.size());
+  return values;
+}
+
+template std::vector<float> unpack_raw_values<float>(
+    std::span<const std::uint8_t>);
+template std::vector<double> unpack_raw_values<double>(
+    std::span<const std::uint8_t>);
+
+BackendRegistry::BackendRegistry() {
+  for (auto& backend : make_sz_backends()) add(std::move(backend));
+  add(make_multigrid_backend());
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+const CompressorBackend& BackendRegistry::add(
+    std::unique_ptr<CompressorBackend> backend) {
+  require(backend != nullptr, "BackendRegistry: null backend");
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = backend->name();
+  const std::uint8_t id = backend->wire_id();
+  require(!name.empty(), "BackendRegistry: empty backend name");
+  if (by_name_.count(name) > 0)
+    throw InvalidArgument("BackendRegistry: duplicate backend name " + name);
+  if (by_id_.count(id) > 0)
+    throw InvalidArgument("BackendRegistry: duplicate backend wire id " +
+                          std::to_string(id) + " (" + name + ")");
+  const CompressorBackend* raw = backend.get();
+  by_id_[id] = std::move(backend);
+  by_name_[name] = raw;
+  return *raw;
+}
+
+const CompressorBackend& BackendRegistry::by_name(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    std::ostringstream msg;
+    msg << "unknown compressor backend: " << name << " (registered:";
+    for (const auto& [id, backend] : by_id_) msg << " " << backend->name();
+    msg << ")";
+    throw InvalidArgument(msg.str());
+  }
+  return *it->second;
+}
+
+const CompressorBackend& BackendRegistry::by_id(std::uint8_t id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end())
+    throw CorruptStream("blob: unknown backend id " + std::to_string(id));
+  return *it->second;
+}
+
+const CompressorBackend* BackendRegistry::find(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<const CompressorBackend*> BackendRegistry::list() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const CompressorBackend*> backends;
+  backends.reserve(by_id_.size());
+  for (const auto& [id, backend] : by_id_) backends.push_back(backend.get());
+  return backends;
+}
+
+BackendRegistrar::BackendRegistrar(
+    std::unique_ptr<CompressorBackend> backend) {
+  try {
+    BackendRegistry::instance().add(std::move(backend));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: backend registration failed: %s\n",
+                 e.what());
+    std::abort();
+  }
+}
+
+std::vector<std::string> registered_backend_names() {
+  std::vector<std::string> names;
+  for (const CompressorBackend* b : BackendRegistry::instance().list()) {
+    names.push_back(b->name());
+  }
+  return names;
+}
+
+}  // namespace ocelot

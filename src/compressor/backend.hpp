@@ -1,0 +1,232 @@
+#pragma once
+// Pluggable compressor-backend registry.
+//
+// Every layer that used to switch on the closed Pipeline enum now
+// routes through this seam: compress<T>/decompress<T>/inspect_blob
+// resolve a CompressorBackend by name (when writing) or by the wire id
+// stored in the OCZ1 header (when reading), and the backend owns the
+// payload encode/decode against the shared section container, the
+// uniform quantizer, and the Huffman+lossless entropy stage.
+//
+// Adding a compressor family = implement CompressorBackend (usually
+// via TypedBackend to get both dtypes from one template), pick a fresh
+// wire id, and register it — in the BackendRegistry constructor
+// (backend.cpp) for in-tree families or with a namespace-scope
+// BackendRegistrar for out-of-tree ones. No other layer changes: the
+// advisor enumerates
+// candidates from the registry, the quality model keys its categorical
+// feature on the wire id, and the CLI/bench pick the backend up by
+// name. See CONTRIBUTING.md for the full recipe.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codec/lossless.hpp"
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/ndarray.hpp"
+#include "compressor/config.hpp"
+
+namespace ocelot {
+
+/// Parsed OCZ1 header, handed to backend decode. Layout (unchanged
+/// since the enum era, so old blobs parse bit-exactly): magic "OCZ1",
+/// dtype u8, backend wire id u8, resolved absolute eb f64, then the
+/// varint parameter block and the shape.
+struct BlobHeader {
+  std::uint8_t dtype = 0;
+  std::uint8_t backend_id = 0;
+  double abs_eb = 0.0;
+  std::uint32_t quant_radius = 0;
+  std::size_t anchor_stride = 0;
+  std::size_t block_size = 0;
+  Shape shape;
+};
+
+/// Named payload sections, serialized in insertion order.
+class SectionWriter {
+ public:
+  void add(const std::string& tag, Bytes bytes) {
+    sections_.emplace_back(tag, std::move(bytes));
+  }
+  void serialize(BytesWriter& out) const {
+    out.put_varint(sections_.size());
+    for (const auto& [tag, bytes] : sections_) {
+      out.put_string(tag);
+      out.put_blob(bytes);
+    }
+  }
+
+ private:
+  std::vector<std::pair<std::string, Bytes>> sections_;
+};
+
+class SectionReader {
+ public:
+  explicit SectionReader(BytesReader& in) {
+    const std::uint64_t count = in.get_varint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::string tag = in.get_string();
+      const auto blob = in.get_blob();
+      sections_[tag] = Bytes(blob.begin(), blob.end());
+    }
+  }
+
+  [[nodiscard]] const Bytes& get(const std::string& tag) const {
+    const auto it = sections_.find(tag);
+    if (it == sections_.end())
+      throw CorruptStream("blob: missing section " + tag);
+    return it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& tag) const {
+    return sections_.count(tag) > 0;
+  }
+
+ private:
+  std::map<std::string, Bytes> sections_;
+};
+
+/// Shared entropy stage: Huffman on the u32 code stream, then the
+/// configured lossless backend. Every backend funnels its quantizer
+/// output through these so ratios stay comparable across families.
+Bytes pack_codes(std::span<const std::uint32_t> codes,
+                 LosslessBackend lossless);
+std::vector<std::uint32_t> unpack_codes(std::span<const std::uint8_t> packed);
+
+template <typename T>
+Bytes pack_raw_values(const std::vector<T>& values, LosslessBackend lossless);
+template <typename T>
+std::vector<T> unpack_raw_values(std::span<const std::uint8_t> packed);
+
+/// One tunable knob of a backend, for `ocelot backends` and docs.
+/// `field` names the CompressionConfig member that carries the value.
+struct BackendParam {
+  std::string field;
+  std::string description;
+  double default_value = 0.0;
+};
+
+/// A compression family: encodes an array into payload sections under
+/// a resolved absolute error bound and decodes them back. The encode
+/// and decode sides must reconstruct identical values (the quantizer
+/// contract), and every backend honors max|x - x^| <= abs_eb.
+class CompressorBackend {
+ public:
+  virtual ~CompressorBackend() = default;
+
+  /// Registry key (stable, lowercase, e.g. "sz3-interp").
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Wire id stored in the OCZ1 header. Ids 0-3 are the legacy
+  /// Pipeline enum values and must never be reassigned.
+  [[nodiscard]] virtual std::uint8_t wire_id() const = 0;
+  [[nodiscard]] virtual std::string description() const = 0;
+  [[nodiscard]] virtual std::vector<BackendParam> params() const { return {}; }
+
+  virtual void encode(const NdArray<float>& data, double abs_eb,
+                      const CompressionConfig& config,
+                      SectionWriter& out) const = 0;
+  virtual void encode(const NdArray<double>& data, double abs_eb,
+                      const CompressionConfig& config,
+                      SectionWriter& out) const = 0;
+
+  /// Decodes into `out`, pre-allocated with the header's shape.
+  virtual void decode(const BlobHeader& header, const SectionReader& in,
+                      NdArray<float>& out) const = 0;
+  virtual void decode(const BlobHeader& header, const SectionReader& in,
+                      NdArray<double>& out) const = 0;
+};
+
+/// CRTP helper: implement
+///   template <typename T> void encode_impl(const NdArray<T>&, double,
+///       const CompressionConfig&, SectionWriter&) const;
+///   template <typename T> void decode_impl(const BlobHeader&,
+///       const SectionReader&, NdArray<T>&) const;
+/// once and get both dtype overloads.
+template <typename Derived>
+class TypedBackend : public CompressorBackend {
+ public:
+  void encode(const NdArray<float>& data, double abs_eb,
+              const CompressionConfig& config,
+              SectionWriter& out) const final {
+    self().template encode_impl<float>(data, abs_eb, config, out);
+  }
+  void encode(const NdArray<double>& data, double abs_eb,
+              const CompressionConfig& config,
+              SectionWriter& out) const final {
+    self().template encode_impl<double>(data, abs_eb, config, out);
+  }
+  void decode(const BlobHeader& header, const SectionReader& in,
+              NdArray<float>& out) const final {
+    self().template decode_impl<float>(header, in, out);
+  }
+  void decode(const BlobHeader& header, const SectionReader& in,
+              NdArray<double>& out) const final {
+    self().template decode_impl<double>(header, in, out);
+  }
+
+ private:
+  [[nodiscard]] const Derived& self() const {
+    return static_cast<const Derived&>(*this);
+  }
+};
+
+/// Process-wide backend registry, keyed by name and by wire id. The
+/// built-in families are registered on first access, so linking the
+/// library always provides them; additional backends register via
+/// add() (see BackendRegistrar).
+class BackendRegistry {
+ public:
+  static BackendRegistry& instance();
+
+  /// Registers a backend. Throws InvalidArgument on a name or wire-id
+  /// clash. Returns the registered backend.
+  const CompressorBackend& add(std::unique_ptr<CompressorBackend> backend);
+
+  /// Lookup for writers: throws InvalidArgument (listing the
+  /// registered names) when `name` is unknown.
+  [[nodiscard]] const CompressorBackend& by_name(const std::string& name) const;
+
+  /// Lookup for readers: throws CorruptStream when the wire id is
+  /// unknown (a foreign or corrupt blob).
+  [[nodiscard]] const CompressorBackend& by_id(std::uint8_t id) const;
+
+  /// Nullptr instead of throwing.
+  [[nodiscard]] const CompressorBackend* find(const std::string& name) const;
+
+  /// All registered backends in wire-id order.
+  [[nodiscard]] std::vector<const CompressorBackend*> list() const;
+
+ private:
+  BackendRegistry();
+
+  mutable std::mutex mu_;
+  std::map<std::uint8_t, std::unique_ptr<CompressorBackend>> by_id_;
+  std::map<std::string, const CompressorBackend*> by_name_;
+};
+
+/// Registers a backend at static-initialization time from any linked
+/// translation unit:
+///   namespace { const BackendRegistrar reg{
+///       std::make_unique<MyBackend>()}; }
+/// A name/wire-id clash here is unrecoverable (no handler can exist
+/// during static init), so it is reported to stderr before aborting
+/// instead of escaping as an exception into std::terminate.
+struct BackendRegistrar {
+  explicit BackendRegistrar(std::unique_ptr<CompressorBackend> backend);
+};
+
+/// Names of all registered backends, in wire-id order.
+std::vector<std::string> registered_backend_names();
+
+/// Built-in SZ-family backends (lorenzo, sz2, sz3-interp, lorenzo2),
+/// wire ids 0-3. Defined in sz_backends.cpp.
+std::vector<std::unique_ptr<CompressorBackend>> make_sz_backends();
+
+}  // namespace ocelot

@@ -1,19 +1,11 @@
 #include "compressor/compressor.hpp"
 
 #include <cstring>
-#include <map>
-#include <string>
-#include <vector>
 
-#include "codec/huffman.hpp"
-#include "codec/lossless.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
-#include "compressor/interpolation.hpp"
-#include "compressor/quantizer.hpp"
-#include "compressor/regression.hpp"
-#include "compressor/traversal.hpp"
+#include "compressor/backend.hpp"
 
 namespace ocelot {
 
@@ -44,156 +36,21 @@ Shape read_shape(BytesReader& in) {
   return Shape(dims[0], dims[1], dims[2]);
 }
 
-/// Named payload sections, serialized in insertion order.
-class SectionWriter {
- public:
-  void add(const std::string& tag, Bytes bytes) {
-    sections_.emplace_back(tag, std::move(bytes));
-  }
-  void serialize(BytesWriter& out) const {
-    out.put_varint(sections_.size());
-    for (const auto& [tag, bytes] : sections_) {
-      out.put_string(tag);
-      out.put_blob(bytes);
-    }
-  }
-
- private:
-  std::vector<std::pair<std::string, Bytes>> sections_;
-};
-
-class SectionReader {
- public:
-  explicit SectionReader(BytesReader& in) {
-    const std::uint64_t count = in.get_varint();
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const std::string tag = in.get_string();
-      const auto blob = in.get_blob();
-      sections_[tag] = Bytes(blob.begin(), blob.end());
-    }
-  }
-
-  [[nodiscard]] const Bytes& get(const std::string& tag) const {
-    const auto it = sections_.find(tag);
-    if (it == sections_.end())
-      throw CorruptStream("blob: missing section " + tag);
-    return it->second;
-  }
-
-  [[nodiscard]] bool has(const std::string& tag) const {
-    return sections_.count(tag) > 0;
-  }
-
- private:
-  std::map<std::string, Bytes> sections_;
-};
-
-/// Packs a u32 code stream: Huffman then the lossless backend.
-Bytes pack_codes(std::span<const std::uint32_t> codes,
-                 LosslessBackend backend) {
-  const Bytes huff = huffman_encode(codes);
-  return lossless_compress(huff, backend);
-}
-
-std::vector<std::uint32_t> unpack_codes(std::span<const std::uint8_t> packed) {
-  const Bytes huff = lossless_decompress(packed);
-  return huffman_decode(huff);
-}
-
-template <typename T>
-Bytes pack_raw_values(const std::vector<T>& values, LosslessBackend backend) {
-  std::span<const std::uint8_t> bytes{
-      reinterpret_cast<const std::uint8_t*>(values.data()),
-      values.size() * sizeof(T)};
-  return lossless_compress(bytes, backend);
-}
-
-template <typename T>
-std::vector<T> unpack_raw_values(std::span<const std::uint8_t> packed) {
-  const Bytes bytes = lossless_decompress(packed);
-  if (bytes.size() % sizeof(T) != 0)
-    throw CorruptStream("blob: raw value section misaligned");
-  std::vector<T> values(bytes.size() / sizeof(T));
-  if (!bytes.empty()) std::memcpy(values.data(), bytes.data(), bytes.size());
-  return values;
-}
-
-// Coefficients are quantized coarsely relative to the point bound: the
-// final error is bounded by the point quantizer regardless, so this
-// only trades prediction accuracy against coefficient storage.
-double coeff_eb(double abs_eb, std::size_t block_size) {
-  return abs_eb / static_cast<double>(2 * block_size);
-}
-
-/// SZ2 oracle state shared between encode and decode: the previous
-/// regression block's reconstructed coefficients seed the prediction of
-/// the next block's coefficients.
-struct CoeffPredictor {
-  BlockCoeffs prev;
-  double predict(int which) const {
-    switch (which) {
-      case 0:
-        return prev.b0;
-      case 1:
-        return prev.b1;
-      case 2:
-        return prev.b2;
-      default:
-        return prev.b3;
-    }
-  }
-  void update(const BlockCoeffs& recon) { prev = recon; }
-};
-
-/// Estimated block SSE for regression (with fitted coefficients) vs
-/// Lorenzo (with original-value neighbors), both on original data; used
-/// only for predictor selection, mirroring SZ2's sampling heuristic.
-template <typename T>
-std::pair<double, double> block_sse(const NdArray<T>& data,
-                                    const BlockRegion& region,
-                                    const BlockCoeffs& coeffs) {
-  const Shape& shape = data.shape();
-  const int rank = shape.rank();
-  const std::size_t n1 = rank >= 2 ? shape.dim(1) : 1;
-  const std::size_t n2 = rank >= 3 ? shape.dim(2) : 1;
-  const std::size_t s1 = n1 * n2;
-  const std::size_t s2 = n2;
-  const auto vals = data.values();
-  auto at = [&](std::size_t i, std::size_t j, std::size_t k) -> double {
-    return static_cast<double>(vals[i * s1 + j * s2 + k]);
-  };
-
-  double sse_reg = 0.0, sse_lor = 0.0;
-  for (std::size_t i = 0; i < region.len[0]; ++i) {
-    for (std::size_t j = 0; j < region.len[1]; ++j) {
-      for (std::size_t k = 0; k < region.len[2]; ++k) {
-        const std::size_t gi = region.lo[0] + i;
-        const std::size_t gj = region.lo[1] + j;
-        const std::size_t gk = region.lo[2] + k;
-        const double v = at(gi, gj, gk);
-        const double pr = predict_block(coeffs, i, j, k);
-        sse_reg += (v - pr) * (v - pr);
-
-        const bool bi = gi > 0, bj = gj > 0, bk = gk > 0;
-        double pl = 0.0;
-        if (rank <= 1) {
-          pl = bi ? at(gi - 1, 0, 0) : 0.0;
-        } else if (rank == 2) {
-          pl = (bi ? at(gi - 1, gj, 0) : 0.0) + (bj ? at(gi, gj - 1, 0) : 0.0) -
-               (bi && bj ? at(gi - 1, gj - 1, 0) : 0.0);
-        } else {
-          pl = (bi ? at(gi - 1, gj, gk) : 0.0) + (bj ? at(gi, gj - 1, gk) : 0.0) +
-               (bk ? at(gi, gj, gk - 1) : 0.0) -
-               (bi && bj ? at(gi - 1, gj - 1, gk) : 0.0) -
-               (bi && bk ? at(gi - 1, gj, gk - 1) : 0.0) -
-               (bj && bk ? at(gi, gj - 1, gk - 1) : 0.0) +
-               (bi && bj && bk ? at(gi - 1, gj - 1, gk - 1) : 0.0);
-        }
-        sse_lor += (v - pl) * (v - pl);
-      }
-    }
-  }
-  return {sse_reg, sse_lor};
+BlobHeader read_header(BytesReader& in) {
+  const auto magic = in.get_bytes(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0)
+    throw CorruptStream("blob: bad magic");
+  BlobHeader h;
+  h.dtype = in.get<std::uint8_t>();
+  h.backend_id = in.get<std::uint8_t>();
+  h.abs_eb = in.get<double>();
+  if (!(h.abs_eb > 0.0)) throw CorruptStream("blob: bad error bound");
+  h.quant_radius = static_cast<std::uint32_t>(in.get_varint());
+  h.anchor_stride = in.get_varint();
+  h.block_size = in.get_varint();
+  if (h.block_size == 0) throw CorruptStream("blob: zero block size");
+  h.shape = read_shape(in);
+  return h;
 }
 
 }  // namespace
@@ -218,84 +75,17 @@ template double resolve_abs_eb<double>(const NdArray<double>&,
 template <typename T>
 Bytes compress(const NdArray<T>& data, const CompressionConfig& config) {
   require(data.size() > 0, "compress: empty array");
+  const CompressorBackend& backend =
+      BackendRegistry::instance().by_name(config.backend);
   const double abs_eb = resolve_abs_eb(data, config);
 
-  // Reconstruction buffer shared by the traversals.
-  std::vector<T> recon(data.size());
-  QuantEncoder<T> quant(abs_eb, config.quant_radius);
-  const auto original = data.values();
-
   SectionWriter sections;
-
-  switch (config.pipeline) {
-    case Pipeline::kLorenzo: {
-      lorenzo_traverse<T>(data.shape(), recon, [&](std::size_t idx, double pred) {
-        return quant.encode(pred, original[idx]);
-      });
-      break;
-    }
-    case Pipeline::kLorenzo2: {
-      lorenzo2_traverse<T>(data.shape(), recon,
-                           [&](std::size_t idx, double pred) {
-                             return quant.encode(pred, original[idx]);
-                           });
-      break;
-    }
-    case Pipeline::kSz3Interp: {
-      const std::size_t stride =
-          choose_anchor_stride(data.shape(), config.anchor_stride);
-      interp_traverse<T>(data.shape(), recon,
-                         stride, [&](std::size_t idx, double pred) {
-                           return quant.encode(pred, original[idx]);
-                         });
-      break;
-    }
-    case Pipeline::kSz2: {
-      QuantEncoder<double> coef_quant(coeff_eb(abs_eb, config.block_size));
-      CoeffPredictor coef_pred;
-      std::vector<std::uint8_t> choices;
-      const int rank = data.shape().rank();
-
-      auto oracle = [&](const BlockRegion& region)
-          -> std::pair<bool, BlockCoeffs> {
-        const BlockCoeffs fitted = fit_block_regression(data, region);
-        const auto [sse_reg, sse_lor] = block_sse(data, region, fitted);
-        const bool use_reg = sse_reg < sse_lor;
-        choices.push_back(use_reg ? 1 : 0);
-        if (!use_reg) return {false, BlockCoeffs{}};
-        BlockCoeffs recon_c;
-        recon_c.b0 = coef_quant.encode(coef_pred.predict(0), fitted.b0);
-        recon_c.b1 = coef_quant.encode(coef_pred.predict(1), fitted.b1);
-        if (rank >= 2)
-          recon_c.b2 = coef_quant.encode(coef_pred.predict(2), fitted.b2);
-        if (rank >= 3)
-          recon_c.b3 = coef_quant.encode(coef_pred.predict(3), fitted.b3);
-        coef_pred.update(recon_c);
-        return {true, recon_c};
-      };
-      block_traverse<T>(data.shape(), recon, config.block_size, oracle,
-                        [&](std::size_t idx, double pred) {
-                          return quant.encode(pred, original[idx]);
-                        });
-
-      sections.add("choices", lossless_compress(choices, config.backend));
-      sections.add("coef_codes",
-                   pack_codes(coef_quant.codes(), config.backend));
-      sections.add("coef_raw",
-                   pack_raw_values(coef_quant.raw_values(), config.backend));
-      break;
-    }
-    default:
-      throw InvalidArgument("compress: unknown pipeline");
-  }
-
-  sections.add("codes", pack_codes(quant.codes(), config.backend));
-  sections.add("raw", pack_raw_values(quant.raw_values(), config.backend));
+  backend.encode(data, abs_eb, config, sections);
 
   BytesWriter out;
   out.put_bytes(kMagic);
   out.put(dtype_id<T>());
-  out.put(static_cast<std::uint8_t>(config.pipeline));
+  out.put(backend.wire_id());
   out.put(abs_eb);
   out.put_varint(config.quant_radius);
   out.put_varint(config.anchor_stride);
@@ -310,43 +100,15 @@ template Bytes compress<float>(const NdArray<float>&,
 template Bytes compress<double>(const NdArray<double>&,
                                 const CompressionConfig&);
 
-namespace {
-
-struct Header {
-  std::uint8_t dtype;
-  Pipeline pipeline;
-  double abs_eb;
-  std::uint32_t quant_radius;
-  std::size_t anchor_stride;
-  std::size_t block_size;
-  Shape shape;
-};
-
-Header read_header(BytesReader& in) {
-  const auto magic = in.get_bytes(4);
-  if (std::memcmp(magic.data(), kMagic, 4) != 0)
-    throw CorruptStream("blob: bad magic");
-  Header h;
-  h.dtype = in.get<std::uint8_t>();
-  h.pipeline = static_cast<Pipeline>(in.get<std::uint8_t>());
-  h.abs_eb = in.get<double>();
-  if (!(h.abs_eb > 0.0)) throw CorruptStream("blob: bad error bound");
-  h.quant_radius = static_cast<std::uint32_t>(in.get_varint());
-  h.anchor_stride = in.get_varint();
-  h.block_size = in.get_varint();
-  if (h.block_size == 0) throw CorruptStream("blob: zero block size");
-  h.shape = read_shape(in);
-  return h;
-}
-
-}  // namespace
-
 BlobInfo inspect_blob(std::span<const std::uint8_t> blob) {
   BytesReader in(blob);
-  const Header h = read_header(in);
+  const BlobHeader h = read_header(in);
+  const CompressorBackend& backend =
+      BackendRegistry::instance().by_id(h.backend_id);
   BlobInfo info;
   info.is_double = h.dtype == 1;
-  info.pipeline = h.pipeline;
+  info.backend = backend.name();
+  info.backend_id = h.backend_id;
   info.abs_eb = h.abs_eb;
   info.shape = h.shape;
   info.compressed_bytes = blob.size();
@@ -357,78 +119,15 @@ BlobInfo inspect_blob(std::span<const std::uint8_t> blob) {
 template <typename T>
 NdArray<T> decompress(std::span<const std::uint8_t> blob) {
   BytesReader in(blob);
-  const Header h = read_header(in);
+  const BlobHeader h = read_header(in);
   if (h.dtype != dtype_id<T>())
     throw InvalidArgument("decompress: dtype mismatch");
+  const CompressorBackend& backend =
+      BackendRegistry::instance().by_id(h.backend_id);
 
   SectionReader sections(in);
-  const std::vector<std::uint32_t> codes = unpack_codes(sections.get("codes"));
-  const std::vector<T> raw = unpack_raw_values<T>(sections.get("raw"));
-  if (codes.size() != h.shape.size())
-    throw CorruptStream("blob: code count does not match shape");
-
   NdArray<T> out(h.shape);
-  QuantDecoder<T> quant(h.abs_eb, h.quant_radius, codes, raw);
-
-  switch (h.pipeline) {
-    case Pipeline::kLorenzo: {
-      lorenzo_traverse<T>(h.shape, out.values(),
-                          [&](std::size_t, double pred) {
-                            return quant.decode(pred);
-                          });
-      break;
-    }
-    case Pipeline::kLorenzo2: {
-      lorenzo2_traverse<T>(h.shape, out.values(),
-                           [&](std::size_t, double pred) {
-                             return quant.decode(pred);
-                           });
-      break;
-    }
-    case Pipeline::kSz3Interp: {
-      const std::size_t stride = choose_anchor_stride(h.shape, h.anchor_stride);
-      interp_traverse<T>(h.shape, out.values(), stride,
-                         [&](std::size_t, double pred) {
-                           return quant.decode(pred);
-                         });
-      break;
-    }
-    case Pipeline::kSz2: {
-      const Bytes choice_bytes =
-          lossless_decompress(sections.get("choices"));
-      const std::vector<std::uint32_t> coef_codes =
-          unpack_codes(sections.get("coef_codes"));
-      const std::vector<double> coef_raw =
-          unpack_raw_values<double>(sections.get("coef_raw"));
-      QuantDecoder<double> coef_quant(coeff_eb(h.abs_eb, h.block_size),
-                                      kDefaultQuantRadius, coef_codes,
-                                      coef_raw);
-      CoeffPredictor coef_pred;
-      std::size_t choice_pos = 0;
-      const int rank = h.shape.rank();
-
-      auto oracle = [&](const BlockRegion&) -> std::pair<bool, BlockCoeffs> {
-        if (choice_pos >= choice_bytes.size())
-          throw CorruptStream("blob: choice stream exhausted");
-        const bool use_reg = choice_bytes[choice_pos++] != 0;
-        if (!use_reg) return {false, BlockCoeffs{}};
-        BlockCoeffs c;
-        c.b0 = coef_quant.decode(coef_pred.predict(0));
-        c.b1 = coef_quant.decode(coef_pred.predict(1));
-        if (rank >= 2) c.b2 = coef_quant.decode(coef_pred.predict(2));
-        if (rank >= 3) c.b3 = coef_quant.decode(coef_pred.predict(3));
-        coef_pred.update(c);
-        return {true, c};
-      };
-      block_traverse<T>(h.shape, out.values(), h.block_size, oracle,
-                        [&](std::size_t, double pred) {
-                          return quant.decode(pred);
-                        });
-      break;
-    }
-    default:
-      throw CorruptStream("blob: unknown pipeline id");
-  }
+  backend.decode(h, sections, out);
   return out;
 }
 

@@ -6,13 +6,15 @@
 // the error-bound invariant: for the resolved absolute bound e,
 // max |original[i] - decompressed[i]| <= e for all i.
 //
-// Blob layout: magic "OCZ1", dtype, pipeline, resolved absolute eb,
-// shape, pipeline parameters, then named sections (quantization codes
-// after Huffman+backend, unpredictable raw values, and for SZ2 the
-// per-block choices and coefficient streams).
+// Dispatch is registry-based (see backend.hpp): the blob header names
+// the backend by wire id, compress resolves config.backend by name,
+// and the backend owns the payload. Blob layout: magic "OCZ1", dtype,
+// backend wire id, resolved absolute eb, the varint parameter block,
+// shape, then the backend's named sections.
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "common/bytes.hpp"
 #include "common/ndarray.hpp"
@@ -33,14 +35,16 @@ NdArray<T> decompress(std::span<const std::uint8_t> blob);
 /// Metadata recovered from a blob without decompressing the payload.
 struct BlobInfo {
   bool is_double = false;
-  Pipeline pipeline = Pipeline::kSz3Interp;
+  std::string backend;          ///< registry name resolved from the wire id
+  std::uint8_t backend_id = 0;  ///< raw wire id from the header
   double abs_eb = 0.0;
   Shape shape;
   std::size_t compressed_bytes = 0;
   std::size_t raw_bytes = 0;
 };
 
-/// Parses header fields only.
+/// Parses header fields only; resolves the backend name through the
+/// registry and throws CorruptStream for unknown backend ids.
 BlobInfo inspect_blob(std::span<const std::uint8_t> blob);
 
 /// Convenience round-trip measurement used by tests, benches and the

@@ -1,11 +1,14 @@
 #pragma once
-// Compression pipeline configuration.
+// Compression configuration.
 //
 // Mirrors the paper's "config-based features": the user-facing knobs
 // are the error bound (absolute or value-range-relative) and the
-// compression pipeline (compressor type). SZ3's modular structure is
-// reflected by composing a predictor choice with encoder/backend
-// stages.
+// compressor backend — a name-keyed entry in the BackendRegistry (see
+// backend.hpp), so campaigns, the advisor, the parallel codec, and
+// the CLI are all open to new compression families without touching
+// this header. The numeric fields below are the per-family tunables;
+// each backend documents which ones it reads via
+// CompressorBackend::params().
 
 #include <cstdint>
 #include <string>
@@ -13,21 +16,6 @@
 #include "codec/lossless.hpp"
 
 namespace ocelot {
-
-/// Prediction pipeline (the "compressor type" categorical feature).
-enum class Pipeline : std::uint8_t {
-  kLorenzo = 0,    ///< pure first-order Lorenzo (fast, baseline)
-  kSz2 = 1,        ///< block regression + Lorenzo hybrid (SZ2 style)
-  kSz3Interp = 2,  ///< multilevel cubic interpolation (SZ3 default)
-  kLorenzo2 = 3,   ///< second-order Lorenzo (linear-trend fields)
-};
-
-/// All known pipelines, for sweeps.
-inline constexpr Pipeline kAllPipelines[] = {
-    Pipeline::kLorenzo, Pipeline::kSz2, Pipeline::kSz3Interp,
-    Pipeline::kLorenzo2};
-
-std::string to_string(Pipeline p);
 
 /// How the error bound is interpreted.
 enum class EbMode : std::uint8_t {
@@ -37,31 +25,17 @@ enum class EbMode : std::uint8_t {
 
 /// User-specified compression settings.
 struct CompressionConfig {
-  Pipeline pipeline = Pipeline::kSz3Interp;
+  std::string backend = "sz3-interp";  ///< BackendRegistry key
   EbMode eb_mode = EbMode::kAbsolute;
   double eb = 1e-3;
-  LosslessBackend backend = LosslessBackend::kLzb;
+  LosslessBackend lossless = LosslessBackend::kLzb;
   std::uint32_t quant_radius = 32768;  ///< quantizer capacity / 2
-  std::size_t anchor_stride = 64;      ///< SZ3-interp anchor spacing cap
-  std::size_t block_size = 6;          ///< SZ2 block edge
+  std::size_t anchor_stride = 64;  ///< sz3-interp/multigrid stride cap
+  std::size_t block_size = 6;      ///< sz2 block edge
 
   [[nodiscard]] std::string label() const {
-    return to_string(pipeline) + "/eb=" + std::to_string(eb);
+    return backend + "/eb=" + std::to_string(eb);
   }
 };
-
-inline std::string to_string(Pipeline p) {
-  switch (p) {
-    case Pipeline::kLorenzo:
-      return "lorenzo";
-    case Pipeline::kSz2:
-      return "sz2";
-    case Pipeline::kSz3Interp:
-      return "sz3-interp";
-    case Pipeline::kLorenzo2:
-      return "lorenzo2";
-  }
-  return "unknown";
-}
 
 }  // namespace ocelot

@@ -1,17 +1,16 @@
 #pragma once
-// Multilevel spline-interpolation traversal (SZ3-interp style).
+// Multilevel hierarchy traversal shared by the interpolation-style
+// backends: SZ3-interp (cubic) and the MGARD-style multigrid backend
+// (linear, per-level quantizers via the level-aware callback).
 //
 // The grid is refined level by level: anchors at stride S are coded
 // first (with stride-S Lorenzo predictions), then each halving level
 // s = S/2 ... 1 interpolates the new points dimension by dimension.
-// Within a level, pass d covers exactly the points whose *last*
-// odd-multiple-of-s coordinate is dimension d, guaranteeing every
-// point is visited once and all interpolation neighbors are already
-// reconstructed (see the coverage argument in tests/compressor).
 //
 // Interior points use 4-point cubic interpolation
-// (-1/16, 9/16, 9/16, -1/16); points lacking a far neighbor fall back
-// to linear averaging, and border points to nearest-known copy.
+// (-1/16, 9/16, 9/16, -1/16) when `cubic` is set; points lacking a far
+// neighbor (or all points in linear mode) fall back to linear
+// averaging, and border points to nearest-known copy.
 
 #include <array>
 #include <cstddef>
@@ -32,11 +31,24 @@ inline std::size_t choose_anchor_stride(const Shape& shape,
   return s;
 }
 
-/// Visits every grid point once in the interpolation order, calling
-/// `fn(linear_index, prediction)` and storing its return into `recon`.
+/// Shared multilevel hierarchy traversal: anchors at `anchor_stride`
+/// with stride-S Lorenzo predictions, then halving refinement levels
+/// dimension by dimension. `cubic` selects 4-point cubic interior
+/// interpolation (the SZ3 style) or pure linear averaging (the
+/// multigrid style); both fall back to linear without a far neighbor
+/// and to nearest-known on the high border. The callback
+/// `fn(linear_index, prediction, level_stride)` receives the stride of
+/// the level that codes the point (anchors get `anchor_stride`), so
+/// callers can treat levels differently (e.g. per-level quantizers);
+/// its return is stored into `recon` and feeds later predictions.
+///
+/// Within a level, pass d covers exactly the points whose *last*
+/// odd-multiple-of-s coordinate is dimension d, guaranteeing every
+/// point is visited once and all interpolation neighbors are already
+/// reconstructed (see the coverage argument in tests/compressor).
 template <typename T, typename Fn>
-void interp_traverse(const Shape& shape, std::span<T> recon,
-                     std::size_t anchor_stride, Fn&& fn) {
+void hierarchy_traverse(const Shape& shape, std::span<T> recon,
+                        std::size_t anchor_stride, bool cubic, Fn&& fn) {
   const int rank = shape.rank();
   const std::array<std::size_t, 3> n = {
       shape.dim(0), rank >= 2 ? shape.dim(1) : 1, rank >= 3 ? shape.dim(2) : 1};
@@ -71,10 +83,11 @@ void interp_traverse(const Shape& shape, std::span<T> recon,
                  (bi && bj && bk ? val(i - S, j - S, k - S) : 0.0);
         }
         const std::size_t idx = lin(i, j, k);
-        recon[idx] = fn(idx, pred);
+        recon[idx] = fn(idx, pred, S);
       }
     }
   }
+  if (S == 1) return;
 
   // --- Phase 2: refine level by level, dimension by dimension.
   for (std::size_t s = S / 2; s >= 1; s /= 2) {
@@ -105,7 +118,7 @@ void interp_traverse(const Shape& shape, std::span<T> recon,
             };
             double pred;
             if (x + s < nd) {
-              if (x >= 3 * s && x + 3 * s < nd) {
+              if (cubic && x >= 3 * s && x + 3 * s < nd) {
                 pred = (-along(x - 3 * s) + 9.0 * along(x - s) +
                         9.0 * along(x + s) - along(x + 3 * s)) /
                        16.0;
@@ -116,13 +129,25 @@ void interp_traverse(const Shape& shape, std::span<T> recon,
               pred = along(x - s);  // border: nearest known
             }
             const std::size_t idx = lin(i, j, k);
-            recon[idx] = fn(idx, pred);
+            recon[idx] = fn(idx, pred, s);
           }
         }
       }
     }
     if (s == 1) break;
   }
+}
+
+/// Visits every grid point once in the SZ3 interpolation order,
+/// calling `fn(linear_index, prediction)` and storing its return into
+/// `recon`.
+template <typename T, typename Fn>
+void interp_traverse(const Shape& shape, std::span<T> recon,
+                     std::size_t anchor_stride, Fn&& fn) {
+  hierarchy_traverse(shape, recon, anchor_stride, /*cubic=*/true,
+                     [&](std::size_t idx, double pred, std::size_t) {
+                       return fn(idx, pred);
+                     });
 }
 
 }  // namespace ocelot

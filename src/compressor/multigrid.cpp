@@ -1,0 +1,83 @@
+#include "compressor/multigrid.hpp"
+
+#include <vector>
+
+#include "compressor/interpolation.hpp"
+#include "compressor/quantizer.hpp"
+
+namespace ocelot {
+
+namespace {
+
+/// The coarsen/correct order is the shared hierarchy traversal with
+/// linear (order-1) interpolation only: coarsest nodal grid first,
+/// then per-level linear corrections. The level stride the callback
+/// receives picks the quantizer — corrections at the finest level
+/// (s == 1) use the full bound, every coarser level the tightened one.
+class MultigridBackend final : public TypedBackend<MultigridBackend> {
+ public:
+  [[nodiscard]] std::string name() const override { return "multigrid"; }
+  [[nodiscard]] std::uint8_t wire_id() const override { return 4; }
+  [[nodiscard]] std::string description() const override {
+    return "MGARD-style multigrid: coarsen/correct hierarchy, per-level "
+           "linear interpolation, tightened coarse-level quantization";
+  }
+  [[nodiscard]] std::vector<BackendParam> params() const override {
+    return {{"anchor_stride", "coarsest-grid stride cap (hierarchy depth)",
+             64.0}};
+  }
+
+  template <typename T>
+  void encode_impl(const NdArray<T>& data, double abs_eb,
+                   const CompressionConfig& config, SectionWriter& out) const {
+    const std::size_t stride =
+        choose_anchor_stride(data.shape(), config.anchor_stride);
+    std::vector<T> recon(data.size());
+    QuantEncoder<T> coarse(abs_eb / kMultigridCoarseTighten,
+                           config.quant_radius);
+    QuantEncoder<T> fine(abs_eb, config.quant_radius);
+    const auto original = data.values();
+    hierarchy_traverse<T>(
+        data.shape(), recon, stride, /*cubic=*/false,
+        [&](std::size_t idx, double pred, std::size_t level) {
+          return (level == 1 ? fine : coarse).encode(pred, original[idx]);
+        });
+    out.add("mg_coarse_codes", pack_codes(coarse.codes(), config.lossless));
+    out.add("mg_coarse_raw",
+            pack_raw_values(coarse.raw_values(), config.lossless));
+    out.add("codes", pack_codes(fine.codes(), config.lossless));
+    out.add("raw", pack_raw_values(fine.raw_values(), config.lossless));
+  }
+
+  template <typename T>
+  void decode_impl(const BlobHeader& header, const SectionReader& in,
+                   NdArray<T>& out) const {
+    const std::size_t stride =
+        choose_anchor_stride(header.shape, header.anchor_stride);
+    const std::vector<std::uint32_t> coarse_codes =
+        unpack_codes(in.get("mg_coarse_codes"));
+    const std::vector<T> coarse_raw =
+        unpack_raw_values<T>(in.get("mg_coarse_raw"));
+    const std::vector<std::uint32_t> fine_codes = unpack_codes(in.get("codes"));
+    const std::vector<T> fine_raw = unpack_raw_values<T>(in.get("raw"));
+    if (coarse_codes.size() + fine_codes.size() != header.shape.size())
+      throw CorruptStream("blob: multigrid code count does not match shape");
+    QuantDecoder<T> coarse(header.abs_eb / kMultigridCoarseTighten,
+                           header.quant_radius, coarse_codes, coarse_raw);
+    QuantDecoder<T> fine(header.abs_eb, header.quant_radius, fine_codes,
+                         fine_raw);
+    hierarchy_traverse<T>(
+        header.shape, out.values(), stride, /*cubic=*/false,
+        [&](std::size_t, double pred, std::size_t level) {
+          return (level == 1 ? fine : coarse).decode(pred);
+        });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CompressorBackend> make_multigrid_backend() {
+  return std::make_unique<MultigridBackend>();
+}
+
+}  // namespace ocelot

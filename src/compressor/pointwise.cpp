@@ -26,7 +26,7 @@ enum SampleClass : std::uint8_t {
 }  // namespace
 
 Bytes compress_pointwise_rel(const FloatArray& data, double rel,
-                             Pipeline pipeline) {
+                             const std::string& backend) {
   require(data.size() > 0, "compress_pointwise_rel: empty array");
   require(rel > 0.0 && rel < 1.0,
           "compress_pointwise_rel: rel must be in (0, 1)");
@@ -69,7 +69,7 @@ Bytes compress_pointwise_rel(const FloatArray& data, double rel,
   // |log' - log| <= log(1+rel)  =>  x'/x in [1/(1+rel), 1+rel]
   //                              subset of [1-rel, 1+rel].
   CompressionConfig config;
-  config.pipeline = pipeline;
+  config.backend = backend;
   config.eb_mode = EbMode::kAbsolute;
   config.eb = std::log1p(rel);
   const Bytes payload =

@@ -19,10 +19,10 @@
 namespace ocelot {
 
 /// Compresses with a pointwise-relative bound `rel` (0 < rel < 1),
-/// using `pipeline` for the log-magnitude payload. Non-finite samples
-/// are preserved verbatim.
+/// using the named registry backend for the log-magnitude payload.
+/// Non-finite samples are preserved verbatim.
 Bytes compress_pointwise_rel(const FloatArray& data, double rel,
-                             Pipeline pipeline = Pipeline::kSz3Interp);
+                             const std::string& backend = "sz3-interp");
 
 /// Inverts compress_pointwise_rel. Throws CorruptStream on malformed
 /// input.

@@ -1,0 +1,314 @@
+// Built-in SZ-family backends: the four prediction pipelines that
+// predated the registry, on wire ids 0-3. Payload layout is
+// bit-identical to the pre-registry compressor (see the golden-blob
+// test), so blobs written before the refactor still decode exactly.
+#include <utility>
+#include <vector>
+
+#include "compressor/backend.hpp"
+#include "compressor/interpolation.hpp"
+#include "compressor/quantizer.hpp"
+#include "compressor/regression.hpp"
+#include "compressor/traversal.hpp"
+
+namespace ocelot {
+
+namespace {
+
+/// Quantizes through `traverse(recon, fn)` and emits the shared
+/// "codes"/"raw" sections — the common tail of every SZ-style family.
+template <typename T, typename Traverse>
+void quantized_encode(const NdArray<T>& data, double abs_eb,
+                      const CompressionConfig& config, SectionWriter& out,
+                      Traverse&& traverse) {
+  std::vector<T> recon(data.size());
+  QuantEncoder<T> quant(abs_eb, config.quant_radius);
+  const auto original = data.values();
+  traverse(std::span<T>(recon), [&](std::size_t idx, double pred) {
+    return quant.encode(pred, original[idx]);
+  });
+  out.add("codes", pack_codes(quant.codes(), config.lossless));
+  out.add("raw", pack_raw_values(quant.raw_values(), config.lossless));
+}
+
+/// Replays the "codes"/"raw" sections through `traverse(values, fn)`.
+template <typename T, typename Traverse>
+void quantized_decode(const BlobHeader& header, const SectionReader& in,
+                      NdArray<T>& out, Traverse&& traverse) {
+  const std::vector<std::uint32_t> codes = unpack_codes(in.get("codes"));
+  const std::vector<T> raw = unpack_raw_values<T>(in.get("raw"));
+  if (codes.size() != header.shape.size())
+    throw CorruptStream("blob: code count does not match shape");
+  QuantDecoder<T> quant(header.abs_eb, header.quant_radius, codes, raw);
+  traverse(out.values(),
+           [&](std::size_t, double pred) { return quant.decode(pred); });
+}
+
+class LorenzoBackend final : public TypedBackend<LorenzoBackend> {
+ public:
+  [[nodiscard]] std::string name() const override { return "lorenzo"; }
+  [[nodiscard]] std::uint8_t wire_id() const override { return 0; }
+  [[nodiscard]] std::string description() const override {
+    return "pure first-order Lorenzo predictor (fast baseline)";
+  }
+
+  template <typename T>
+  void encode_impl(const NdArray<T>& data, double abs_eb,
+                   const CompressionConfig& config, SectionWriter& out) const {
+    quantized_encode(data, abs_eb, config, out,
+                     [&](std::span<T> recon, auto&& fn) {
+                       lorenzo_traverse<T>(data.shape(), recon, fn);
+                     });
+  }
+
+  template <typename T>
+  void decode_impl(const BlobHeader& header, const SectionReader& in,
+                   NdArray<T>& out) const {
+    quantized_decode(header, in, out, [&](std::span<T> values, auto&& fn) {
+      lorenzo_traverse<T>(header.shape, values, fn);
+    });
+  }
+};
+
+class Lorenzo2Backend final : public TypedBackend<Lorenzo2Backend> {
+ public:
+  [[nodiscard]] std::string name() const override { return "lorenzo2"; }
+  [[nodiscard]] std::uint8_t wire_id() const override { return 3; }
+  [[nodiscard]] std::string description() const override {
+    return "second-order Lorenzo predictor (linear-trend fields)";
+  }
+
+  template <typename T>
+  void encode_impl(const NdArray<T>& data, double abs_eb,
+                   const CompressionConfig& config, SectionWriter& out) const {
+    quantized_encode(data, abs_eb, config, out,
+                     [&](std::span<T> recon, auto&& fn) {
+                       lorenzo2_traverse<T>(data.shape(), recon, fn);
+                     });
+  }
+
+  template <typename T>
+  void decode_impl(const BlobHeader& header, const SectionReader& in,
+                   NdArray<T>& out) const {
+    quantized_decode(header, in, out, [&](std::span<T> values, auto&& fn) {
+      lorenzo2_traverse<T>(header.shape, values, fn);
+    });
+  }
+};
+
+class Sz3InterpBackend final : public TypedBackend<Sz3InterpBackend> {
+ public:
+  [[nodiscard]] std::string name() const override { return "sz3-interp"; }
+  [[nodiscard]] std::uint8_t wire_id() const override { return 2; }
+  [[nodiscard]] std::string description() const override {
+    return "multilevel cubic interpolation (SZ3 default)";
+  }
+  [[nodiscard]] std::vector<BackendParam> params() const override {
+    return {{"anchor_stride", "anchor spacing cap (power of two)", 64.0}};
+  }
+
+  template <typename T>
+  void encode_impl(const NdArray<T>& data, double abs_eb,
+                   const CompressionConfig& config, SectionWriter& out) const {
+    const std::size_t stride =
+        choose_anchor_stride(data.shape(), config.anchor_stride);
+    quantized_encode(data, abs_eb, config, out,
+                     [&](std::span<T> recon, auto&& fn) {
+                       interp_traverse<T>(data.shape(), recon, stride, fn);
+                     });
+  }
+
+  template <typename T>
+  void decode_impl(const BlobHeader& header, const SectionReader& in,
+                   NdArray<T>& out) const {
+    const std::size_t stride =
+        choose_anchor_stride(header.shape, header.anchor_stride);
+    quantized_decode(header, in, out, [&](std::span<T> values, auto&& fn) {
+      interp_traverse<T>(header.shape, values, stride, fn);
+    });
+  }
+};
+
+// Coefficients are quantized coarsely relative to the point bound: the
+// final error is bounded by the point quantizer regardless, so this
+// only trades prediction accuracy against coefficient storage.
+double coeff_eb(double abs_eb, std::size_t block_size) {
+  return abs_eb / static_cast<double>(2 * block_size);
+}
+
+/// SZ2 oracle state shared between encode and decode: the previous
+/// regression block's reconstructed coefficients seed the prediction of
+/// the next block's coefficients.
+struct CoeffPredictor {
+  BlockCoeffs prev;
+  double predict(int which) const {
+    switch (which) {
+      case 0:
+        return prev.b0;
+      case 1:
+        return prev.b1;
+      case 2:
+        return prev.b2;
+      default:
+        return prev.b3;
+    }
+  }
+  void update(const BlockCoeffs& recon) { prev = recon; }
+};
+
+/// Estimated block SSE for regression (with fitted coefficients) vs
+/// Lorenzo (with original-value neighbors), both on original data; used
+/// only for predictor selection, mirroring SZ2's sampling heuristic.
+template <typename T>
+std::pair<double, double> block_sse(const NdArray<T>& data,
+                                    const BlockRegion& region,
+                                    const BlockCoeffs& coeffs) {
+  const Shape& shape = data.shape();
+  const int rank = shape.rank();
+  const std::size_t n1 = rank >= 2 ? shape.dim(1) : 1;
+  const std::size_t n2 = rank >= 3 ? shape.dim(2) : 1;
+  const std::size_t s1 = n1 * n2;
+  const std::size_t s2 = n2;
+  const auto vals = data.values();
+  auto at = [&](std::size_t i, std::size_t j, std::size_t k) -> double {
+    return static_cast<double>(vals[i * s1 + j * s2 + k]);
+  };
+
+  double sse_reg = 0.0, sse_lor = 0.0;
+  for (std::size_t i = 0; i < region.len[0]; ++i) {
+    for (std::size_t j = 0; j < region.len[1]; ++j) {
+      for (std::size_t k = 0; k < region.len[2]; ++k) {
+        const std::size_t gi = region.lo[0] + i;
+        const std::size_t gj = region.lo[1] + j;
+        const std::size_t gk = region.lo[2] + k;
+        const double v = at(gi, gj, gk);
+        const double pr = predict_block(coeffs, i, j, k);
+        sse_reg += (v - pr) * (v - pr);
+
+        const bool bi = gi > 0, bj = gj > 0, bk = gk > 0;
+        double pl = 0.0;
+        if (rank <= 1) {
+          pl = bi ? at(gi - 1, 0, 0) : 0.0;
+        } else if (rank == 2) {
+          pl = (bi ? at(gi - 1, gj, 0) : 0.0) + (bj ? at(gi, gj - 1, 0) : 0.0) -
+               (bi && bj ? at(gi - 1, gj - 1, 0) : 0.0);
+        } else {
+          pl = (bi ? at(gi - 1, gj, gk) : 0.0) + (bj ? at(gi, gj - 1, gk) : 0.0) +
+               (bk ? at(gi, gj, gk - 1) : 0.0) -
+               (bi && bj ? at(gi - 1, gj - 1, gk) : 0.0) -
+               (bi && bk ? at(gi - 1, gj, gk - 1) : 0.0) -
+               (bj && bk ? at(gi, gj - 1, gk - 1) : 0.0) +
+               (bi && bj && bk ? at(gi - 1, gj - 1, gk - 1) : 0.0);
+        }
+        sse_lor += (v - pl) * (v - pl);
+      }
+    }
+  }
+  return {sse_reg, sse_lor};
+}
+
+class Sz2Backend final : public TypedBackend<Sz2Backend> {
+ public:
+  [[nodiscard]] std::string name() const override { return "sz2"; }
+  [[nodiscard]] std::uint8_t wire_id() const override { return 1; }
+  [[nodiscard]] std::string description() const override {
+    return "block regression + Lorenzo hybrid (SZ2 style)";
+  }
+  [[nodiscard]] std::vector<BackendParam> params() const override {
+    return {{"block_size", "regression block edge", 6.0}};
+  }
+
+  template <typename T>
+  void encode_impl(const NdArray<T>& data, double abs_eb,
+                   const CompressionConfig& config, SectionWriter& out) const {
+    std::vector<T> recon(data.size());
+    QuantEncoder<T> quant(abs_eb, config.quant_radius);
+    const auto original = data.values();
+
+    QuantEncoder<double> coef_quant(coeff_eb(abs_eb, config.block_size));
+    CoeffPredictor coef_pred;
+    std::vector<std::uint8_t> choices;
+    const int rank = data.shape().rank();
+
+    auto oracle =
+        [&](const BlockRegion& region) -> std::pair<bool, BlockCoeffs> {
+      const BlockCoeffs fitted = fit_block_regression(data, region);
+      const auto [sse_reg, sse_lor] = block_sse(data, region, fitted);
+      const bool use_reg = sse_reg < sse_lor;
+      choices.push_back(use_reg ? 1 : 0);
+      if (!use_reg) return {false, BlockCoeffs{}};
+      BlockCoeffs recon_c;
+      recon_c.b0 = coef_quant.encode(coef_pred.predict(0), fitted.b0);
+      recon_c.b1 = coef_quant.encode(coef_pred.predict(1), fitted.b1);
+      if (rank >= 2)
+        recon_c.b2 = coef_quant.encode(coef_pred.predict(2), fitted.b2);
+      if (rank >= 3)
+        recon_c.b3 = coef_quant.encode(coef_pred.predict(3), fitted.b3);
+      coef_pred.update(recon_c);
+      return {true, recon_c};
+    };
+    block_traverse<T>(data.shape(), recon, config.block_size, oracle,
+                      [&](std::size_t idx, double pred) {
+                        return quant.encode(pred, original[idx]);
+                      });
+
+    out.add("choices", lossless_compress(choices, config.lossless));
+    out.add("coef_codes", pack_codes(coef_quant.codes(), config.lossless));
+    out.add("coef_raw",
+            pack_raw_values(coef_quant.raw_values(), config.lossless));
+    out.add("codes", pack_codes(quant.codes(), config.lossless));
+    out.add("raw", pack_raw_values(quant.raw_values(), config.lossless));
+  }
+
+  template <typename T>
+  void decode_impl(const BlobHeader& header, const SectionReader& in,
+                   NdArray<T>& out) const {
+    const std::vector<std::uint32_t> codes = unpack_codes(in.get("codes"));
+    const std::vector<T> raw = unpack_raw_values<T>(in.get("raw"));
+    if (codes.size() != header.shape.size())
+      throw CorruptStream("blob: code count does not match shape");
+    QuantDecoder<T> quant(header.abs_eb, header.quant_radius, codes, raw);
+
+    const Bytes choice_bytes = lossless_decompress(in.get("choices"));
+    const std::vector<std::uint32_t> coef_codes =
+        unpack_codes(in.get("coef_codes"));
+    const std::vector<double> coef_raw =
+        unpack_raw_values<double>(in.get("coef_raw"));
+    QuantDecoder<double> coef_quant(coeff_eb(header.abs_eb, header.block_size),
+                                    kDefaultQuantRadius, coef_codes, coef_raw);
+    CoeffPredictor coef_pred;
+    std::size_t choice_pos = 0;
+    const int rank = header.shape.rank();
+
+    auto oracle = [&](const BlockRegion&) -> std::pair<bool, BlockCoeffs> {
+      if (choice_pos >= choice_bytes.size())
+        throw CorruptStream("blob: choice stream exhausted");
+      const bool use_reg = choice_bytes[choice_pos++] != 0;
+      if (!use_reg) return {false, BlockCoeffs{}};
+      BlockCoeffs c;
+      c.b0 = coef_quant.decode(coef_pred.predict(0));
+      c.b1 = coef_quant.decode(coef_pred.predict(1));
+      if (rank >= 2) c.b2 = coef_quant.decode(coef_pred.predict(2));
+      if (rank >= 3) c.b3 = coef_quant.decode(coef_pred.predict(3));
+      coef_pred.update(c);
+      return {true, c};
+    };
+    block_traverse<T>(header.shape, out.values(), header.block_size, oracle,
+                      [&](std::size_t, double pred) {
+                        return quant.decode(pred);
+                      });
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<CompressorBackend>> make_sz_backends() {
+  std::vector<std::unique_ptr<CompressorBackend>> backends;
+  backends.push_back(std::make_unique<LorenzoBackend>());
+  backends.push_back(std::make_unique<Sz2Backend>());
+  backends.push_back(std::make_unique<Sz3InterpBackend>());
+  backends.push_back(std::make_unique<Lorenzo2Backend>());
+  return backends;
+}
+
+}  // namespace ocelot

@@ -1,6 +1,7 @@
 #include "core/advisor.hpp"
 
 #include "common/error.hpp"
+#include "compressor/backend.hpp"
 #include "compressor/compressor.hpp"
 
 namespace ocelot {
@@ -18,11 +19,12 @@ Advice advise(const QualityModel& model, const NdArray<T>& data,
   Advice advice;
   advice.options.reserve(candidates.size());
   for (const auto& config : candidates) {
+    const std::uint8_t backend_id =
+        BackendRegistry::instance().by_name(config.backend).wire_id();
     const double abs_eb = resolve_abs_eb(data, config);
     const CompressorFeatures cf =
         extract_compressor_features(data, abs_eb, sample_stride);
-    const FeatureVector fv =
-        assemble_feature_vector(abs_eb, config.pipeline, df, cf);
+    const FeatureVector fv = assemble_feature_vector(abs_eb, backend_id, df, cf);
 
     AdvisedOption option;
     option.config = config;
@@ -50,5 +52,20 @@ template Advice advise<float>(const QualityModel&, const NdArray<float>&,
 template Advice advise<double>(const QualityModel&, const NdArray<double>&,
                                const std::vector<CompressionConfig>&,
                                const QualityConstraints&, std::size_t);
+
+std::vector<CompressionConfig> enumerate_candidates(
+    const std::vector<double>& ebs, EbMode eb_mode) {
+  std::vector<CompressionConfig> candidates;
+  for (const CompressorBackend* backend : BackendRegistry::instance().list()) {
+    for (const double eb : ebs) {
+      CompressionConfig config;
+      config.backend = backend->name();
+      config.eb_mode = eb_mode;
+      config.eb = eb;
+      candidates.push_back(std::move(config));
+    }
+  }
+  return candidates;
+}
 
 }  // namespace ocelot

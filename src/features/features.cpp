@@ -5,6 +5,7 @@
 
 #include "codec/huffman.hpp"
 #include "common/stats.hpp"
+#include "compressor/backend.hpp"
 #include "compressor/compressor.hpp"
 #include "compressor/quantizer.hpp"
 #include "compressor/traversal.hpp"
@@ -131,12 +132,12 @@ template CompressorFeatures extract_compressor_features<float>(
 template CompressorFeatures extract_compressor_features<double>(
     const NdArray<double>&, double, std::size_t);
 
-FeatureVector assemble_feature_vector(double abs_eb, Pipeline pipeline,
+FeatureVector assemble_feature_vector(double abs_eb, std::uint8_t backend_id,
                                       const DataFeatures& df,
                                       const CompressorFeatures& cf) {
   FeatureVector v;
   v[0] = std::log10(abs_eb);
-  v[1] = static_cast<double>(pipeline);
+  v[1] = static_cast<double>(backend_id);
   v[2] = df.min;
   v[3] = df.max;
   v[4] = df.value_range;
@@ -154,10 +155,12 @@ FeatureVector make_feature_vector(const NdArray<T>& data,
                                   const CompressionConfig& config,
                                   std::size_t sample_stride) {
   const double abs_eb = resolve_abs_eb(data, config);
+  const std::uint8_t backend_id =
+      BackendRegistry::instance().by_name(config.backend).wire_id();
   const DataFeatures df = extract_data_features(data);
   const CompressorFeatures cf =
       extract_compressor_features(data, abs_eb, sample_stride);
-  return assemble_feature_vector(abs_eb, config.pipeline, df, cf);
+  return assemble_feature_vector(abs_eb, backend_id, df, cf);
 }
 
 template FeatureVector make_feature_vector<float>(const NdArray<float>&,

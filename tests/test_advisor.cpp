@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "compressor/backend.hpp"
 #include "compressor/compressor.hpp"
 #include "core/advisor.hpp"
 #include "datagen/datasets.hpp"
@@ -23,14 +24,16 @@ const QualityModel& trained_model() {
         const DataFeatures df = extract_data_features(field.data);
         for (const double eb : {1e-5, 1e-4, 1e-3, 1e-2}) {
           CompressionConfig config;
-          config.pipeline = Pipeline::kSz3Interp;
+          config.backend = "sz3-interp";
           config.eb_mode = EbMode::kValueRangeRel;
           config.eb = eb;
           const double abs_eb = resolve_abs_eb(field.data, config);
           const CompressorFeatures cf =
               extract_compressor_features(field.data, abs_eb, 10);
           QualitySample s;
-          s.features = assemble_feature_vector(abs_eb, config.pipeline, df, cf);
+          s.features = assemble_feature_vector(
+              abs_eb, BackendRegistry::instance().by_name(config.backend).wire_id(),
+              df, cf);
           const RoundTripStats stats = measure_roundtrip(field.data, config);
           s.compression_ratio = stats.compression_ratio;
           s.compress_seconds = stats.compress_seconds;
@@ -49,7 +52,7 @@ std::vector<CompressionConfig> candidate_sweep() {
   std::vector<CompressionConfig> candidates;
   for (const double eb : {1e-5, 1e-4, 1e-3, 1e-2}) {
     CompressionConfig config;
-    config.pipeline = Pipeline::kSz3Interp;
+    config.backend = "sz3-interp";
     config.eb_mode = EbMode::kValueRangeRel;
     config.eb = eb;
     candidates.push_back(config);

@@ -29,7 +29,7 @@ FloatArray smooth_field(const Shape& shape, std::uint64_t seed) {
 
 CompressionConfig test_config() {
   CompressionConfig config;
-  config.pipeline = Pipeline::kSz3Interp;
+  config.backend = "sz3-interp";
   config.eb_mode = EbMode::kValueRangeRel;
   config.eb = 1e-3;
   return config;

@@ -1,5 +1,5 @@
 // End-to-end compressor tests: the error-bound invariant, round
-// trips across pipelines/shapes/bounds, container robustness.
+// trips across backends/shapes/bounds, container robustness.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -36,17 +36,18 @@ FloatArray smooth_test_field(const Shape& shape, std::uint64_t seed) {
   return data;
 }
 
-/// The core contract: max |orig - recon| <= eb, for every pipeline,
+/// The core contract: max |orig - recon| <= eb, for every backend,
 /// shape, and error bound.
 class ErrorBoundSweep
-    : public ::testing::TestWithParam<std::tuple<Pipeline, Shape, double>> {};
+    : public ::testing::TestWithParam<std::tuple<const char*, Shape, double>> {
+};
 
 TEST_P(ErrorBoundSweep, BoundHoldsAndRoundTrips) {
-  const auto [pipeline, shape, eb] = GetParam();
+  const auto [backend, shape, eb] = GetParam();
   const FloatArray data = smooth_test_field(shape, 1234);
 
   CompressionConfig config;
-  config.pipeline = pipeline;
+  config.backend = backend;
   config.eb_mode = EbMode::kAbsolute;
   config.eb = eb;
 
@@ -55,15 +56,14 @@ TEST_P(ErrorBoundSweep, BoundHoldsAndRoundTrips) {
 
   ASSERT_EQ(recon.shape(), data.shape());
   const double max_err = max_abs_error<float>(data.values(), recon.values());
-  EXPECT_LE(max_err, eb) << to_string(pipeline) << " shape rank "
-                         << shape.rank();
+  EXPECT_LE(max_err, eb) << backend << " shape rank " << shape.rank();
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    PipelinesShapesBounds, ErrorBoundSweep,
+    BackendsShapesBounds, ErrorBoundSweep,
     ::testing::Combine(
-        ::testing::Values(Pipeline::kLorenzo, Pipeline::kSz2,
-                          Pipeline::kSz3Interp, Pipeline::kLorenzo2),
+        ::testing::Values("lorenzo", "sz2", "sz3-interp", "lorenzo2",
+                          "multigrid"),
         ::testing::Values(Shape(1000), Shape(50, 60), Shape(20, 24, 28),
                           Shape(7, 11, 13)),
         ::testing::Values(1e-1, 1e-3, 1e-5)));
@@ -79,14 +79,14 @@ TEST(Compressor, SecondOrderLorenzoReproducesLinearTrendExactly) {
     }
   }
   CompressionConfig config;
-  config.pipeline = Pipeline::kLorenzo2;
+  config.backend = "lorenzo2";
   config.eb = 1e-4;
   const RoundTripStats stats = measure_roundtrip(data, config);
   EXPECT_LE(stats.max_error, 1e-4);
   EXPECT_GT(stats.compression_ratio, 40.0);
 
   // Order 1 cannot cancel the gradient: order 2 must compress better.
-  config.pipeline = Pipeline::kLorenzo;
+  config.backend = "lorenzo";
   const RoundTripStats order1 = measure_roundtrip(data, config);
   EXPECT_GT(stats.compression_ratio, order1.compression_ratio);
 }
@@ -122,7 +122,7 @@ TEST(Compressor, ConstantFieldCompressesMassively) {
 TEST(Compressor, LargerBoundNeverCompressesWorse) {
   const FloatArray data = smooth_test_field(Shape(32, 32, 32), 7);
   CompressionConfig config;
-  config.pipeline = Pipeline::kSz3Interp;
+  config.backend = "sz3-interp";
   double prev_ratio = 0.0;
   for (const double eb : {1e-6, 1e-4, 1e-2}) {
     config.eb = eb;
@@ -136,7 +136,7 @@ TEST(Compressor, LargerBoundNeverCompressesWorse) {
 TEST(Compressor, PsnrImprovesWithTighterBound) {
   const FloatArray data = smooth_test_field(Shape(48, 48), 8);
   CompressionConfig config;
-  config.pipeline = Pipeline::kLorenzo;
+  config.backend = "lorenzo";
   config.eb = 1e-2;
   const double psnr_loose = measure_roundtrip(data, config).psnr_db;
   config.eb = 1e-4;
@@ -165,12 +165,13 @@ TEST(Compressor, DtypeMismatchThrows) {
 TEST(Compressor, InspectBlobReportsHeader) {
   const FloatArray data = smooth_test_field(Shape(20, 30), 11);
   CompressionConfig config;
-  config.pipeline = Pipeline::kSz2;
+  config.backend = "sz2";
   config.eb = 1e-3;
   const Bytes blob = compress(data, config);
   const BlobInfo info = inspect_blob(blob);
   EXPECT_FALSE(info.is_double);
-  EXPECT_EQ(info.pipeline, Pipeline::kSz2);
+  EXPECT_EQ(info.backend, "sz2");
+  EXPECT_EQ(info.backend_id, 1);
   EXPECT_DOUBLE_EQ(info.abs_eb, 1e-3);
   EXPECT_EQ(info.shape, Shape(20, 30));
   EXPECT_EQ(info.raw_bytes, 20u * 30u * 4u);
@@ -205,29 +206,29 @@ TEST(Compressor, NonPositiveBoundThrows) {
 }
 
 TEST(Compressor, InterpBeatsLorenzoOnSmoothData) {
-  // The SZ3-interp pipeline should achieve a better ratio than pure
+  // The SZ3-interp backend should achieve a better ratio than pure
   // Lorenzo on smooth fields (the reason the paper adopts SZ3).
   const FloatArray data = smooth_test_field(Shape(64, 64, 64), 15);
   CompressionConfig config;
   config.eb = 1e-3;
-  config.pipeline = Pipeline::kLorenzo;
+  config.backend = "lorenzo";
   const double cr_lorenzo = measure_roundtrip(data, config).compression_ratio;
-  config.pipeline = Pipeline::kSz3Interp;
+  config.backend = "sz3-interp";
   const double cr_interp = measure_roundtrip(data, config).compression_ratio;
   EXPECT_GT(cr_interp, cr_lorenzo);
 }
 
 /// Error bound must hold on every synthetic application field too.
 class DatasetErrorBound
-    : public ::testing::TestWithParam<std::tuple<std::string, Pipeline>> {};
+    : public ::testing::TestWithParam<std::tuple<std::string, const char*>> {};
 
 TEST_P(DatasetErrorBound, HoldsOnGeneratedFields) {
-  const auto [app, pipeline] = GetParam();
+  const auto [app, backend] = GetParam();
   const auto fields = generate_application(app, 0.05, 99);
   ASSERT_FALSE(fields.empty());
 
   CompressionConfig config;
-  config.pipeline = pipeline;
+  config.backend = backend;
   config.eb_mode = EbMode::kValueRangeRel;
   config.eb = 1e-3;
 
@@ -245,11 +246,10 @@ TEST_P(DatasetErrorBound, HoldsOnGeneratedFields) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AppsAndPipelines, DatasetErrorBound,
+    AppsAndBackends, DatasetErrorBound,
     ::testing::Combine(::testing::Values("CESM", "Miranda", "ISABEL", "Nyx",
                                          "RTM", "QMCPACK"),
-                       ::testing::Values(Pipeline::kSz3Interp,
-                                         Pipeline::kSz2)));
+                       ::testing::Values("sz3-interp", "sz2", "multigrid")));
 
 }  // namespace
 }  // namespace ocelot

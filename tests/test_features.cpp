@@ -116,12 +116,12 @@ TEST(CompressorFeatures, SamplingApproximatesFullScan) {
 TEST(FeatureVector, AssemblyLayout) {
   const FloatArray data = smooth_field(7);
   CompressionConfig config;
-  config.pipeline = Pipeline::kSz2;
+  config.backend = "sz2";
   config.eb = 1e-3;
   const FeatureVector v = make_feature_vector(data, config, 10);
   EXPECT_EQ(kFeatureCount, 11u);
   EXPECT_NEAR(v[0], -3.0, 1e-9);                       // log10 eb
-  EXPECT_DOUBLE_EQ(v[1], static_cast<double>(Pipeline::kSz2));
+  EXPECT_DOUBLE_EQ(v[1], 1.0);  // sz2's backend wire id
   EXPECT_LE(v[2], v[3]);                               // min <= max
   EXPECT_NEAR(v[4], v[3] - v[2], 1e-6);                // range
   EXPECT_GE(v[7], 0.0);                                // p0 in [0,1]

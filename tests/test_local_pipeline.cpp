@@ -41,7 +41,7 @@ LinkProfile laptop_link() {
 
 LocalPipelineConfig pipeline_config(bool grouped) {
   LocalPipelineConfig config;
-  config.compression.pipeline = Pipeline::kSz3Interp;
+  config.compression.backend = "sz3-interp";
   config.compression.eb_mode = EbMode::kValueRangeRel;
   config.compression.eb = 1e-3;
   config.workers = 4;

@@ -29,12 +29,12 @@ FloatArray masked_field(std::uint64_t seed) {
   return data;
 }
 
-class NonFiniteSweep : public ::testing::TestWithParam<Pipeline> {};
+class NonFiniteSweep : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(NonFiniteSweep, NonFiniteValuesSurviveVerbatim) {
   const FloatArray data = masked_field(11);
   CompressionConfig config;
-  config.pipeline = GetParam();
+  config.backend = GetParam();
   config.eb = 1e-3;
 
   const Bytes blob = compress(data, config);
@@ -55,12 +55,12 @@ TEST_P(NonFiniteSweep, NonFiniteValuesSurviveVerbatim) {
   EXPECT_GT(checked, data.size() / 2);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllPipelines, NonFiniteSweep,
-                         ::testing::Values(Pipeline::kLorenzo, Pipeline::kSz2,
-                                           Pipeline::kSz3Interp));
+INSTANTIATE_TEST_SUITE_P(AllBackends, NonFiniteSweep,
+                         ::testing::Values("lorenzo", "sz2", "sz3-interp",
+                                           "multigrid"));
 
 /// Fuzz: random single-byte mutations of valid blobs must never crash.
-class BlobFuzz : public ::testing::TestWithParam<Pipeline> {};
+class BlobFuzz : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(BlobFuzz, MutatedBlobsNeverCrash) {
   FloatArray data(Shape(20, 20));
@@ -69,7 +69,7 @@ TEST_P(BlobFuzz, MutatedBlobsNeverCrash) {
     v = static_cast<float>(rng.normal(0.0, 1.0));
   }
   CompressionConfig config;
-  config.pipeline = GetParam();
+  config.backend = GetParam();
   config.eb = 1e-3;
   const Bytes blob = compress(data, config);
 
@@ -91,9 +91,9 @@ TEST_P(BlobFuzz, MutatedBlobsNeverCrash) {
   EXPECT_GT(threw, 100) << "decoded=" << decoded;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllPipelines, BlobFuzz,
-                         ::testing::Values(Pipeline::kLorenzo, Pipeline::kSz2,
-                                           Pipeline::kSz3Interp));
+INSTANTIATE_TEST_SUITE_P(AllBackends, BlobFuzz,
+                         ::testing::Values("lorenzo", "sz2", "sz3-interp",
+                                           "multigrid"));
 
 TEST(Robustness, TruncationSweepAlwaysThrowsOrDecodes) {
   FloatArray data(Shape(16, 16));

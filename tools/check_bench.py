@@ -45,6 +45,15 @@ def main() -> None:
         metavar="KEY=VALUE",
         help="extra floor on any metrics entry (repeatable)",
     )
+    parser.add_argument(
+        "--max-row-field",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="ceiling on a field of every row that carries it, e.g. "
+        "max_error_over_eb=1 gates each backend row individually "
+        "(repeatable)",
+    )
     args = parser.parse_args()
 
     try:
@@ -57,16 +66,20 @@ def main() -> None:
     if not isinstance(metrics, dict) or not metrics:
         fail("no metrics object in report")
 
+    def parse_threshold(option: str, spec: str) -> tuple:
+        key, _, value = spec.partition("=")
+        try:
+            return key, float(value)
+        except ValueError:
+            fail(f"bad {option} '{spec}', expected KEY=NUMBER")
+
     checks = []
     if args.min_ratio is not None:
         checks.append(("ratio", args.min_ratio))
     if args.min_speedup is not None:
         checks.append(("best_speedup", args.min_speedup))
     for spec in args.min_metric:
-        key, _, value = spec.partition("=")
-        if not value:
-            fail(f"bad --min-metric '{spec}', expected KEY=VALUE")
-        checks.append((key, float(value)))
+        checks.append(parse_threshold("--min-metric", spec))
 
     for key, floor in checks:
         value = metrics.get(key)
@@ -75,6 +88,27 @@ def main() -> None:
         if value < floor:
             fail(f"metric '{key}' = {value:.4g} below floor {floor:.4g}")
         print(f"check_bench: ok: {key} = {value:.4g} >= {floor:.4g}")
+
+    rows = report.get("rows", [])
+    for spec in args.max_row_field:
+        key, ceiling = parse_threshold("--max-row-field", spec)
+        seen = 0
+        for row in rows:
+            if not isinstance(row, dict) or key not in row:
+                continue
+            seen += 1
+            cell = row[key]
+            label = row.get("label", "?")
+            if not isinstance(cell, (int, float)):
+                fail(f"row '{label}' field '{key}' non-numeric ({cell!r})")
+            if cell > ceiling:
+                fail(
+                    f"row '{label}' field '{key}' = {cell:.4g} "
+                    f"above ceiling {ceiling:.4g}"
+                )
+        if seen == 0:
+            fail(f"--max-row-field {key}: no row carries that field")
+        print(f"check_bench: ok: {key} <= {ceiling:.4g} on {seen} rows")
 
     over_eb = metrics.get("max_error_over_eb")
     if over_eb is not None:

@@ -2,14 +2,17 @@
 //
 // Subcommands:
 //   generate <app> <field> <scale> <out.ocf>   synthesize a test field
-//   compress <in.ocf> <out.ocz> [eb] [mode] [pipeline]
+//   compress <in.ocf> <out.ocz> [eb] [mode] [backend]  (or key=value)
 //   decompress <in.ocz> <out.ocf>
 //   info <file>                                inspect OCF1/OCZ1 headers
+//   backends                                   list registered backends
 //   diff <a.ocf> <b.ocf>                       PSNR / max error
 //   simulate <campaign>... | --demo            multi-campaign orchestrator
 //
 // Files use the repo's self-describing formats: OCF1 raw fields and
-// OCZ1 compressed blobs.
+// OCZ1 compressed blobs. Compression families come from the
+// name-keyed BackendRegistry, so a newly registered backend is
+// immediately selectable here without CLI changes.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -19,6 +22,7 @@
 #include "common/stats.hpp"
 #include "common/str.hpp"
 #include "common/table.hpp"
+#include "compressor/backend.hpp"
 #include "compressor/compressor.hpp"
 #include "core/workload.hpp"
 #include "datagen/datasets.hpp"
@@ -65,29 +69,74 @@ int cmd_generate(const std::vector<std::string>& args) {
   return 0;
 }
 
-Pipeline parse_pipeline(const std::string& name) {
-  if (name == "lorenzo") return Pipeline::kLorenzo;
-  if (name == "lorenzo2") return Pipeline::kLorenzo2;
-  if (name == "sz2") return Pipeline::kSz2;
-  if (name == "sz3" || name == "sz3-interp") return Pipeline::kSz3Interp;
-  throw InvalidArgument("unknown pipeline: " + name +
-                        " (expected lorenzo|lorenzo2|sz2|sz3)");
+/// Resolves a backend name through the registry; "sz3" stays as a
+/// convenience alias for the SZ3 default.
+std::string parse_backend(const std::string& name) {
+  const std::string resolved = name == "sz3" ? "sz3-interp" : name;
+  (void)BackendRegistry::instance().by_name(resolved);  // throws if unknown
+  return resolved;
 }
 
 int cmd_compress(const std::vector<std::string>& args) {
   if (args.size() < 2 || args.size() > 5) {
     std::cerr << "usage: ocelot compress <in.ocf> <out.ocz> [eb=1e-3] "
-                 "[mode=rel|abs] [pipeline=sz3]\n";
+                 "[mode=rel|abs] [backend=sz3]\n"
+              << "       trailing options also accept key=value form, "
+                 "e.g. backend=multigrid eb=1e-4\n"
+              << "       (see `ocelot backends` for registered backends)\n";
     return 2;
   }
   const LoadedField field = load_field(read_file(args[0]));
   CompressionConfig config;
-  config.eb = args.size() > 2 ? std::stod(args[2]) : 1e-3;
-  config.eb_mode = (args.size() > 3 && args[3] == "abs")
-                       ? EbMode::kAbsolute
-                       : EbMode::kValueRangeRel;
-  config.pipeline =
-      args.size() > 4 ? parse_pipeline(args[4]) : Pipeline::kSz3Interp;
+  config.eb_mode = EbMode::kValueRangeRel;
+
+  // Trailing options: positional [eb] [mode] [backend], with key=value
+  // accepted anywhere (so `backend=multigrid` works without spelling
+  // out eb and mode first). A bare arg fills the first positional slot
+  // whose key has not been given yet, so forms mix freely.
+  const char* kSlots[] = {"eb", "mode", "backend"};
+  bool given[3] = {false, false, false};
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto eq = arg.find('=');
+    std::string key;
+    std::string value;
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      std::size_t slot = 0;
+      while (slot < 3 && given[slot]) ++slot;
+      if (slot == 3)
+        throw InvalidArgument("too many compress options at: " + arg);
+      key = kSlots[slot];
+      value = arg;
+    }
+    for (std::size_t slot = 0; slot < 3; ++slot) {
+      if (key == kSlots[slot] || (key == "pipeline" && slot == 2)) {
+        given[slot] = true;
+      }
+    }
+    if (key == "eb") {
+      try {
+        std::size_t consumed = 0;
+        config.eb = std::stod(value, &consumed);
+        if (consumed != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        throw InvalidArgument("bad eb value: " + value);
+      }
+    } else if (key == "mode") {
+      if (value != "abs" && value != "rel")
+        throw InvalidArgument("unknown eb mode: " + value +
+                              " (expected abs|rel)");
+      config.eb_mode =
+          value == "abs" ? EbMode::kAbsolute : EbMode::kValueRangeRel;
+    } else if (key == "backend" || key == "pipeline") {
+      config.backend = parse_backend(value);
+    } else {
+      throw InvalidArgument("unknown compress option: " + key);
+    }
+  }
 
   const Bytes blob = compress(field.data, config);
   write_file(args[1], blob);
@@ -95,8 +144,29 @@ int cmd_compress(const std::vector<std::string>& args) {
                        static_cast<double>(blob.size());
   std::cout << "compressed " << args[0] << " -> " << args[1] << "  ratio "
             << fmt_double(ratio, 2) << "x  (abs eb "
-            << resolve_abs_eb(field.data, config) << ", "
-            << to_string(config.pipeline) << ")\n";
+            << resolve_abs_eb(field.data, config) << ", " << config.backend
+            << ")\n";
+  return 0;
+}
+
+int cmd_backends(const std::vector<std::string>& args) {
+  if (!args.empty()) {
+    std::cerr << "usage: ocelot backends\n";
+    return 2;
+  }
+  TextTable table({"backend", "id", "description", "tunables"});
+  for (const CompressorBackend* backend : BackendRegistry::instance().list()) {
+    std::string tunables;
+    for (const BackendParam& param : backend->params()) {
+      if (!tunables.empty()) tunables += ", ";
+      tunables += param.field + "=" + fmt_double(param.default_value, 0) +
+                  " (" + param.description + ")";
+    }
+    if (tunables.empty()) tunables = "-";
+    table.add_row({backend->name(), std::to_string(backend->wire_id()),
+                   backend->description(), tunables});
+  }
+  table.print(std::cout);
   return 0;
 }
 
@@ -132,7 +202,7 @@ int cmd_info(const std::vector<std::string>& args) {
     return 0;
   }
   const BlobInfo info = inspect_blob(bytes);
-  std::cout << "OCZ1 compressed blob: pipeline=" << to_string(info.pipeline)
+  std::cout << "OCZ1 compressed blob: backend=" << info.backend
             << " dtype=" << (info.is_double ? "f64" : "f32") << " shape="
             << shape_label(info.shape) << "\n"
             << "  abs eb " << info.abs_eb << ", "
@@ -299,8 +369,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
     std::cerr << "ocelot — error-bounded lossy compression toolkit\n"
-              << "commands: generate, compress, decompress, info, diff, "
-                 "simulate\n";
+              << "commands: generate, compress, decompress, info, backends, "
+                 "diff, simulate\n";
     return 2;
   }
   try {
@@ -310,6 +380,7 @@ int main(int argc, char** argv) {
     if (cmd == "compress") return cmd_compress(rest);
     if (cmd == "decompress") return cmd_decompress(rest);
     if (cmd == "info") return cmd_info(rest);
+    if (cmd == "backends") return cmd_backends(rest);
     if (cmd == "diff") return cmd_diff(rest);
     if (cmd == "simulate") return cmd_simulate(rest);
     std::cerr << "unknown command: " << cmd << "\n";
