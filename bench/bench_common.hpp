@@ -1,9 +1,12 @@
 #pragma once
 // Shared helpers for the bench binaries that regenerate the paper's
 // tables and figures: sample collection (real compression runs over
-// generated datasets), quality-model training, and the machine-
-// readable BENCH_<name>.json emitter that records the perf trajectory.
+// generated datasets), quality-model training, the machine-readable
+// BENCH_<name>.json emitter that records the perf trajectory, and the
+// global allocation counters that make the zero-copy data path's
+// allocation profile visible in every report.
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +18,28 @@
 
 namespace ocelot::bench {
 
+/// Snapshot of the process-wide heap counters. Bench binaries link
+/// operator new/delete overrides (bench_common.cpp), so every
+/// allocation in the process is counted; library/test builds are
+/// untouched. Subtract two snapshots to profile a region:
+///
+///   const AllocCounters before = alloc_counters();
+///   ... workload ...
+///   const std::uint64_t allocs = alloc_counters().allocs - before.allocs;
+struct AllocCounters {
+  std::uint64_t allocs = 0;          ///< operator new calls
+  std::uint64_t frees = 0;           ///< operator delete calls
+  std::uint64_t bytes_allocated = 0; ///< cumulative bytes requested
+  std::uint64_t current_bytes = 0;   ///< live bytes right now
+  std::uint64_t peak_bytes = 0;      ///< high-water mark of live bytes
+};
+
+[[nodiscard]] AllocCounters alloc_counters();
+
+/// Resets the peak to the current live bytes, scoping a peak-scratch
+/// measurement to the code that follows.
+void reset_alloc_peak();
+
 /// Machine-readable bench output. Every bench binary can accumulate
 /// top-level metrics (e.g. ratio, psnr_db, speedup) plus per-setting
 /// rows and dump them as BENCH_<name>.json, which tools/check_bench.py
@@ -25,7 +50,9 @@ namespace ocelot::bench {
 ///    "rows": [{"label": "workers=4", "wall_seconds": 0.12, ...}, ...]}
 ///
 /// Non-finite values serialize as null. Files land in $OCELOT_BENCH_DIR
-/// when set, else the working directory.
+/// when set, else the working directory. write() appends the process
+/// allocation counters (total_allocs, peak_alloc_bytes) to the metrics
+/// automatically unless the bench already set those keys.
 class BenchReport {
  public:
   explicit BenchReport(std::string name);

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/bitstream.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/error.hpp"
 
 namespace ocelot {
@@ -21,11 +22,12 @@ struct TreeNode {
   int right = -1;
 };
 
-/// Computes per-symbol depths of the Huffman tree for `counts`.
-/// Returns pairs sorted by symbol. May exceed kMaxCodeLength for
-/// pathological weights; the caller rescales and retries.
+/// Computes per-symbol depths of the Huffman tree for `counts` (a
+/// symbol-sorted histogram). Returns pairs sorted by symbol. May
+/// exceed kMaxCodeLength for pathological weights; the caller rescales
+/// and retries.
 std::vector<std::pair<std::uint32_t, int>> tree_depths(
-    const SymbolCounts& counts) {
+    const SymbolHist& counts) {
   std::vector<TreeNode> nodes;
   nodes.reserve(counts.size() * 2);
   using QItem = std::pair<std::pair<std::uint64_t, int>, int>;  // ((w,h), idx)
@@ -76,7 +78,30 @@ SymbolCounts count_symbols(std::span<const std::uint32_t> symbols) {
   return counts;
 }
 
+SymbolHist histogram_symbols(std::span<const std::uint32_t> symbols) {
+  SymbolHist hist;
+  if (symbols.empty()) return hist;
+  // Sort a pooled copy and run-length it: one scratch vector instead
+  // of a map node per unique symbol.
+  ScratchLease<std::uint32_t> sorted(ScratchPool<std::uint32_t>::shared(),
+                                     symbols.size());
+  sorted->assign(symbols.begin(), symbols.end());
+  std::sort(sorted->begin(), sorted->end());
+  for (std::size_t i = 0; i < sorted->size();) {
+    const std::uint32_t sym = (*sorted)[i];
+    std::size_t run = i + 1;
+    while (run < sorted->size() && (*sorted)[run] == sym) ++run;
+    hist.emplace_back(sym, run - i);
+    i = run;
+  }
+  return hist;
+}
+
 HuffmanCode HuffmanCode::from_counts(const SymbolCounts& counts) {
+  return from_histogram(SymbolHist(counts.begin(), counts.end()));
+}
+
+HuffmanCode HuffmanCode::from_histogram(const SymbolHist& counts) {
   require(!counts.empty(), "HuffmanCode: empty histogram");
   HuffmanCode code;
   if (counts.size() == 1) {
@@ -86,7 +111,7 @@ HuffmanCode HuffmanCode::from_counts(const SymbolCounts& counts) {
     return code;
   }
 
-  SymbolCounts scaled = counts;
+  SymbolHist scaled = counts;
   while (true) {
     auto depths = tree_depths(scaled);
     const int max_depth =
@@ -154,13 +179,12 @@ std::uint64_t HuffmanCode::encoded_bits(const SymbolCounts& counts) const {
   return bits;
 }
 
-Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
-  BytesWriter out;
+void huffman_encode(std::span<const std::uint32_t> symbols, ByteSink& out) {
   out.put_varint(symbols.size());
-  if (symbols.empty()) return out.take();
+  if (symbols.empty()) return;
 
-  const SymbolCounts counts = count_symbols(symbols);
-  const HuffmanCode code = HuffmanCode::from_counts(counts);
+  const SymbolHist counts = histogram_symbols(symbols);
+  const HuffmanCode code = HuffmanCode::from_histogram(counts);
 
   // Table: unique count, then delta-coded symbols with lengths.
   out.put_varint(code.lengths_.size());
@@ -171,8 +195,21 @@ Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
     prev = sym;
   }
 
+  // The payload length is fully determined by the histogram, so the
+  // blob's varint prefix can go out before a single bit is packed —
+  // the bit stream then lands directly in the sink's buffer instead of
+  // an intermediate vector. lengths_ and the histogram are sorted over
+  // the same symbol set, so they align index by index.
+  std::uint64_t payload_bits = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    payload_bits += counts[i].second *
+                    static_cast<std::uint64_t>(code.lengths_[i].second);
+  }
+  out.put_varint((payload_bits + 7) / 8);
+  out.reserve((payload_bits + 7) / 8);
+
   // Fast per-symbol lookup aligned with lengths_ order.
-  BitWriter bits;
+  BitWriter bits(out.target());
   for (const std::uint32_t s : symbols) {
     const auto it = std::lower_bound(
         code.lengths_.begin(), code.lengths_.end(), s,
@@ -184,15 +221,21 @@ Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
     // Emit MSB-first so canonical prefix decoding works bit by bit.
     for (int b = len - 1; b >= 0; --b) bits.put_bit((w >> b) & 1u);
   }
-  out.put_blob(bits.finish());
+  bits.flush();
+}
+
+Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
+  BytesWriter out;
+  huffman_encode(symbols, out);
   return out.take();
 }
 
-std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> data) {
+void huffman_decode_into(std::span<const std::uint8_t> data,
+                         std::vector<std::uint32_t>& out) {
+  out.clear();
   BytesReader in(data);
   const std::uint64_t n = in.get_varint();
-  std::vector<std::uint32_t> out;
-  if (n == 0) return out;
+  if (n == 0) return;
   out.reserve(n);
 
   const std::uint64_t unique = in.get_varint();
@@ -212,7 +255,7 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> data) {
     // Zero-bit degenerate code.
     out.assign(n, lengths[0].first);
     (void)in.get_blob();
-    return out;
+    return;
   }
 
   // Canonical decode tables: per length, the first codeword and the
@@ -266,6 +309,11 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> data) {
       }
     }
   }
+}
+
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> data) {
+  std::vector<std::uint32_t> out;
+  huffman_decode_into(data, out);
   return out;
 }
 

@@ -20,11 +20,20 @@
 
 namespace ocelot {
 
-/// Symbol frequency histogram.
+/// Symbol frequency histogram (map form, for callers that probe
+/// individual symbols — e.g. the feature extractor).
 using SymbolCounts = std::map<std::uint32_t, std::uint64_t>;
+
+/// Flat histogram: (symbol, count) pairs sorted by symbol. The encoder
+/// works on this form — building it is one sort over pooled scratch
+/// instead of one map node allocation per unique symbol.
+using SymbolHist = std::vector<std::pair<std::uint32_t, std::uint64_t>>;
 
 /// Builds a histogram of a symbol stream.
 SymbolCounts count_symbols(std::span<const std::uint32_t> symbols);
+
+/// Flat-histogram variant (sorted by symbol).
+SymbolHist histogram_symbols(std::span<const std::uint32_t> symbols);
 
 /// A canonical Huffman code: per-symbol code lengths and codewords.
 class HuffmanCode {
@@ -34,6 +43,9 @@ class HuffmanCode {
   /// Counts must be non-empty. Code lengths are capped at 57 bits by
   /// iterative frequency rescaling (never triggered by realistic data).
   static HuffmanCode from_counts(const SymbolCounts& counts);
+
+  /// Same code from the flat form; `hist` must be sorted by symbol.
+  static HuffmanCode from_histogram(const SymbolHist& hist);
 
   /// Code length in bits for `symbol`; 0 if the symbol is not in the code.
   [[nodiscard]] int length(std::uint32_t symbol) const;
@@ -56,17 +68,24 @@ class HuffmanCode {
   std::vector<std::uint64_t> codewords_;
 
   void assign_canonical_codewords();
-  friend Bytes huffman_encode(std::span<const std::uint32_t>);
-  friend std::vector<std::uint32_t> huffman_decode(
-      std::span<const std::uint8_t>);
+  friend void huffman_encode(std::span<const std::uint32_t>, ByteSink&);
 };
 
-/// Encodes a symbol stream (table + bits). Empty input yields a valid
-/// stream that decodes to an empty vector.
+/// Encodes a symbol stream (table + bits) into `out`. The payload
+/// length is precomputed from the code-length table, so the bit stream
+/// packs straight into the sink's buffer — no intermediate vector.
+/// Empty input yields a valid stream that decodes to an empty vector.
+void huffman_encode(std::span<const std::uint32_t> symbols, ByteSink& out);
+
+/// Convenience wrapper returning a fresh buffer.
 Bytes huffman_encode(std::span<const std::uint32_t> symbols);
 
-/// Decodes a stream produced by huffman_encode.
-/// Throws CorruptStream on malformed input.
+/// Decodes a stream produced by huffman_encode into `out` (cleared
+/// first; capacity is reused). Throws CorruptStream on malformed input.
+void huffman_decode_into(std::span<const std::uint8_t> data,
+                         std::vector<std::uint32_t>& out);
+
+/// Convenience wrapper returning a fresh vector.
 std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> data);
 
 }  // namespace ocelot

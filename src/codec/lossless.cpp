@@ -2,6 +2,7 @@
 
 #include "codec/lzb.hpp"
 #include "codec/rle.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/error.hpp"
 
 namespace ocelot {
@@ -18,46 +19,61 @@ std::string to_string(LosslessBackend backend) {
   return "unknown";
 }
 
-Bytes lossless_compress(std::span<const std::uint8_t> raw,
-                        LosslessBackend backend) {
-  BytesWriter out;
+void lossless_compress(std::span<const std::uint8_t> raw,
+                       LosslessBackend backend, ByteSink& out) {
   out.put(static_cast<std::uint8_t>(backend));
   switch (backend) {
     case LosslessBackend::kNone:
       out.put_bytes(raw);
       break;
-    case LosslessBackend::kLzb: {
-      const Bytes packed = lzb_compress(raw);
-      out.put_bytes(packed);
+    case LosslessBackend::kLzb:
+      lzb_compress(raw, out);
       break;
-    }
     case LosslessBackend::kRleLzb: {
-      const Bytes rle = rle_compress(raw);
-      const Bytes packed = lzb_compress(rle);
-      out.put_bytes(packed);
+      PooledBuffer rle(BufferPool::shared(), raw.size());
+      ByteSink rle_sink(*rle);
+      rle_compress(raw, rle_sink);
+      lzb_compress(*rle, out);
       break;
     }
     default:
       throw InvalidArgument("lossless_compress: unknown backend");
   }
+}
+
+Bytes lossless_compress(std::span<const std::uint8_t> raw,
+                        LosslessBackend backend) {
+  BytesWriter out;
+  lossless_compress(raw, backend, out);
   return out.take();
 }
 
-Bytes lossless_decompress(std::span<const std::uint8_t> compressed) {
+void lossless_decompress_into(std::span<const std::uint8_t> compressed,
+                              Bytes& out) {
   BytesReader in(compressed);
   const auto id = in.get<std::uint8_t>();
   const auto payload = in.get_bytes(in.remaining());
   switch (static_cast<LosslessBackend>(id)) {
     case LosslessBackend::kNone:
-      return Bytes(payload.begin(), payload.end());
+      out.assign(payload.begin(), payload.end());
+      return;
     case LosslessBackend::kLzb:
-      return lzb_decompress(payload);
+      lzb_decompress_into(payload, out);
+      return;
     case LosslessBackend::kRleLzb: {
-      const Bytes rle = lzb_decompress(payload);
-      return rle_decompress(rle);
+      PooledBuffer rle(BufferPool::shared());
+      lzb_decompress_into(payload, *rle);
+      rle_decompress_into(*rle, out);
+      return;
     }
   }
   throw CorruptStream("lossless_decompress: unknown backend id");
+}
+
+Bytes lossless_decompress(std::span<const std::uint8_t> compressed) {
+  Bytes out;
+  lossless_decompress_into(compressed, out);
+  return out;
 }
 
 }  // namespace ocelot

@@ -4,6 +4,12 @@
 // Mirrors SZ3's modular design where the final dictionary-coding stage
 // is swappable (zstd in SZ3; LZB here). The backend id is stored in the
 // compressed container so decompression is self-describing.
+//
+// The sink/_into entry points are the streaming data path: they append
+// into caller-provided buffers (typically pooled scratch or the final
+// blob) so chained stages never materialize intermediate vectors. New
+// codec code must use these; the Bytes-returning forms are
+// compatibility wrappers.
 
 #include <cstdint>
 #include <span>
@@ -22,12 +28,22 @@ enum class LosslessBackend : std::uint8_t {
 /// Human-readable backend name ("none", "lzb", "rle+lzb").
 std::string to_string(LosslessBackend backend);
 
-/// Applies the chosen backend. Output embeds the backend id.
+/// Applies the chosen backend, appending to `out` (backend id first).
+/// Chained stages (rle+lzb) run through pooled scratch.
+void lossless_compress(std::span<const std::uint8_t> raw,
+                       LosslessBackend backend, ByteSink& out);
+
+/// Convenience wrapper returning a fresh buffer.
 Bytes lossless_compress(std::span<const std::uint8_t> raw,
                         LosslessBackend backend);
 
-/// Inverts lossless_compress, dispatching on the embedded backend id.
+/// Inverts lossless_compress into `out` (cleared first; capacity is
+/// reused), dispatching on the embedded backend id.
 /// Throws CorruptStream on malformed input.
+void lossless_decompress_into(std::span<const std::uint8_t> compressed,
+                              Bytes& out);
+
+/// Convenience wrapper returning a fresh buffer.
 Bytes lossless_decompress(std::span<const std::uint8_t> compressed);
 
 }  // namespace ocelot

@@ -58,14 +58,16 @@ void emit_sequence(Bytes& out, std::span<const std::uint8_t> literals,
 
 }  // namespace
 
-Bytes lzb_compress(std::span<const std::uint8_t> raw) {
-  BytesWriter header;
-  header.put_varint(raw.size());
-  Bytes out = header.take();
-  if (raw.empty()) return out;
+void lzb_compress(std::span<const std::uint8_t> raw, ByteSink& sink) {
+  sink.put_varint(raw.size());
+  if (raw.empty()) return;
+  Bytes& out = sink.target();
 
-  // Single-entry hash table of the most recent position per 4-byte hash.
-  std::vector<std::int64_t> table(1u << kHashBits, -1);
+  // Single-entry hash table of the most recent position per 4-byte
+  // hash. Thread-local scratch: the 512 KiB table is allocated once
+  // per thread instead of once per call.
+  thread_local std::vector<std::int64_t> table;
+  table.assign(1u << kHashBits, -1);
   const std::uint8_t* base = raw.data();
   std::size_t pos = 0;
   std::size_t literal_start = 0;
@@ -106,13 +108,19 @@ Bytes lzb_compress(std::span<const std::uint8_t> raw) {
 
   // Trailing literals (possibly the whole input).
   emit_sequence(out, raw.subspan(literal_start), 0, 0);
-  return out;
 }
 
-Bytes lzb_decompress(std::span<const std::uint8_t> compressed) {
+Bytes lzb_compress(std::span<const std::uint8_t> raw) {
+  BytesWriter out;
+  lzb_compress(raw, out);
+  return out.take();
+}
+
+void lzb_decompress_into(std::span<const std::uint8_t> compressed,
+                         Bytes& out) {
+  out.clear();
   BytesReader in(compressed);
   const std::uint64_t raw_size = in.get_varint();
-  Bytes out;
   out.reserve(raw_size);
 
   while (out.size() < raw_size) {
@@ -135,6 +143,11 @@ Bytes lzb_decompress(std::span<const std::uint8_t> compressed) {
     std::size_t src = out.size() - offset;
     for (std::size_t i = 0; i < match_len; ++i) out.push_back(out[src + i]);
   }
+}
+
+Bytes lzb_decompress(std::span<const std::uint8_t> compressed) {
+  Bytes out;
+  lzb_decompress_into(compressed, out);
   return out;
 }
 

@@ -19,12 +19,20 @@
 
 namespace ocelot {
 
-/// Compresses `raw`; output is never catastrophically larger than input
-/// (worst case ~raw/255 + raw + 16 bytes).
+/// Compresses `raw` into `out`; output is never catastrophically larger
+/// than input (worst case ~raw/255 + raw + 16 bytes). The match table
+/// is thread-local scratch, so repeated calls on one thread allocate
+/// nothing.
+void lzb_compress(std::span<const std::uint8_t> raw, ByteSink& out);
+
+/// Convenience wrapper returning a fresh buffer.
 Bytes lzb_compress(std::span<const std::uint8_t> raw);
 
-/// Decompresses a stream produced by lzb_compress.
-/// Throws CorruptStream on malformed input.
+/// Decompresses a stream produced by lzb_compress into `out` (cleared
+/// first; capacity is reused). Throws CorruptStream on malformed input.
+void lzb_decompress_into(std::span<const std::uint8_t> compressed, Bytes& out);
+
+/// Convenience wrapper returning a fresh buffer.
 Bytes lzb_decompress(std::span<const std::uint8_t> compressed);
 
 }  // namespace ocelot

@@ -4,8 +4,7 @@
 
 namespace ocelot {
 
-Bytes rle_compress(std::span<const std::uint8_t> raw) {
-  BytesWriter out;
+void rle_compress(std::span<const std::uint8_t> raw, ByteSink& out) {
   out.put_varint(raw.size());
   std::size_t i = 0;
   while (i < raw.size()) {
@@ -22,13 +21,19 @@ Bytes rle_compress(std::span<const std::uint8_t> raw) {
     }
     i += run;
   }
+}
+
+Bytes rle_compress(std::span<const std::uint8_t> raw) {
+  BytesWriter out;
+  rle_compress(raw, out);
   return out.take();
 }
 
-Bytes rle_decompress(std::span<const std::uint8_t> compressed) {
+void rle_decompress_into(std::span<const std::uint8_t> compressed,
+                         Bytes& out) {
+  out.clear();
   BytesReader in(compressed);
   const std::uint64_t raw_size = in.get_varint();
-  Bytes out;
   out.reserve(raw_size);
   while (out.size() < raw_size) {
     const auto v = in.get<std::uint8_t>();
@@ -46,6 +51,11 @@ Bytes rle_decompress(std::span<const std::uint8_t> compressed) {
       }
     }
   }
+}
+
+Bytes rle_decompress(std::span<const std::uint8_t> compressed) {
+  Bytes out;
+  rle_decompress_into(compressed, out);
   return out;
 }
 

@@ -13,9 +13,17 @@
 
 namespace ocelot {
 
+/// Encodes `raw` into `out` (appending).
+void rle_compress(std::span<const std::uint8_t> raw, ByteSink& out);
+
+/// Convenience wrapper returning a fresh buffer.
 Bytes rle_compress(std::span<const std::uint8_t> raw);
 
+/// Decodes into `out` (cleared first; capacity is reused).
 /// Throws CorruptStream on malformed input.
+void rle_decompress_into(std::span<const std::uint8_t> compressed, Bytes& out);
+
+/// Convenience wrapper returning a fresh buffer.
 Bytes rle_decompress(std::span<const std::uint8_t> compressed);
 
 }  // namespace ocelot

@@ -1,10 +1,15 @@
 #pragma once
 // Bit-granular writer/reader used by the Huffman codec.
 //
-// Bits are packed LSB-first within each byte. BitWriter::finish() pads
-// the final byte with zero bits; the consumer is expected to know the
-// number of meaningful symbols (Huffman streams carry an explicit
-// symbol count), so padding never becomes data.
+// Bits are packed LSB-first within each byte. The writer pads the
+// final byte with zero bits (flush()/finish()); the consumer is
+// expected to know the number of meaningful symbols (Huffman streams
+// carry an explicit symbol count), so padding never becomes data.
+//
+// BitWriter has two modes: default-constructed it owns its buffer
+// (finish() moves it out), or it appends to a caller-provided Bytes —
+// the streaming data path points it at the output blob so bit packing
+// never materializes an intermediate vector.
 
 #include <cstdint>
 #include <span>
@@ -18,6 +23,16 @@ namespace ocelot {
 /// Appends individual bits / bit-fields to a byte buffer, LSB-first.
 class BitWriter {
  public:
+  BitWriter() : out_(&owned_) {}
+
+  /// Appends to `out` (non-owning; must outlive the writer). Call
+  /// flush() when done; finish() is reserved for the owning mode.
+  explicit BitWriter(Bytes& out) : out_(&out) {}
+
+  // Self-referential in owning mode; copying/moving would dangle.
+  BitWriter(const BitWriter&) = delete;
+  BitWriter& operator=(const BitWriter&) = delete;
+
   /// Appends the low `nbits` bits of `value` (LSB emitted first).
   void put_bits(std::uint64_t value, int nbits) {
     require(nbits >= 0 && nbits <= 64, "put_bits: nbits out of range");
@@ -29,22 +44,34 @@ class BitWriter {
 
   void put_bit(bool b) { put_bits(b ? 1 : 0, 1); }
 
-  /// Pads to a byte boundary and returns the buffer.
-  [[nodiscard]] Bytes finish() {
+  /// Pads any partial byte with zero bits into the target buffer.
+  void flush() {
     if (fill_ > 0) flush_byte();
-    return std::move(buf_);
   }
 
-  [[nodiscard]] std::size_t bit_count() const { return buf_.size() * 8 + fill_; }
+  /// Owning mode only: pads to a byte boundary and returns the buffer.
+  [[nodiscard]] Bytes finish() {
+    require(out_ == &owned_, "BitWriter: finish() requires the owning mode");
+    flush();
+    return std::move(owned_);
+  }
+
+  /// Bits written through this writer (target may hold earlier bytes).
+  [[nodiscard]] std::size_t bit_count() const {
+    return bytes_out_ * 8 + static_cast<std::size_t>(fill_);
+  }
 
  private:
   void flush_byte() {
-    buf_.push_back(cur_);
+    out_->push_back(cur_);
+    ++bytes_out_;
     cur_ = 0;
     fill_ = 0;
   }
 
-  Bytes buf_;
+  Bytes owned_;
+  Bytes* out_;
+  std::size_t bytes_out_ = 0;
   std::uint8_t cur_ = 0;
   int fill_ = 0;
 };

@@ -1,0 +1,15 @@
+#include "common/buffer_pool.hpp"
+
+namespace ocelot {
+
+BufferPool& BufferPool::shared() {
+  static BufferPool pool;
+  return pool;
+}
+
+BufferPool& BufferPool::local() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+}  // namespace ocelot

@@ -1,11 +1,14 @@
 #pragma once
 // Byte-buffer reader/writer with varint support.
 //
-// BytesWriter appends POD values and length-prefixed blobs to a growable
-// buffer; BytesReader consumes them in the same order, throwing
-// CorruptStream on truncation. These are the serialization primitives
-// used by the codecs, the compressed-blob container, and the grouped
-// archive format.
+// ByteSink appends POD values and length-prefixed blobs to a
+// caller-provided buffer, so pipeline stages can stream straight into
+// pooled scratch or the final output blob with no intermediate
+// vectors; BytesWriter is the owning convenience on top of it.
+// ByteSource/BytesReader consumes values in the same order as views
+// into the underlying buffer, throwing CorruptStream on truncation.
+// These are the serialization primitives used by the codecs, the
+// compressed-blob container, and the grouped archive format.
 
 #include <cstdint>
 #include <cstring>
@@ -19,31 +22,35 @@ namespace ocelot {
 
 using Bytes = std::vector<std::uint8_t>;
 
-/// Appends scalar values and byte spans to an in-memory buffer.
-class BytesWriter {
+/// Appends scalar values and byte spans to a buffer the caller owns.
+/// Non-owning: the target must outlive the sink. This is the seam the
+/// zero-copy data path streams through — codecs and backends write
+/// into a ByteSink instead of returning fresh Bytes, so the caller
+/// decides whether bytes land in pooled scratch or the final blob.
+class ByteSink {
  public:
-  BytesWriter() = default;
+  explicit ByteSink(Bytes& out) : buf_(&out) {}
 
   /// Appends the raw object representation of a trivially-copyable value.
   template <typename T>
   void put(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
-    buf_.insert(buf_.end(), p, p + sizeof(T));
+    buf_->insert(buf_->end(), p, p + sizeof(T));
   }
 
   /// Appends `bytes` verbatim (no length prefix).
   void put_bytes(std::span<const std::uint8_t> bytes) {
-    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    buf_->insert(buf_->end(), bytes.data(), bytes.data() + bytes.size());
   }
 
   /// Appends an unsigned LEB128 varint.
   void put_varint(std::uint64_t v) {
     while (v >= 0x80) {
-      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      buf_->push_back(static_cast<std::uint8_t>(v) | 0x80);
       v >>= 7;
     }
-    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_->push_back(static_cast<std::uint8_t>(v));
   }
 
   /// Appends a varint length prefix followed by the bytes.
@@ -55,18 +62,45 @@ class BytesWriter {
   /// Appends a varint length prefix followed by the string bytes.
   void put_string(const std::string& s) {
     put_varint(s.size());
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    buf_->insert(buf_->end(), s.begin(), s.end());
   }
 
-  [[nodiscard]] const Bytes& bytes() const { return buf_; }
-  [[nodiscard]] Bytes take() { return std::move(buf_); }
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  /// Total bytes in the target buffer (including any the caller wrote
+  /// before attaching the sink).
+  [[nodiscard]] std::size_t size() const { return buf_->size(); }
 
- private:
-  Bytes buf_;
+  /// The buffer this sink appends to. Exposed so bit-level writers and
+  /// back-patching container writers can address produced bytes.
+  [[nodiscard]] Bytes& target() { return *buf_; }
+
+  /// Grows the target's capacity by at least `n` more bytes.
+  void reserve(std::size_t n) { buf_->reserve(buf_->size() + n); }
+
+ protected:
+  ByteSink() : buf_(nullptr) {}  // BytesWriter binds to its own storage
+
+  Bytes* buf_;
 };
 
-/// Consumes values written by BytesWriter, validating bounds.
+/// Owning sink: appends into an internal buffer handed out via
+/// bytes()/take(). Kept for callers that genuinely need a fresh
+/// buffer; hot-path code should accept a ByteSink instead.
+class BytesWriter : public ByteSink {
+ public:
+  BytesWriter() { buf_ = &owned_; }
+
+  // Self-referential (buf_ points at owned_); moving would dangle.
+  BytesWriter(const BytesWriter&) = delete;
+  BytesWriter& operator=(const BytesWriter&) = delete;
+
+  [[nodiscard]] const Bytes& bytes() const { return owned_; }
+  [[nodiscard]] Bytes take() { return std::move(owned_); }
+
+ private:
+  Bytes owned_;
+};
+
+/// Consumes values written by ByteSink/BytesWriter, validating bounds.
 class BytesReader {
  public:
   explicit BytesReader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -128,5 +162,9 @@ class BytesReader {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };
+
+/// The read side of the streaming pair: a bounds-checked cursor over a
+/// borrowed span. Every get_* returns a view, never a copy.
+using ByteSource = BytesReader;
 
 }  // namespace ocelot

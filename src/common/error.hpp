@@ -40,7 +40,14 @@ class StateError : public Error {
   explicit StateError(const std::string& what) : Error(what) {}
 };
 
-/// Throws InvalidArgument with `msg` when `cond` is false.
+/// Throws InvalidArgument with `msg` when `cond` is false. The
+/// const char* overload defers std::string construction to the throw
+/// site: hot paths (the bit writer checks per call) pay a branch, not
+/// a heap allocation, for their precondition messages.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw InvalidArgument(msg);
 }

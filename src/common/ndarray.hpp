@@ -73,6 +73,14 @@ class NdArray {
   [[nodiscard]] std::span<T> values() { return data_; }
   [[nodiscard]] const std::vector<T>& vector() const { return data_; }
 
+  /// Moves the storage out, leaving the array empty. Lets the pooled
+  /// block codec hand scratch vectors back to their ScratchPool after
+  /// wrapping them in a temporary array.
+  [[nodiscard]] std::vector<T> release() {
+    shape_ = Shape();
+    return std::move(data_);
+  }
+
   [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
   [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
 

@@ -9,23 +9,55 @@
 
 namespace ocelot {
 
+void pack_codes(std::span<const std::uint32_t> codes, LosslessBackend lossless,
+                ByteSink& out) {
+  // The Huffman output lives in pooled scratch only long enough for
+  // the lossless stage to consume it.
+  PooledBuffer huff(BufferPool::shared());
+  ByteSink huff_sink(*huff);
+  huffman_encode(codes, huff_sink);
+  lossless_compress(*huff, lossless, out);
+}
+
 Bytes pack_codes(std::span<const std::uint32_t> codes,
                  LosslessBackend lossless) {
-  const Bytes huff = huffman_encode(codes);
-  return lossless_compress(huff, lossless);
+  BytesWriter out;
+  pack_codes(codes, lossless, out);
+  return out.take();
+}
+
+void unpack_codes_into(std::span<const std::uint8_t> packed,
+                       std::vector<std::uint32_t>& out) {
+  PooledBuffer huff(BufferPool::shared());
+  lossless_decompress_into(packed, *huff);
+  huffman_decode_into(*huff, out);
 }
 
 std::vector<std::uint32_t> unpack_codes(std::span<const std::uint8_t> packed) {
-  const Bytes huff = lossless_decompress(packed);
-  return huffman_decode(huff);
+  std::vector<std::uint32_t> out;
+  unpack_codes_into(packed, out);
+  return out;
 }
 
 template <typename T>
-Bytes pack_raw_values(const std::vector<T>& values, LosslessBackend lossless) {
+void pack_raw_values(std::span<const T> values, LosslessBackend lossless,
+                     ByteSink& out) {
   std::span<const std::uint8_t> bytes{
       reinterpret_cast<const std::uint8_t*>(values.data()),
       values.size() * sizeof(T)};
-  return lossless_compress(bytes, lossless);
+  lossless_compress(bytes, lossless, out);
+}
+
+template void pack_raw_values<float>(std::span<const float>, LosslessBackend,
+                                     ByteSink&);
+template void pack_raw_values<double>(std::span<const double>, LosslessBackend,
+                                      ByteSink&);
+
+template <typename T>
+Bytes pack_raw_values(const std::vector<T>& values, LosslessBackend lossless) {
+  BytesWriter out;
+  pack_raw_values(std::span<const T>(values), lossless, out);
+  return out.take();
 }
 
 template Bytes pack_raw_values<float>(const std::vector<float>&,
@@ -34,12 +66,25 @@ template Bytes pack_raw_values<double>(const std::vector<double>&,
                                        LosslessBackend);
 
 template <typename T>
-std::vector<T> unpack_raw_values(std::span<const std::uint8_t> packed) {
-  const Bytes bytes = lossless_decompress(packed);
-  if (bytes.size() % sizeof(T) != 0)
+void unpack_raw_values_into(std::span<const std::uint8_t> packed,
+                            std::vector<T>& out) {
+  PooledBuffer bytes(BufferPool::shared());
+  lossless_decompress_into(packed, *bytes);
+  if (bytes->size() % sizeof(T) != 0)
     throw CorruptStream("blob: raw value section misaligned");
-  std::vector<T> values(bytes.size() / sizeof(T));
-  if (!bytes.empty()) std::memcpy(values.data(), bytes.data(), bytes.size());
+  out.resize(bytes->size() / sizeof(T));
+  if (!bytes->empty()) std::memcpy(out.data(), bytes->data(), bytes->size());
+}
+
+template void unpack_raw_values_into<float>(std::span<const std::uint8_t>,
+                                            std::vector<float>&);
+template void unpack_raw_values_into<double>(std::span<const std::uint8_t>,
+                                             std::vector<double>&);
+
+template <typename T>
+std::vector<T> unpack_raw_values(std::span<const std::uint8_t> packed) {
+  std::vector<T> values;
+  unpack_raw_values_into(packed, values);
   return values;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "codec/lossless.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "common/ndarray.hpp"
@@ -49,36 +50,78 @@ struct BlobHeader {
   Shape shape;
 };
 
-/// Named payload sections, serialized in insertion order.
+/// Named payload sections, streamed straight into the output sink in
+/// insertion order. The wire layout (varint section count, then tag +
+/// length-prefixed payload per section) is identical to the old
+/// buffered writer, so blobs stay bit-exact: the count byte is
+/// reserved up front and patched by finish() (every in-tree backend
+/// stays far below 128 sections; the rare wider varint inserts the
+/// extra bytes).
 class SectionWriter {
  public:
-  void add(const std::string& tag, Bytes bytes) {
-    sections_.emplace_back(tag, std::move(bytes));
+  explicit SectionWriter(ByteSink& out)
+      : out_(&out), count_offset_(out.size()) {
+    out.put(std::uint8_t{0});  // count placeholder, patched in finish()
   }
-  void serialize(BytesWriter& out) const {
-    out.put_varint(sections_.size());
-    for (const auto& [tag, bytes] : sections_) {
-      out.put_string(tag);
-      out.put_blob(bytes);
+
+  /// Appends a section with an already-materialized payload.
+  void add(const std::string& tag, std::span<const std::uint8_t> bytes) {
+    require(!finished_, "SectionWriter: add after finish");
+    out_->put_string(tag);
+    out_->put_blob(bytes);
+    ++count_;
+  }
+
+  /// Appends a section whose payload `fn(ByteSink&)` streams into
+  /// pooled scratch (capacity reused across sections and blocks), so
+  /// steady-state section assembly allocates nothing fresh.
+  template <typename Fn>
+  void add_streamed(const std::string& tag, Fn&& fn) {
+    PooledBuffer scratch(BufferPool::shared());
+    ByteSink sink(*scratch);
+    fn(sink);
+    add(tag, *scratch);
+  }
+
+  /// Patches the section count into the reserved slot. Must be called
+  /// exactly once, after the last add.
+  void finish() {
+    require(!finished_, "SectionWriter: finish called twice");
+    finished_ = true;
+    Bytes& buf = out_->target();
+    if (count_ < 0x80) {
+      buf[count_offset_] = static_cast<std::uint8_t>(count_);
+      return;
     }
+    BytesWriter varint;
+    varint.put_varint(count_);
+    const Bytes& v = varint.bytes();
+    buf[count_offset_] = v[0];
+    buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(count_offset_) + 1,
+               v.begin() + 1, v.end());
   }
 
  private:
-  std::vector<std::pair<std::string, Bytes>> sections_;
+  ByteSink* out_;
+  std::size_t count_offset_;
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
 };
 
+/// Zero-copy section index: tags map to views into the blob being
+/// decoded (which outlives the reader), so sections are never copied.
 class SectionReader {
  public:
   explicit SectionReader(BytesReader& in) {
     const std::uint64_t count = in.get_varint();
     for (std::uint64_t i = 0; i < count; ++i) {
       const std::string tag = in.get_string();
-      const auto blob = in.get_blob();
-      sections_[tag] = Bytes(blob.begin(), blob.end());
+      sections_[tag] = in.get_blob();
     }
   }
 
-  [[nodiscard]] const Bytes& get(const std::string& tag) const {
+  [[nodiscard]] std::span<const std::uint8_t> get(
+      const std::string& tag) const {
     const auto it = sections_.find(tag);
     if (it == sections_.end())
       throw CorruptStream("blob: missing section " + tag);
@@ -90,18 +133,30 @@ class SectionReader {
   }
 
  private:
-  std::map<std::string, Bytes> sections_;
+  std::map<std::string, std::span<const std::uint8_t>> sections_;
 };
 
 /// Shared entropy stage: Huffman on the u32 code stream, then the
 /// configured lossless backend. Every backend funnels its quantizer
 /// output through these so ratios stay comparable across families.
+/// The sink forms stream through pooled scratch; the Bytes forms are
+/// compatibility wrappers.
+void pack_codes(std::span<const std::uint32_t> codes, LosslessBackend lossless,
+                ByteSink& out);
 Bytes pack_codes(std::span<const std::uint32_t> codes,
                  LosslessBackend lossless);
+void unpack_codes_into(std::span<const std::uint8_t> packed,
+                       std::vector<std::uint32_t>& out);
 std::vector<std::uint32_t> unpack_codes(std::span<const std::uint8_t> packed);
 
 template <typename T>
+void pack_raw_values(std::span<const T> values, LosslessBackend lossless,
+                     ByteSink& out);
+template <typename T>
 Bytes pack_raw_values(const std::vector<T>& values, LosslessBackend lossless);
+template <typename T>
+void unpack_raw_values_into(std::span<const std::uint8_t> packed,
+                            std::vector<T>& out);
 template <typename T>
 std::vector<T> unpack_raw_values(std::span<const std::uint8_t> packed);
 

@@ -18,7 +18,7 @@ constexpr std::uint8_t dtype_id() {
   return sizeof(T) == 8 ? 1 : 0;
 }
 
-void write_shape(BytesWriter& out, const Shape& shape) {
+void write_shape(ByteSink& out, const Shape& shape) {
   out.put(static_cast<std::uint8_t>(shape.rank()));
   for (int d = 0; d < shape.rank(); ++d) out.put_varint(shape.dim(d));
 }
@@ -73,16 +73,13 @@ template double resolve_abs_eb<double>(const NdArray<double>&,
                                        const CompressionConfig&);
 
 template <typename T>
-Bytes compress(const NdArray<T>& data, const CompressionConfig& config) {
+void compress_into(const NdArray<T>& data, const CompressionConfig& config,
+                   ByteSink& out) {
   require(data.size() > 0, "compress: empty array");
   const CompressorBackend& backend =
       BackendRegistry::instance().by_name(config.backend);
   const double abs_eb = resolve_abs_eb(data, config);
 
-  SectionWriter sections;
-  backend.encode(data, abs_eb, config, sections);
-
-  BytesWriter out;
   out.put_bytes(kMagic);
   out.put(dtype_id<T>());
   out.put(backend.wire_id());
@@ -91,7 +88,24 @@ Bytes compress(const NdArray<T>& data, const CompressionConfig& config) {
   out.put_varint(config.anchor_stride);
   out.put_varint(config.block_size);
   write_shape(out, data.shape());
-  sections.serialize(out);
+
+  // Sections stream into the same sink as they are produced; only the
+  // count byte is patched afterwards, so the wire bytes match the old
+  // buffered assembly exactly.
+  SectionWriter sections(out);
+  backend.encode(data, abs_eb, config, sections);
+  sections.finish();
+}
+
+template void compress_into<float>(const NdArray<float>&,
+                                   const CompressionConfig&, ByteSink&);
+template void compress_into<double>(const NdArray<double>&,
+                                    const CompressionConfig&, ByteSink&);
+
+template <typename T>
+Bytes compress(const NdArray<T>& data, const CompressionConfig& config) {
+  BytesWriter out;
+  compress_into(data, config, out);
   return out.take();
 }
 
@@ -133,6 +147,35 @@ NdArray<T> decompress(std::span<const std::uint8_t> blob) {
 
 template NdArray<float> decompress<float>(std::span<const std::uint8_t>);
 template NdArray<double> decompress<double>(std::span<const std::uint8_t>);
+
+template <typename T>
+NdArray<T> decompress_reusing(std::span<const std::uint8_t> blob,
+                              std::vector<T>& storage) {
+  BytesReader in(blob);
+  const BlobHeader h = read_header(in);
+  if (h.dtype != dtype_id<T>())
+    throw InvalidArgument("decompress: dtype mismatch");
+  const CompressorBackend& backend =
+      BackendRegistry::instance().by_id(h.backend_id);
+
+  SectionReader sections(in);
+  storage.assign(h.shape.size(), T{});
+  NdArray<T> out(h.shape, std::move(storage));
+  try {
+    backend.decode(h, sections, out);
+  } catch (...) {
+    // Hand the storage back so a pooled caller's lease still returns
+    // it; a corrupt blob must not bleed capacity out of the pool.
+    storage = out.release();
+    throw;
+  }
+  return out;
+}
+
+template NdArray<float> decompress_reusing<float>(std::span<const std::uint8_t>,
+                                                  std::vector<float>&);
+template NdArray<double> decompress_reusing<double>(
+    std::span<const std::uint8_t>, std::vector<double>&);
 
 template <typename T>
 RoundTripStats measure_roundtrip(const NdArray<T>& data,

@@ -22,8 +22,16 @@
 
 namespace ocelot {
 
-/// Compresses `data` under `config`. Throws InvalidArgument for empty
-/// arrays or non-positive error bounds.
+/// Compresses `data` under `config`, streaming header and payload
+/// sections straight into `out` — the zero-copy path: pointing the
+/// sink at a pooled buffer or a container arena produces the blob with
+/// no intermediate vectors. Throws InvalidArgument for empty arrays or
+/// non-positive error bounds.
+template <typename T>
+void compress_into(const NdArray<T>& data, const CompressionConfig& config,
+                   ByteSink& out);
+
+/// Convenience wrapper returning a fresh buffer.
 template <typename T>
 Bytes compress(const NdArray<T>& data, const CompressionConfig& config);
 
@@ -31,6 +39,16 @@ Bytes compress(const NdArray<T>& data, const CompressionConfig& config);
 /// malformed input and InvalidArgument if the blob's dtype is not T.
 template <typename T>
 NdArray<T> decompress(std::span<const std::uint8_t> blob);
+
+/// Like decompress, but builds the output array on `storage` (resized
+/// to the blob's shape, capacity reused). The pooled block codec hands
+/// the vector back to its ScratchPool afterwards via
+/// NdArray::release(). Exception-safe for pooling: when decoding
+/// throws, the storage is moved back into `storage`, so a ScratchLease
+/// holding it still returns it to the pool.
+template <typename T>
+NdArray<T> decompress_reusing(std::span<const std::uint8_t> blob,
+                              std::vector<T>& storage);
 
 /// Metadata recovered from a blob without decompressing the payload.
 struct BlobInfo {

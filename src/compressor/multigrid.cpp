@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "compressor/interpolation.hpp"
 #include "compressor/quantizer.hpp"
 
@@ -32,21 +33,33 @@ class MultigridBackend final : public TypedBackend<MultigridBackend> {
                    const CompressionConfig& config, SectionWriter& out) const {
     const std::size_t stride =
         choose_anchor_stride(data.shape(), config.anchor_stride);
-    std::vector<T> recon(data.size());
+    ScratchLease<T> recon(ScratchPool<T>::shared(), data.size());
+    recon->assign(data.size(), T{});
     QuantEncoder<T> coarse(abs_eb / kMultigridCoarseTighten,
                            config.quant_radius);
     QuantEncoder<T> fine(abs_eb, config.quant_radius);
+    fine.reserve(data.size());
     const auto original = data.values();
     hierarchy_traverse<T>(
-        data.shape(), recon, stride, /*cubic=*/false,
+        data.shape(), std::span<T>(*recon), stride, /*cubic=*/false,
         [&](std::size_t idx, double pred, std::size_t level) {
           return (level == 1 ? fine : coarse).encode(pred, original[idx]);
         });
-    out.add("mg_coarse_codes", pack_codes(coarse.codes(), config.lossless));
-    out.add("mg_coarse_raw",
-            pack_raw_values(coarse.raw_values(), config.lossless));
-    out.add("codes", pack_codes(fine.codes(), config.lossless));
-    out.add("raw", pack_raw_values(fine.raw_values(), config.lossless));
+    recon.reset();
+    out.add_streamed("mg_coarse_codes", [&](ByteSink& sink) {
+      pack_codes(coarse.codes(), config.lossless, sink);
+    });
+    out.add_streamed("mg_coarse_raw", [&](ByteSink& sink) {
+      pack_raw_values(std::span<const T>(coarse.raw_values()), config.lossless,
+                      sink);
+    });
+    out.add_streamed("codes", [&](ByteSink& sink) {
+      pack_codes(fine.codes(), config.lossless, sink);
+    });
+    out.add_streamed("raw", [&](ByteSink& sink) {
+      pack_raw_values(std::span<const T>(fine.raw_values()), config.lossless,
+                      sink);
+    });
   }
 
   template <typename T>

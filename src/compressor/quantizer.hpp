@@ -62,6 +62,10 @@ class QuantEncoder {
     return real;
   }
 
+  /// Pre-sizes the code stream for `n` samples (one code per sample),
+  /// avoiding growth reallocations on the hot path.
+  void reserve(std::size_t n) { codes_.reserve(n); }
+
   [[nodiscard]] const std::vector<std::uint32_t>& codes() const {
     return codes_;
   }

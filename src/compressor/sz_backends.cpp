@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "compressor/backend.hpp"
 #include "compressor/interpolation.hpp"
 #include "compressor/quantizer.hpp"
@@ -15,20 +16,37 @@ namespace ocelot {
 
 namespace {
 
+/// Pooled reconstruction scratch shared by every encode call: the
+/// block-parallel executor compresses thousands of blocks per run, and
+/// a fresh size()-element vector per block was the single largest
+/// allocation on that path.
+template <typename T>
+ScratchLease<T> recon_scratch(std::size_t n) {
+  ScratchLease<T> lease(ScratchPool<T>::shared(), n);
+  lease->assign(n, T{});
+  return lease;
+}
+
 /// Quantizes through `traverse(recon, fn)` and emits the shared
 /// "codes"/"raw" sections — the common tail of every SZ-style family.
 template <typename T, typename Traverse>
 void quantized_encode(const NdArray<T>& data, double abs_eb,
                       const CompressionConfig& config, SectionWriter& out,
                       Traverse&& traverse) {
-  std::vector<T> recon(data.size());
+  ScratchLease<T> recon = recon_scratch<T>(data.size());
   QuantEncoder<T> quant(abs_eb, config.quant_radius);
+  quant.reserve(data.size());
   const auto original = data.values();
-  traverse(std::span<T>(recon), [&](std::size_t idx, double pred) {
+  traverse(std::span<T>(*recon), [&](std::size_t idx, double pred) {
     return quant.encode(pred, original[idx]);
   });
-  out.add("codes", pack_codes(quant.codes(), config.lossless));
-  out.add("raw", pack_raw_values(quant.raw_values(), config.lossless));
+  out.add_streamed("codes", [&](ByteSink& sink) {
+    pack_codes(quant.codes(), config.lossless, sink);
+  });
+  out.add_streamed("raw", [&](ByteSink& sink) {
+    pack_raw_values(std::span<const T>(quant.raw_values()), config.lossless,
+                    sink);
+  });
 }
 
 /// Replays the "codes"/"raw" sections through `traverse(values, fn)`.
@@ -221,8 +239,9 @@ class Sz2Backend final : public TypedBackend<Sz2Backend> {
   template <typename T>
   void encode_impl(const NdArray<T>& data, double abs_eb,
                    const CompressionConfig& config, SectionWriter& out) const {
-    std::vector<T> recon(data.size());
+    ScratchLease<T> recon = recon_scratch<T>(data.size());
     QuantEncoder<T> quant(abs_eb, config.quant_radius);
+    quant.reserve(data.size());
     const auto original = data.values();
 
     QuantEncoder<double> coef_quant(coeff_eb(abs_eb, config.block_size));
@@ -247,17 +266,29 @@ class Sz2Backend final : public TypedBackend<Sz2Backend> {
       coef_pred.update(recon_c);
       return {true, recon_c};
     };
-    block_traverse<T>(data.shape(), recon, config.block_size, oracle,
+    block_traverse<T>(data.shape(), std::span<T>(*recon), config.block_size,
+                      oracle,
                       [&](std::size_t idx, double pred) {
                         return quant.encode(pred, original[idx]);
                       });
 
-    out.add("choices", lossless_compress(choices, config.lossless));
-    out.add("coef_codes", pack_codes(coef_quant.codes(), config.lossless));
-    out.add("coef_raw",
-            pack_raw_values(coef_quant.raw_values(), config.lossless));
-    out.add("codes", pack_codes(quant.codes(), config.lossless));
-    out.add("raw", pack_raw_values(quant.raw_values(), config.lossless));
+    out.add_streamed("choices", [&](ByteSink& sink) {
+      lossless_compress(choices, config.lossless, sink);
+    });
+    out.add_streamed("coef_codes", [&](ByteSink& sink) {
+      pack_codes(coef_quant.codes(), config.lossless, sink);
+    });
+    out.add_streamed("coef_raw", [&](ByteSink& sink) {
+      pack_raw_values(std::span<const double>(coef_quant.raw_values()),
+                      config.lossless, sink);
+    });
+    out.add_streamed("codes", [&](ByteSink& sink) {
+      pack_codes(quant.codes(), config.lossless, sink);
+    });
+    out.add_streamed("raw", [&](ByteSink& sink) {
+      pack_raw_values(std::span<const T>(quant.raw_values()), config.lossless,
+                      sink);
+    });
   }
 
   template <typename T>

@@ -37,8 +37,12 @@ LocalPipelineResult run_local_pipeline(
                                          config.workers, config.block_slabs);
 
   // Stage 2 (optional): grouping; wire sizes include archive headers.
+  // The ungrouped path is zero-copy: the compressed blobs travel as
+  // views all the way into parallel_decompress instead of being copied
+  // into wire payloads and back.
   std::vector<double> wire_sizes;
-  std::vector<Bytes> wire_payloads;
+  std::vector<Bytes> wire_payloads;  // grouped mode only
+  std::vector<std::span<const std::uint8_t>> blobs;
   if (config.group_files) {
     const GroupPlan plan = plan_groups_by_world_size(
         fields.size(), config.group_world_size);
@@ -52,10 +56,18 @@ LocalPipelineResult run_local_pipeline(
       wire_sizes.push_back(static_cast<double>(archive.size()));
       wire_payloads.push_back(std::move(archive));
     }
+    // Stage 4a: ungroup — members are views into the archives, which
+    // outlive the decompression below.
+    for (const auto& archive : wire_payloads) {
+      for (const auto& entry : read_group_index(archive)) {
+        blobs.push_back(std::span<const std::uint8_t>(archive).subspan(
+            entry.offset, entry.size));
+      }
+    }
   } else {
     for (const auto& blob : result.compression.blobs) {
       wire_sizes.push_back(static_cast<double>(blob.size()));
-      wire_payloads.push_back(blob);
+      blobs.emplace_back(blob);
     }
   }
   result.wire_files = wire_sizes.size();
@@ -63,17 +75,7 @@ LocalPipelineResult run_local_pipeline(
   // Stage 3: WAN transfer (modelled).
   result.transfer = model.estimate(wire_sizes, config.link);
 
-  // Stage 4: ungroup + parallel decompression (real) + verification.
-  std::vector<Bytes> blobs;
-  if (config.group_files) {
-    for (const auto& archive : wire_payloads) {
-      for (auto& member : parse_group(archive)) {
-        blobs.push_back(std::move(member.data));
-      }
-    }
-  } else {
-    blobs = std::move(wire_payloads);
-  }
+  // Stage 4b: parallel decompression (real) + verification.
   require(blobs.size() == fields.size(),
           "run_local_pipeline: blob count mismatch after ungroup");
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/buffer_pool.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "compressor/compressor.hpp"
@@ -20,17 +21,29 @@ struct BlockTask {
   BlockSpan span;
 };
 
-/// Copies the block's contiguous slab range out of the field.
-FloatArray slice_block(const FloatArray& field, const BlockSpan& span) {
+/// Compresses the block's contiguous slab range through pooled slice
+/// scratch, streaming the blob into `sink`. The slice storage returns
+/// to the pool even when the compressor throws.
+void compress_block_slice(const FloatArray& field, const BlockSpan& span,
+                          const CompressionConfig& config, ByteSink& sink) {
   const Shape shape = block_shape(field.shape(), span);
   const std::size_t slab_elems =
       field.shape().dim(1) * field.shape().dim(2);
   const std::size_t begin = span.slab_begin * slab_elems;
-  std::vector<float> data(
+  auto& pool = ScratchPool<float>::shared();
+  std::vector<float> data = pool.acquire(shape.size());
+  data.assign(
       field.values().begin() + static_cast<std::ptrdiff_t>(begin),
       field.values().begin() +
           static_cast<std::ptrdiff_t>(begin + shape.size()));
-  return {shape, std::move(data)};
+  FloatArray block(shape, std::move(data));
+  try {
+    compress_into(block, config, sink);
+  } catch (...) {
+    pool.release(block.release());
+    throw;
+  }
+  pool.release(block.release());
 }
 
 ParallelCompressResult blocked_compress_impl(
@@ -45,7 +58,7 @@ ParallelCompressResult blocked_compress_impl(
   // its bound resolution inside compress(), so both modes' walls
   // measure the same work.
   Timer timer;
-  std::vector<std::vector<Bytes>> block_blobs(fields.size());
+  std::vector<std::vector<PooledBuffer>> block_blobs(fields.size());
   std::vector<double> abs_ebs(fields.size());
   std::vector<BlockTask> tasks;
   for (std::size_t f = 0; f < fields.size(); ++f) {
@@ -58,17 +71,30 @@ ParallelCompressResult blocked_compress_impl(
   }
   result.task_count = tasks.size();
 
+  // Workers compress slabs into pooled buffers: slab scratch and blob
+  // storage both cycle through the shared pools, so steady state runs
+  // with no fresh allocation per block. The RAII lease keeps a
+  // throwing task from stranding its buffer.
   parallel_for(tasks.size(), workers, [&](std::size_t t) {
     const BlockTask& task = tasks[t];
     CompressionConfig block_config = config;
     block_config.eb_mode = EbMode::kAbsolute;
     block_config.eb = abs_ebs[task.field];
-    block_blobs[task.field][task.block] =
-        compress(slice_block(fields[task.field], task.span), block_config);
+    PooledBuffer blob(BufferPool::shared());
+    ByteSink sink(*blob);
+    compress_block_slice(fields[task.field], task.span, block_config, sink);
+    block_blobs[task.field][task.block] = std::move(blob);
   });
+
+  // Streaming assembly: payloads append into one arena per field; the
+  // pooled block buffers are recycled as they are consumed.
   for (std::size_t f = 0; f < fields.size(); ++f) {
-    result.blobs[f] = build_block_container(fields[f].shape(), block_slabs,
-                                            block_blobs[f]);
+    BlockContainerWriter writer(block_slabs);
+    for (PooledBuffer& blob : block_blobs[f]) {
+      writer.append_block(*blob);
+      blob.reset();
+    }
+    result.blobs[f] = writer.finish(fields[f].shape());
   }
   result.wall_seconds = timer.seconds();
   return result;
@@ -79,14 +105,21 @@ ParallelCompressResult blocked_compress_impl(
 void decode_block_into(std::span<const std::uint8_t> container,
                        const BlockContainerInfo& info, std::size_t block,
                        const BlockSpan& span, FloatArray& out) {
-  const FloatArray decoded =
-      decompress<float>(block_payload(container, info, block));
+  // The lease survives any decode/validation throw: decompress_reusing
+  // restores the storage on failure and the decoded array hands it
+  // back below, so corrupt blocks cannot drain the pool.
+  ScratchLease<float> lease(ScratchPool<float>::shared());
+  FloatArray decoded =
+      decompress_reusing<float>(block_payload(container, info, block), *lease);
   const Shape expected = block_shape(info.shape, span);
-  require(decoded.shape() == expected,
-          "block container: block shape does not match the plan");
+  if (!(decoded.shape() == expected)) {
+    *lease = decoded.release();
+    throw CorruptStream("block container: block shape does not match the plan");
+  }
   const std::size_t slab_elems = info.shape.dim(1) * info.shape.dim(2);
   std::memcpy(out.values().data() + span.slab_begin * slab_elems,
               decoded.values().data(), decoded.byte_size());
+  *lease = decoded.release();
 }
 
 }  // namespace

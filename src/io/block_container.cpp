@@ -18,7 +18,7 @@ constexpr std::uint8_t kMagic[4] = {'O', 'C', 'B', '1'};
 /// wrapped Shape::size() or an OOM allocation.
 constexpr std::uint64_t kMaxElements = 1ull << 40;
 
-void write_shape(BytesWriter& out, const Shape& shape) {
+void write_shape(ByteSink& out, const Shape& shape) {
   out.put(static_cast<std::uint8_t>(shape.rank()));
   for (int d = 0; d < shape.rank(); ++d) out.put_varint(shape.dim(d));
 }
@@ -72,23 +72,64 @@ bool is_block_container(std::span<const std::uint8_t> data) {
   return data.size() >= 4 && std::memcmp(data.data(), kMagic, 4) == 0;
 }
 
-Bytes build_block_container(const Shape& shape, std::size_t block_slabs,
-                            const std::vector<Bytes>& block_payloads) {
-  const auto spans = plan_blocks(shape.dim(0), block_slabs);
-  require(block_payloads.size() == spans.size(),
-          "build_block_container: payload count does not match block plan");
-  BytesWriter out;
+BlockContainerWriter::BlockContainerWriter(std::size_t block_slabs)
+    : block_slabs_(block_slabs), arena_sink_(arena_) {
+  require(block_slabs_ > 0, "BlockContainerWriter: zero block size");
+}
+
+ByteSink& BlockContainerWriter::begin_block() {
+  require(!finished_, "BlockContainerWriter: begin_block after finish");
+  require(!open_, "BlockContainerWriter: block already open");
+  open_ = true;
+  open_offset_ = arena_.size();
+  return arena_sink_;
+}
+
+void BlockContainerWriter::end_block() {
+  require(open_, "BlockContainerWriter: no open block");
+  open_ = false;
+  const std::size_t size = arena_.size() - open_offset_;
+  require(size > 0, "BlockContainerWriter: empty block payload");
+  const std::span<const std::uint8_t> payload{arena_.data() + open_offset_,
+                                              size};
+  index_.emplace_back(size, crc32(payload));
+}
+
+void BlockContainerWriter::append_block(
+    std::span<const std::uint8_t> payload) {
+  begin_block().put_bytes(payload);
+  end_block();
+}
+
+void BlockContainerWriter::finish(const Shape& shape, ByteSink& out) {
+  require(!finished_, "BlockContainerWriter: finish called twice");
+  require(!open_, "BlockContainerWriter: finish with an open block");
+  const auto spans = plan_blocks(shape.dim(0), block_slabs_);
+  require(index_.size() == spans.size(),
+          "BlockContainerWriter: block count does not match the plan");
+  finished_ = true;
   out.put_bytes(kMagic);
   write_shape(out, shape);
-  out.put_varint(block_slabs);
-  out.put_varint(block_payloads.size());
-  for (const auto& payload : block_payloads) {
-    require(!payload.empty(), "build_block_container: empty block payload");
-    out.put_varint(payload.size());
-    out.put(crc32(payload));
+  out.put_varint(block_slabs_);
+  out.put_varint(index_.size());
+  for (const auto& [size, crc] : index_) {
+    out.put_varint(size);
+    out.put(crc);
   }
-  for (const auto& payload : block_payloads) out.put_bytes(payload);
+  out.put_bytes(arena_);
+}
+
+Bytes BlockContainerWriter::finish(const Shape& shape) {
+  BytesWriter out;
+  finish(shape, out);
   return out.take();
+}
+
+Bytes build_block_container(const Shape& shape, std::size_t block_slabs,
+                            const std::vector<Bytes>& block_payloads) {
+  BlockContainerWriter writer(block_slabs);
+  for (const auto& payload : block_payloads) writer.append_block(payload);
+  return writer.finish(shape);
 }
 
 BlockContainerInfo read_block_index(

@@ -57,6 +57,55 @@ struct BlockContainerInfo {
 /// True iff `data` starts with the OCB1 magic.
 bool is_block_container(std::span<const std::uint8_t> data);
 
+/// Streaming container assembly: block payloads append (in slab order)
+/// into one contiguous arena — either through the sink returned by
+/// begin_block() (zero-copy: the compressor streams straight into the
+/// arena) or via append_block — and finish() emits the complete OCB1
+/// container. The full shape is only needed at finish(), so chunked
+/// producers (stdin streaming) can discover dim 0 as they go.
+/// Container bytes are identical to build_block_container's.
+class BlockContainerWriter {
+ public:
+  explicit BlockContainerWriter(std::size_t block_slabs);
+
+  // The internal sink is bound to the arena; moving would dangle it.
+  BlockContainerWriter(const BlockContainerWriter&) = delete;
+  BlockContainerWriter& operator=(const BlockContainerWriter&) = delete;
+
+  /// Opens the next block: returns the sink its payload streams into.
+  /// Must be paired with end_block().
+  [[nodiscard]] ByteSink& begin_block();
+
+  /// Seals the open block, recording its length and CRC-32.
+  /// Throws InvalidArgument on an empty payload.
+  void end_block();
+
+  /// Convenience: begin_block + copy + end_block.
+  void append_block(std::span<const std::uint8_t> payload);
+
+  [[nodiscard]] std::size_t block_count() const { return index_.size(); }
+  [[nodiscard]] std::size_t payload_bytes() const { return arena_.size(); }
+
+  /// Emits magic, `shape`, geometry, index, and the payload arena into
+  /// `out`. Validates that the appended block count matches
+  /// plan_blocks(shape.dim(0), block_slabs). The writer is spent
+  /// afterwards.
+  void finish(const Shape& shape, ByteSink& out);
+
+  /// Convenience wrapper returning a fresh buffer.
+  [[nodiscard]] Bytes finish(const Shape& shape);
+
+ private:
+  std::size_t block_slabs_;
+  Bytes arena_;         ///< payloads concatenated in block order
+  ByteSink arena_sink_;
+  std::size_t open_offset_ = 0;
+  bool open_ = false;
+  bool finished_ = false;
+  /// Per-block (payload length, CRC-32), in append order.
+  std::vector<std::pair<std::size_t, std::uint32_t>> index_;
+};
+
 /// Assembles a container from per-block compressed payloads, which
 /// must be in slab order and match plan_blocks(shape.dim(0),
 /// block_slabs) in count.

@@ -75,5 +75,39 @@ TEST(BitStream, EmptyFinishYieldsEmptyBuffer) {
   EXPECT_TRUE(w.finish().empty());
 }
 
+TEST(BitStream, ExternalBufferModeMatchesOwningMode) {
+  Rng rng(11);
+  std::vector<std::pair<std::uint64_t, int>> fields;
+  for (int i = 0; i < 200; ++i) {
+    const int nbits = rng.uniform_int(1, 24);
+    fields.emplace_back(
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)) &
+            ((1ull << nbits) - 1),
+        nbits);
+  }
+
+  BitWriter owning;
+  for (const auto& [v, n] : fields) owning.put_bits(v, n);
+  const Bytes expected = owning.finish();
+
+  // External mode appends after pre-existing bytes, bit-identically.
+  Bytes buf = {0xEE, 0xFF};
+  BitWriter external(buf);
+  for (const auto& [v, n] : fields) external.put_bits(v, n);
+  external.flush();
+  EXPECT_EQ(external.bit_count(), owning.bit_count());
+  ASSERT_EQ(buf.size(), 2 + expected.size());
+  EXPECT_EQ(Bytes(buf.begin() + 2, buf.end()), expected);
+}
+
+TEST(BitStream, FinishRequiresOwningMode) {
+  Bytes buf;
+  BitWriter external(buf);
+  external.put_bit(true);
+  EXPECT_THROW((void)external.finish(), InvalidArgument);
+  external.flush();
+  EXPECT_EQ(buf.size(), 1u);
+}
+
 }  // namespace
 }  // namespace ocelot

@@ -314,6 +314,47 @@ TEST(ClusterModel, BlockTasksBreakWholeFileSaturation) {
   EXPECT_GE(dwhole, dblocked);
 }
 
+TEST(BlockContainerWriter, StreamedBytesMatchBufferedAssembly) {
+  // The streaming writer (begin_block sink / append_block + finish)
+  // must emit exactly the bytes of the one-shot builder.
+  const std::vector<Bytes> payloads = {
+      {1, 2, 3, 4}, {5, 6}, {7, 8, 9, 10, 11}};
+  const Shape shape(5, 2);
+  const Bytes reference = build_block_container(shape, 2, payloads);
+
+  BlockContainerWriter writer(2);
+  // Mix both append styles: a sink-streamed block and copied blocks.
+  ByteSink& sink = writer.begin_block();
+  sink.put_bytes(payloads[0]);
+  writer.end_block();
+  writer.append_block(payloads[1]);
+  writer.append_block(payloads[2]);
+  EXPECT_EQ(writer.block_count(), 3u);
+  EXPECT_EQ(writer.payload_bytes(), 4u + 2u + 5u);
+  EXPECT_EQ(writer.finish(shape), reference);
+}
+
+TEST(BlockContainerWriter, MisuseThrows) {
+  {
+    BlockContainerWriter writer(2);
+    (void)writer.begin_block();
+    EXPECT_THROW((void)writer.begin_block(), InvalidArgument);  // reopen
+    EXPECT_THROW((void)writer.finish(Shape(2)), InvalidArgument);  // open
+  }
+  {
+    BlockContainerWriter writer(2);
+    (void)writer.begin_block();
+    EXPECT_THROW(writer.end_block(), InvalidArgument);  // empty payload
+  }
+  {
+    BlockContainerWriter writer(2);
+    writer.append_block(Bytes{1});
+    // 1 block appended, but Shape(5) at block_slabs=2 plans 3.
+    EXPECT_THROW((void)writer.finish(Shape(5)), InvalidArgument);
+  }
+  EXPECT_THROW(BlockContainerWriter(0), InvalidArgument);
+}
+
 TEST(ClusterModel, CalibrateRatesInvertsMeasurement) {
   const ComputeRates rates = calibrate_rates(8e8, 2.0, 0.5, 4);
   EXPECT_DOUBLE_EQ(rates.compress_bps_per_core, 8e8 / (2.0 * 4));

@@ -100,5 +100,61 @@ TEST(Bytes, TakeMovesBuffer) {
   EXPECT_EQ(taken.size(), 1u);
 }
 
+TEST(ByteSink, AppendsToCallerBuffer) {
+  Bytes buf = {0xAA};  // pre-existing content survives
+  ByteSink sink(buf);
+  sink.put<std::uint16_t>(0x1234);
+  sink.put_varint(300);
+  sink.put_blob(Bytes{1, 2, 3});
+  sink.put_string("hi");
+  EXPECT_EQ(buf[0], 0xAA);
+  EXPECT_EQ(sink.size(), buf.size());
+  EXPECT_EQ(&sink.target(), &buf);
+
+  BytesReader r(std::span<const std::uint8_t>(buf).subspan(1));
+  EXPECT_EQ(r.get<std::uint16_t>(), 0x1234u);
+  EXPECT_EQ(r.get_varint(), 300u);
+  const auto blob = r.get_blob();
+  EXPECT_EQ(Bytes(blob.begin(), blob.end()), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.get_string(), "hi");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteSink, MatchesBytesWriterByteForByte) {
+  // The owning writer is a ByteSink over its own storage: any put
+  // sequence must serialize identically through both.
+  const auto emit = [](ByteSink& out) {
+    out.put<double>(2.5);
+    out.put_varint(1u << 20);
+    out.put_string("tag");
+    out.put_blob(Bytes(17, 9));
+  };
+  BytesWriter owning;
+  emit(owning);
+  Bytes external;
+  ByteSink sink(external);
+  emit(sink);
+  EXPECT_EQ(owning.bytes(), external);
+}
+
+TEST(ByteSink, ChainedStagesShareOneBuffer) {
+  // Two "stages" write head-to-tail into the same buffer — the
+  // zero-copy composition the codecs rely on.
+  Bytes buf;
+  ByteSink sink(buf);
+  sink.put_varint(7);
+  const std::size_t stage1_end = sink.size();
+  sink.put_bytes(Bytes{9, 9, 9});
+  EXPECT_EQ(buf.size(), stage1_end + 3);
+}
+
+TEST(ByteSource, IsTheReaderAlias) {
+  Bytes buf;
+  ByteSink sink(buf);
+  sink.put_varint(42);
+  ByteSource src{std::span<const std::uint8_t>(buf)};
+  EXPECT_EQ(src.get_varint(), 42u);
+}
+
 }  // namespace
 }  // namespace ocelot

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "compressor/backend.hpp"
 #include "compressor/compressor.hpp"
 #include "datagen/datasets.hpp"
 
@@ -250,6 +251,58 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("CESM", "Miranda", "ISABEL", "Nyx",
                                          "RTM", "QMCPACK"),
                        ::testing::Values("sz3-interp", "sz2", "multigrid")));
+
+TEST(StreamingBlobPath, CompressIntoMatchesCompressByteForByte) {
+  // The sink entry point appends after existing content and produces
+  // exactly the wrapper's bytes — the wire-format invariant of the
+  // zero-copy refactor, for every registered backend.
+  const FloatArray data = smooth_test_field(Shape(13, 9, 7), 77);
+  for (const std::string& backend : registered_backend_names()) {
+    CompressionConfig config;
+    config.backend = backend;
+    config.eb_mode = EbMode::kValueRangeRel;
+    config.eb = 1e-3;
+    const Bytes reference = compress(data, config);
+
+    Bytes buf = {0x55, 0x66};  // pre-existing bytes survive
+    ByteSink sink(buf);
+    compress_into(data, config, sink);
+    ASSERT_EQ(buf.size(), 2 + reference.size()) << backend;
+    EXPECT_TRUE(std::equal(reference.begin(), reference.end(),
+                           buf.begin() + 2))
+        << backend;
+  }
+}
+
+TEST(StreamingBlobPath, DecompressReusingMatchesDecompress) {
+  const FloatArray data = smooth_test_field(Shape(21, 11), 78);
+  CompressionConfig config;
+  config.eb_mode = EbMode::kAbsolute;
+  config.eb = 1e-3;
+  const Bytes blob = compress(data, config);
+
+  const FloatArray fresh = decompress<float>(blob);
+  // Oversized, dirty storage must be resized and overwritten.
+  std::vector<float> storage(10 * data.size(), -1.0f);
+  const FloatArray reused = decompress_reusing<float>(blob, storage);
+  EXPECT_EQ(reused.shape(), fresh.shape());
+  EXPECT_EQ(reused.vector(), fresh.vector());
+
+  // Exception safety: a corrupt blob hands the storage back to the
+  // caller (so pooled leases keep their buffer in circulation).
+  Bytes corrupt = blob;
+  corrupt[corrupt.size() / 2] ^= 0x5A;
+  corrupt.resize(corrupt.size() - 7);
+  std::vector<float> pooled_storage(64, 0.0f);
+  try {
+    (void)decompress_reusing<float>(corrupt, pooled_storage);
+  } catch (const Error&) {
+    // Either path is fine: throw before the storage is consumed, or
+    // restore it on the decode path — it must end up non-dangling
+    // here with its capacity intact.
+  }
+  EXPECT_GE(pooled_storage.capacity(), 64u);
+}
 
 }  // namespace
 }  // namespace ocelot

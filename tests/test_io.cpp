@@ -1,7 +1,9 @@
-// Tests for the file store, field file format, and grouped archives.
+// Tests for the file store, field file format, grouped archives, and
+// OCB1 container robustness against truncation.
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "io/block_container.hpp"
 #include "io/dataset_file.hpp"
 #include "io/file_store.hpp"
 #include "io/group_archive.hpp"
@@ -101,7 +103,9 @@ TEST(GroupArchive, HeaderSizeIsModest) {
   // Grouping overhead must stay tiny relative to payloads.
   std::vector<GroupMember> members;
   for (int i = 0; i < 100; ++i) {
-    members.push_back({"f" + std::to_string(i), Bytes(10000, 1)});
+    std::string name = "f";
+    name += std::to_string(i);
+    members.push_back({std::move(name), Bytes(10000, 1)});
   }
   const Bytes archive = build_group(members);
   EXPECT_LT(archive.size(), 100u * 10000u + 100u * 32u);
@@ -131,6 +135,46 @@ TEST(GroupMetadata, RenderParseRoundTrip) {
 
 TEST(GroupMetadata, EmptyTextThrows) {
   EXPECT_THROW((void)parse_group_metadata("no groups here"), CorruptStream);
+}
+
+TEST(BlockContainer, EveryTruncationEitherParsesOrThrows) {
+  // Fuzz-style sweep: for a valid OCB1 container, every strict prefix
+  // must be rejected with CorruptStream before any block read — no
+  // other exception type, no UB, never a "successful" partial parse
+  // (the body-size check makes full length the only valid length).
+  Rng rng(17);
+  std::vector<Bytes> payloads;
+  for (int b = 0; b < 5; ++b) {
+    Bytes payload;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 300));
+    for (std::size_t i = 0; i < n; ++i) {
+      payload.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+    payloads.push_back(std::move(payload));
+  }
+  const Bytes container = build_block_container(Shape(10, 3), 2, payloads);
+
+  ASSERT_NO_THROW((void)read_block_index(container));
+  for (std::size_t len = 0; len < container.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(container.data(), len);
+    EXPECT_THROW((void)read_block_index(prefix), CorruptStream)
+        << "prefix length " << len;
+  }
+}
+
+TEST(BlockContainer, TruncatedIndexEntryRejectedBeforeAnyBlockRead) {
+  // Cut inside the per-block index (after the varint length of block 0
+  // but before its CRC): the reader must throw while parsing the
+  // index, never hand out a payload view.
+  const Bytes container =
+      build_block_container(Shape(4), 2, {Bytes{1, 2, 3}, Bytes{4, 5}});
+  const BlockContainerInfo info = read_block_index(container);
+  ASSERT_EQ(info.blocks.size(), 2u);
+  // info.blocks[0].offset is where payloads start; the index occupies
+  // everything before it. Truncate mid-index.
+  const std::size_t mid_index = info.blocks[0].offset - 6;
+  const std::span<const std::uint8_t> cut(container.data(), mid_index);
+  EXPECT_THROW((void)read_block_index(cut), CorruptStream);
 }
 
 }  // namespace

@@ -1,9 +1,13 @@
-// Tests for the thread pool and parallel_for.
+// Tests for the thread pool and parallel_for: task execution,
+// exception propagation (a worker throwing mid-batch must neither
+// deadlock the pool nor leak pooled scratch), and per-thread buffer
+// reuse on the streaming data path.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <set>
 
+#include "common/buffer_pool.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace ocelot {
@@ -72,6 +76,93 @@ TEST(ParallelFor, SingleThreadIsSequential) {
   std::vector<std::size_t> order;
   parallel_for(10, 1, [&](std::size_t i) { order.push_back(i); });
   for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ThrowingTaskMidBatchDoesNotDeadlockOrPoisonThePool) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 30; ++i) {
+    futures.push_back(pool.submit([&, i] {
+      if (i % 7 == 3) throw std::runtime_error("mid-batch failure");
+      ++completed;
+    }));
+  }
+  // wait_idle must return even though several tasks threw...
+  pool.wait_idle();
+  int failures = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const std::runtime_error&) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 4);  // i = 3, 10, 17, 24
+  EXPECT_EQ(completed.load(), 26);
+  // ...and the pool must keep accepting work afterwards.
+  auto after = pool.submit([&] { ++completed; });
+  after.get();
+  EXPECT_EQ(completed.load(), 27);
+}
+
+TEST(ThreadPool, ThrowingWorkerReturnsPooledBuffersViaLeases) {
+  // The executor's tasks hold pool leases while compressing; a task
+  // that throws mid-batch must hand its buffer back to the pool (RAII)
+  // instead of stranding it.
+  BufferPool pool;
+  ThreadPool workers(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(workers.submit([&pool, i] {
+      PooledBuffer lease(pool, 512);
+      lease->assign(100, static_cast<std::uint8_t>(i));
+      if (i % 4 == 1) throw std::runtime_error("worker failure");
+    }));
+  }
+  workers.wait_idle();
+  int failures = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const std::runtime_error&) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 4);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.outstanding, 0u) << "a throwing task leaked its lease";
+  EXPECT_EQ(stats.created + stats.reused, 16u);
+}
+
+TEST(ParallelFor, ExceptionDoesNotLeakPooledScratch) {
+  BufferPool pool;
+  EXPECT_THROW(
+      parallel_for(50, 4,
+                   [&](std::size_t i) {
+                     PooledBuffer lease(pool, 64);
+                     lease->push_back(1);
+                     if (i == 21) throw std::runtime_error("task failure");
+                   }),
+      std::runtime_error);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(ParallelFor, PerThreadScratchIsReusedAcrossBatches) {
+  // Worker threads die with each parallel_for call, so reuse must come
+  // from the process-wide pool, not thread_local storage: 5 batches x
+  // 40 tasks see at most one fresh buffer per concurrent worker.
+  BufferPool pool;
+  for (int batch = 0; batch < 5; ++batch) {
+    parallel_for(40, 4, [&](std::size_t) {
+      PooledBuffer lease(pool, 1024);
+      lease->assign(512, 7);
+    });
+  }
+  const auto stats = pool.stats();
+  EXPECT_LE(stats.created, 4u);
+  EXPECT_EQ(stats.created + stats.reused, 200u);
+  EXPECT_EQ(stats.outstanding, 0u);
 }
 
 }  // namespace

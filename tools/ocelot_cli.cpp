@@ -3,18 +3,23 @@
 // Subcommands:
 //   generate <app> <field> <scale> <out.ocf>   synthesize a test field
 //   compress <in.ocf> <out.ocz> [eb] [mode] [backend]  (or key=value)
-//   decompress <in.ocz> <out.ocf>
-//   info <file>                                inspect OCF1/OCZ1 headers
+//   compress - <out|-> slab=AxB [block_slabs=N] [key=value...]
+//                                              stream raw floats from stdin,
+//                                              chunked into an OCB1 container
+//   decompress <in.ocz|in.ocb> <out.ocf>       (OCB1 containers accepted)
+//   decompress <in|-> -                        stream raw floats to stdout
+//   info <file>                                inspect OCF1/OCZ1/OCB1 headers
 //   backends                                   list registered backends
 //   diff <a.ocf> <b.ocf>                       PSNR / max error
 //   simulate <campaign>... | --demo            multi-campaign orchestrator
 //
-// Files use the repo's self-describing formats: OCF1 raw fields and
-// OCZ1 compressed blobs. Compression families come from the
-// name-keyed BackendRegistry, so a newly registered backend is
-// immediately selectable here without CLI changes.
+// Files use the repo's self-describing formats: OCF1 raw fields, OCZ1
+// compressed blobs, and OCB1 block containers. Compression families
+// come from the name-keyed BackendRegistry, so a newly registered
+// backend is immediately selectable here without CLI changes.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -24,8 +29,11 @@
 #include "common/table.hpp"
 #include "compressor/backend.hpp"
 #include "compressor/compressor.hpp"
+#include "core/stream_codec.hpp"
 #include "core/workload.hpp"
 #include "datagen/datasets.hpp"
+#include "exec/parallel_codec.hpp"
+#include "io/block_container.hpp"
 #include "io/dataset_file.hpp"
 #include "orchestrator/orchestrator.hpp"
 
@@ -50,7 +58,8 @@ void write_file(const std::string& path, const Bytes& data) {
 std::string shape_label(const Shape& shape) {
   std::string label = std::to_string(shape.dim(0));
   for (int d = 1; d < shape.rank(); ++d) {
-    label += "x" + std::to_string(shape.dim(d));
+    label += 'x';
+    label += std::to_string(shape.dim(d));
   }
   return label;
 }
@@ -77,23 +86,62 @@ std::string parse_backend(const std::string& name) {
   return resolved;
 }
 
+/// Parses "A" or "AxB" into streaming slab dimensions.
+std::vector<std::size_t> parse_slab(const std::string& value) {
+  std::vector<std::size_t> dims;
+  for (const std::string& part : split(value, 'x')) {
+    try {
+      std::size_t consumed = 0;
+      const unsigned long long d = std::stoull(part, &consumed);
+      if (consumed != part.size() || d == 0) throw std::invalid_argument(part);
+      dims.push_back(static_cast<std::size_t>(d));
+    } catch (const std::exception&) {
+      throw InvalidArgument("bad slab value: " + value +
+                            " (expected e.g. 256 or 256x256)");
+    }
+  }
+  if (dims.empty() || dims.size() > 2)
+    throw InvalidArgument("slab must name 1 or 2 dimensions");
+  return dims;
+}
+
+std::size_t parse_count(const std::string& key, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long v = std::stoull(value, &consumed);
+    if (consumed != value.size() || v == 0) throw std::invalid_argument(value);
+    return static_cast<std::size_t>(v);
+  } catch (const std::exception&) {
+    throw InvalidArgument("bad " + key + " value: " + value);
+  }
+}
+
 int cmd_compress(const std::vector<std::string>& args) {
-  if (args.size() < 2 || args.size() > 5) {
+  if (args.size() < 2) {
     std::cerr << "usage: ocelot compress <in.ocf> <out.ocz> [eb=1e-3] "
                  "[mode=rel|abs] [backend=sz3]\n"
+              << "       ocelot compress - <out.ocb|-> slab=AxB "
+                 "[block_slabs=8] [eb=...] [mode=...] [backend=...]\n"
               << "       trailing options also accept key=value form, "
                  "e.g. backend=multigrid eb=1e-4\n"
+              << "       `-` streams raw float32 from stdin in block-sized "
+                 "chunks (slab = trailing dims of one slab)\n"
               << "       (see `ocelot backends` for registered backends)\n";
     return 2;
   }
-  const LoadedField field = load_field(read_file(args[0]));
+  const bool streaming = args[0] == "-";
   CompressionConfig config;
   config.eb_mode = EbMode::kValueRangeRel;
+  std::vector<std::size_t> slab_dims;
+  std::size_t block_slabs = 8;
+  bool slab_given = false;
+  bool block_slabs_given = false;
 
   // Trailing options: positional [eb] [mode] [backend], with key=value
   // accepted anywhere (so `backend=multigrid` works without spelling
   // out eb and mode first). A bare arg fills the first positional slot
-  // whose key has not been given yet, so forms mix freely.
+  // whose key has not been given yet, so forms mix freely. The
+  // streaming-only knobs (slab, block_slabs) are key=value only.
   const char* kSlots[] = {"eb", "mode", "backend"};
   bool given[3] = {false, false, false};
   for (std::size_t i = 2; i < args.size(); ++i) {
@@ -133,11 +181,51 @@ int cmd_compress(const std::vector<std::string>& args) {
           value == "abs" ? EbMode::kAbsolute : EbMode::kValueRangeRel;
     } else if (key == "backend" || key == "pipeline") {
       config.backend = parse_backend(value);
+    } else if (key == "slab") {
+      slab_dims = parse_slab(value);
+      slab_given = true;
+    } else if (key == "block_slabs") {
+      block_slabs = parse_count(key, value);
+      block_slabs_given = true;
     } else {
       throw InvalidArgument("unknown compress option: " + key);
     }
   }
+  if (!streaming && (slab_given || block_slabs_given)) {
+    throw InvalidArgument(
+        "slab/block_slabs apply to the streaming mode only "
+        "(use `ocelot compress - ...`)");
+  }
 
+  if (streaming) {
+    if (!slab_given)
+      throw InvalidArgument(
+          "streaming compress needs slab=... (trailing dims of one slab)");
+    StreamCompressConfig stream_config;
+    stream_config.compression = config;
+    stream_config.slab_dims = slab_dims;
+    stream_config.block_slabs = block_slabs;
+
+    const bool to_stdout = args[1] == "-";
+    std::ofstream file_out;
+    if (!to_stdout) {
+      file_out.open(args[1], std::ios::binary);
+      if (!file_out) throw Error("cannot write " + args[1]);
+    }
+    const StreamStats stats = stream_compress(
+        std::cin, to_stdout ? std::cout : file_out, stream_config);
+    // Status goes to stderr so a piped stdout stays pure container
+    // bytes.
+    std::cerr << "streamed " << shape_label(stats.shape) << " ("
+              << fmt_bytes(static_cast<double>(stats.raw_bytes)) << ") -> "
+              << (to_stdout ? std::string("<stdout>") : args[1]) << " in "
+              << stats.blocks << " blocks, ratio "
+              << fmt_double(stats.ratio(), 2) << "x (" << config.backend
+              << ")\n";
+    return 0;
+  }
+
+  const LoadedField field = load_field(read_file(args[0]));
   const Bytes blob = compress(field.data, config);
   write_file(args[1], blob);
   const double ratio = static_cast<double>(field.data.byte_size()) /
@@ -159,10 +247,14 @@ int cmd_backends(const std::vector<std::string>& args) {
     std::string tunables;
     for (const BackendParam& param : backend->params()) {
       if (!tunables.empty()) tunables += ", ";
-      tunables += param.field + "=" + fmt_double(param.default_value, 0) +
-                  " (" + param.description + ")";
+      tunables += param.field;
+      tunables += '=';
+      tunables += fmt_double(param.default_value, 0);
+      tunables += " (";
+      tunables += param.description;
+      tunables += ')';
     }
-    if (tunables.empty()) tunables = "-";
+    if (tunables.empty()) tunables.push_back('-');
     table.add_row({backend->name(), std::to_string(backend->wire_id()),
                    backend->description(), tunables});
   }
@@ -172,11 +264,31 @@ int cmd_backends(const std::vector<std::string>& args) {
 
 int cmd_decompress(const std::vector<std::string>& args) {
   if (args.size() != 2) {
-    std::cerr << "usage: ocelot decompress <in.ocz> <out.ocf>\n";
+    std::cerr << "usage: ocelot decompress <in.ocz|in.ocb> <out.ocf>\n"
+              << "       ocelot decompress <in|-> -   (raw float32 to "
+                 "stdout, block by block)\n";
     return 2;
   }
+  if (args[1] == "-") {
+    // Streaming: raw floats to stdout, one block at a time — the full
+    // field is never materialized.
+    std::ifstream file_in;
+    if (args[0] != "-") {
+      file_in.open(args[0], std::ios::binary);
+      if (!file_in) throw NotFound("cannot open " + args[0]);
+    }
+    const StreamStats stats =
+        stream_decompress(args[0] == "-" ? std::cin : file_in, std::cout);
+    std::cerr << "streamed " << shape_label(stats.shape) << " ("
+              << fmt_bytes(static_cast<double>(stats.raw_bytes))
+              << ") to <stdout> from " << stats.blocks << " blocks\n";
+    return 0;
+  }
   const Bytes blob = read_file(args[0]);
-  const FloatArray data = decompress<float>(blob);
+  // OCB1 containers decode block-parallel; bare OCZ1 blobs single-shot.
+  const FloatArray data = is_block_container(blob)
+                              ? block_decompress(blob, 4).field
+                              : decompress<float>(blob);
   write_file(args[1], save_field("decompressed", data));
   std::cout << "decompressed " << args[0] << " -> " << args[1] << " ("
             << shape_label(data.shape()) << ")\n";
@@ -199,6 +311,25 @@ int cmd_info(const std::vector<std::string>& args) {
     const ValueSummary s = summarize(field.data.values());
     std::cout << "  min " << s.min << "  max " << s.max << "  mean "
               << s.mean << "  stddev " << s.stddev << "\n";
+    return 0;
+  }
+  if (is_block_container(bytes)) {
+    const BlockContainerInfo info = read_block_index(bytes);
+    std::size_t payload = 0;
+    for (const auto& block : info.blocks) payload += block.size;
+    const std::size_t raw = info.shape.size() * sizeof(float);
+    std::cout << "OCB1 block container: shape=" << shape_label(info.shape)
+              << " blocks=" << info.blocks.size() << " block_slabs="
+              << info.block_slabs << "\n"
+              << "  " << fmt_bytes(static_cast<double>(bytes.size()))
+              << " compressed ("
+              << fmt_bytes(static_cast<double>(bytes.size() - payload))
+              << " index) / " << fmt_bytes(static_cast<double>(raw))
+              << " raw ("
+              << fmt_double(static_cast<double>(raw) /
+                                static_cast<double>(bytes.size()),
+                            2)
+              << "x)\n";
     return 0;
   }
   const BlobInfo info = inspect_blob(bytes);
