@@ -149,6 +149,12 @@ const CompressorBackend* BackendRegistry::find(const std::string& name) const {
   return it == by_name_.end() ? nullptr : it->second;
 }
 
+const CompressorBackend* BackendRegistry::find_by_id(std::uint8_t id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second.get();
+}
+
 std::vector<const CompressorBackend*> BackendRegistry::list() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<const CompressorBackend*> backends;

@@ -255,6 +255,9 @@ class BackendRegistry {
   /// Nullptr instead of throwing.
   [[nodiscard]] const CompressorBackend* find(const std::string& name) const;
 
+  /// Nullptr instead of throwing (foreign or corrupt wire ids).
+  [[nodiscard]] const CompressorBackend* find_by_id(std::uint8_t id) const;
+
   /// All registered backends in wire-id order.
   [[nodiscard]] std::vector<const CompressorBackend*> list() const;
 

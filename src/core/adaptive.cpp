@@ -1,0 +1,507 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "compressor/backend.hpp"
+#include "compressor/compressor.hpp"
+
+namespace ocelot {
+
+namespace {
+
+/// Ratio predictions are clamped to [1, kMaxRatio] in log2 space so a
+/// degenerate feature sample (entropy ~ 0) cannot produce an estimate
+/// that swamps every residual correction.
+constexpr double kMaxLog2Ratio = 10.0;  // 1024x
+
+/// splitmix64 step — deterministic tie-break ordering between
+/// candidates whose adjusted predictions are bit-identical.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double clamp_log2_ratio(double log2_ratio) {
+  return std::clamp(log2_ratio, 0.0, kMaxLog2Ratio);
+}
+
+/// Strided min/max of the block (the analytic PSNR estimate only
+/// needs the value range, so it shares the feature sampling stride).
+double sampled_range_of(const FloatArray& block, std::size_t stride) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  const auto vals = block.values();
+  for (std::size_t i = 0; i < vals.size(); i += stride) {
+    lo = std::min(lo, static_cast<double>(vals[i]));
+    hi = std::max(hi, static_cast<double>(vals[i]));
+  }
+  return hi > lo ? hi - lo : 0.0;
+}
+
+/// First `slabs` slowest-dimension slabs of the block (row-truncated
+/// to at most `max_elements`), copied out for the calibration probe.
+/// Always a contiguous prefix of the block's storage.
+FloatArray slab_prefix(const FloatArray& block, std::size_t slabs,
+                       std::size_t max_elements) {
+  const Shape& shape = block.shape();
+  std::size_t keep = std::min(slabs, shape.dim(0));
+  Shape prefix_shape =
+      shape.rank() == 1   ? Shape(keep)
+      : shape.rank() == 2 ? Shape(keep, shape.dim(1))
+                          : Shape(keep, shape.dim(1), shape.dim(2));
+  if (max_elements > 0 && prefix_shape.size() > max_elements) {
+    // Trim to one slab, then cut rows (and, when a single row still
+    // exceeds the cap, the row itself) until the cap holds.
+    if (shape.rank() == 1) {
+      prefix_shape = Shape(max_elements);
+    } else if (shape.rank() == 2) {
+      prefix_shape = Shape(1, std::min(shape.dim(1), max_elements));
+    } else if (shape.dim(2) >= max_elements) {
+      prefix_shape = Shape(1, 1, max_elements);
+    } else {
+      const std::size_t rows =
+          std::max<std::size_t>(1, max_elements / shape.dim(2));
+      prefix_shape = Shape(1, std::min(shape.dim(1), rows), shape.dim(2));
+    }
+  }
+  std::vector<float> data(
+      block.values().begin(),
+      block.values().begin() +
+          static_cast<std::ptrdiff_t>(prefix_shape.size()));
+  return FloatArray(prefix_shape, std::move(data));
+}
+
+}  // namespace
+
+AdvisorPolicy::AdvisorPolicy(AdaptiveOptions options)
+    : options_(std::move(options)) {
+  require(!options_.eb_scales.empty(), "AdvisorPolicy: no eb scales");
+  for (const double scale : options_.eb_scales) {
+    require(scale > 0.0 && scale <= 1.0,
+            "AdvisorPolicy: eb scales must lie in (0, 1]");
+  }
+  require(options_.learning_rate > 0.0 && options_.learning_rate <= 1.0,
+          "AdvisorPolicy: learning rate must lie in (0, 1]");
+  require(options_.sample_stride >= 1, "AdvisorPolicy: zero sample stride");
+
+  const auto& registry = BackendRegistry::instance();
+  if (options_.backends.empty()) {
+    for (const CompressorBackend* backend : registry.list()) {
+      candidates_.push_back({backend->name(), backend->wire_id()});
+    }
+  } else {
+    for (const std::string& name : options_.backends) {
+      const CompressorBackend& backend = registry.by_name(name);
+      candidates_.push_back({backend.name(), backend.wire_id()});
+    }
+  }
+  require(!candidates_.empty(), "AdvisorPolicy: no candidate backends");
+  residuals_.assign(candidates_.size(), {});
+}
+
+void AdvisorPolicy::begin(std::size_t n_fields, std::size_t n_tasks,
+                          const CompressionConfig& base) {
+  base_ = base;
+  probes_.assign(n_tasks, {});
+  calibrations_.assign(n_fields, {});
+  field_states_.assign(n_fields, {});
+  pending_base_.assign(n_tasks, 0.0);
+  pending_cand_.assign(n_tasks, 0);
+  pending_challenger_base_.assign(n_tasks, 0.0);
+  pending_challenger_cand_.assign(n_tasks, candidates_.size());
+  log_slot_.assign(n_tasks, 0);
+  // Residuals deliberately survive begin(): sequential batches of the
+  // same campaign keep learning from each other.
+}
+
+std::size_t AdvisorPolicy::wave_tasks() const {
+  return std::max<std::size_t>(1, options_.wave_tasks);
+}
+
+bool AdvisorPolicy::needs_block_features() const {
+  return options_.model != nullptr || options_.eb_scales.size() > 1 ||
+         options_.min_psnr_db > 0.0;
+}
+
+bool AdvisorPolicy::wants_probe(const BlockContext& ctx) const {
+  // Block 0 always probes (it hosts the field's calibration run);
+  // other blocks only when their features can influence a decision.
+  return needs_block_features() ||
+         (ctx.block == 0 && options_.probe_slabs > 0);
+}
+
+void AdvisorPolicy::probe(const BlockContext& ctx, const FloatArray& block) {
+  TaskProbe& probe = probes_[ctx.task];
+  probe.elements = block.size();
+  if (needs_block_features()) {
+    // The value range only feeds the analytic PSNR estimate; skip the
+    // scan when no quality constraint can consume it.
+    probe.sampled_range =
+        options_.min_psnr_db > 0.0 && options_.model == nullptr
+            ? sampled_range_of(block, options_.sample_stride)
+            : 0.0;
+    probe.per_scale.resize(options_.eb_scales.size());
+    for (std::size_t s = 0; s < options_.eb_scales.size(); ++s) {
+      probe.per_scale[s] = extract_compressor_features(
+          block, ctx.field_abs_eb * options_.eb_scales[s],
+          options_.sample_stride);
+    }
+    if (options_.model != nullptr) {
+      probe.df = extract_data_features(block);
+    }
+  }
+
+  // Calibration probe, once per field on its first block: compress a
+  // small slab prefix with every candidate so the residuals start from
+  // observed ratios instead of cold predictions. Concurrent probes
+  // write disjoint calibration slots (one field owns exactly one
+  // block 0), so this is race-free.
+  if (ctx.block == 0 && options_.probe_slabs > 0) {
+    FieldCalibration& calib = calibrations_[ctx.field];
+    calib.ran = true;
+    calib.obs_log2.assign(candidates_.size(), 0.0);
+    const FloatArray prefix = slab_prefix(block, options_.probe_slabs,
+                                          options_.probe_max_elements);
+    const double raw = static_cast<double>(prefix.byte_size());
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      CompressionConfig config = base_;
+      config.backend = candidates_[c].name;
+      config.eb_mode = EbMode::kAbsolute;
+      config.eb = ctx.field_abs_eb * options_.eb_scales.front();
+      const Bytes blob = compress(prefix, config);
+      calib.obs_log2[c] = std::log2(raw / static_cast<double>(blob.size()));
+    }
+  }
+}
+
+double AdvisorPolicy::base_log2_ratio(const TaskProbe& probe,
+                                      std::size_t scale_index,
+                                      const Candidate& candidate,
+                                      double abs_eb) const {
+  if (options_.model != nullptr) {
+    const FeatureVector fv = assemble_feature_vector(
+        abs_eb, candidate.wire_id, probe.df, probe.per_scale[scale_index]);
+    const QualityPrediction prediction =
+        options_.model->predict(fv, probe.elements);
+    return clamp_log2_ratio(std::log2(
+        std::max(prediction.compression_ratio, 1.0)));
+  }
+  // Un-probed block (default single-scale mode): a zero base makes the
+  // residuals plain EW log ratios, which is all the duel-led selection
+  // needs.
+  if (probe.per_scale.empty()) return 0.0;
+  // Closed-form estimate: the Huffman stage spends about the sampled
+  // quantization-bin entropy per value, against 32 raw bits. Backend-
+  // independent — the per-backend residuals supply the separation.
+  const double bits =
+      std::max(probe.per_scale[scale_index].quant_entropy, 32.0 / 1024.0);
+  return clamp_log2_ratio(std::log2(32.0 / bits));
+}
+
+double AdvisorPolicy::estimated_psnr_db(const TaskProbe& probe,
+                                        std::size_t scale_index,
+                                        const Candidate& candidate,
+                                        double abs_eb) const {
+  if (options_.model != nullptr) {
+    const FeatureVector fv = assemble_feature_vector(
+        abs_eb, candidate.wire_id, probe.df, probe.per_scale[scale_index]);
+    return options_.model->predict(fv, probe.elements).psnr_db;
+  }
+  // Analytic bound-driven estimate: quantization error ~ uniform on
+  // [-eb, eb] gives MSE = eb^2 / 3.
+  if (probe.sampled_range <= 0.0 || abs_eb <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 10.0 * std::log10(3.0 * probe.sampled_range * probe.sampled_range /
+                           (abs_eb * abs_eb));
+}
+
+double AdvisorPolicy::residual_value(std::size_t field,
+                                     std::size_t candidate) const {
+  const FieldState& fs = field_states_[field];
+  if (fs.inited && (fs.local[candidate].observations > 0 ||
+                    fs.local[candidate].seeded)) {
+    return fs.local[candidate].log2;
+  }
+  return residuals_[candidate].value();
+}
+
+void AdvisorPolicy::update_residual(std::size_t field, std::size_t candidate,
+                                    double sample_log2) {
+  sample_log2 = std::clamp(sample_log2, -kMaxLog2Ratio, kMaxLog2Ratio);
+  const auto fold = [&](Residual& residual) {
+    ++residual.observations;
+    const double alpha =
+        std::max(options_.learning_rate,
+                 1.0 / static_cast<double>(residual.observations));
+    residual.log2 = (1.0 - alpha) * residual.log2 + alpha * sample_log2;
+  };
+  fold(field_states_[field].local[candidate]);
+  fold(residuals_[candidate]);
+}
+
+BlockDecision AdvisorPolicy::decide(const BlockContext& ctx) {
+  const TaskProbe& probe = probes_[ctx.task];
+
+  FieldState& fs = field_states_[ctx.field];
+  if (!fs.inited) {
+    fs.inited = true;
+    fs.budget_bytes =
+        options_.explore_budget * static_cast<double>(ctx.field_bytes);
+    fs.explored.assign(candidates_.size(), false);
+    fs.local.assign(candidates_.size(), {});
+    fs.paired.assign(candidates_.size(), 0.0);
+    fs.paired_set.assign(candidates_.size(), false);
+  }
+
+  // Fold the field's calibration probe before its first decision, so
+  // even block 0 chooses with observed evidence for every candidate.
+  // Calibration is provisional: compressing a short slab prefix
+  // under-rates backends whose ratio grows with array size, so the
+  // probe only seeds the field-local residual without counting as an
+  // observation — the field's first true block-granularity observation
+  // of the candidate replaces it outright.
+  FieldCalibration& calib = calibrations_[ctx.field];
+  if (calib.ran && !calib.folded) {
+    calib.folded = true;
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      const double base = base_log2_ratio(
+          probe, 0, candidates_[c],
+          ctx.field_abs_eb * options_.eb_scales.front());
+      fs.local[c].seeded = true;
+      fs.local[c].log2 = std::clamp(calib.obs_log2[c] - base,
+                                    -kMaxLog2Ratio, kMaxLog2Ratio);
+    }
+  }
+
+  // Score every (candidate, eb-scale) pair: adjusted ratio prediction
+  // plus the quality constraint. Feasible pairs always beat infeasible
+  // ones; within a class the adjusted prediction decides, with a
+  // seeded hash as a deterministic tie-break.
+  std::size_t best_c = 0;
+  std::size_t best_s = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::uint64_t best_tie = 0;
+  bool best_feasible = false;
+  std::vector<double> candidate_score(
+      candidates_.size(), -std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> candidate_scale(candidates_.size(), 0);
+  std::vector<bool> candidate_scale_feasible(candidates_.size(), false);
+  for (std::size_t s = 0; s < options_.eb_scales.size(); ++s) {
+    const double abs_eb = ctx.field_abs_eb * options_.eb_scales[s];
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      const double base = base_log2_ratio(probe, s, candidates_[c], abs_eb);
+      const double adj = base + residual_value(ctx.field, c);
+      const bool feasible =
+          options_.min_psnr_db <= 0.0 ||
+          estimated_psnr_db(probe, s, candidates_[c], abs_eb) >=
+              options_.min_psnr_db;
+      // Ordering: feasible beats infeasible; among feasible picks the
+      // adjusted prediction decides; when nothing meets the floor the
+      // tightest bound wins (closest to the requested quality).
+      const auto beats = [&](bool cur_feasible, double cur_score,
+                             std::size_t cur_scale, bool prev_feasible,
+                             double prev_score, std::size_t prev_scale,
+                             bool prev_valid) {
+        if (!prev_valid) return true;
+        if (cur_feasible != prev_feasible) return cur_feasible;
+        if (!cur_feasible &&
+            options_.eb_scales[cur_scale] != options_.eb_scales[prev_scale]) {
+          return options_.eb_scales[cur_scale] <
+                 options_.eb_scales[prev_scale];
+        }
+        return cur_score > prev_score;
+      };
+      // Per-candidate best scale (same ordering).
+      const bool candidate_valid =
+          candidate_score[c] > -std::numeric_limits<double>::infinity();
+      if (beats(feasible, adj, s, candidate_scale_feasible[c],
+                candidate_score[c], candidate_scale[c], candidate_valid)) {
+        candidate_score[c] = adj;
+        candidate_scale[c] = s;
+        candidate_scale_feasible[c] = feasible;
+      }
+      const std::uint64_t tie = mix(options_.seed ^ (ctx.task * 1315423911u) ^
+                                    (candidates_[c].wire_id << 8) ^ s);
+      const bool best_valid =
+          best_score > -std::numeric_limits<double>::infinity();
+      const bool better =
+          beats(feasible, adj, s, best_feasible, best_score, best_s,
+                best_valid) ||
+          (best_valid && feasible == best_feasible && adj == best_score &&
+           options_.eb_scales[s] == options_.eb_scales[best_s] &&
+           tie < best_tie);
+      if (better) {
+        best_c = c;
+        best_s = s;
+        best_score = adj;
+        best_tie = tie;
+        best_feasible = feasible;
+      }
+    }
+  }
+
+  // Backend choice. The trained-model path trusts the per-candidate
+  // predictions (the model genuinely separates backends per block).
+  // The closed-form estimate cannot — its entropy base is backend-
+  // independent and its per-block noise exceeds real backend gaps —
+  // so there the field's duel leader decides, and scoring only picks
+  // the leader's error-bound scale and orders the duel queue.
+  if (options_.model == nullptr) {
+    if (!fs.leader_set) {
+      fs.leader_set = true;
+      fs.leader = best_c;  // elected by the calibration seeds
+      fs.paired[best_c] = 0.0;  // anchors the paired-score scale
+      fs.paired_set[best_c] = true;
+    }
+    best_c = fs.leader;
+    best_s = candidate_scale[best_c];
+  }
+
+  BlockDecision decision;
+  decision.config = base_;
+  decision.config.backend = candidates_[best_c].name;
+  decision.config.eb_mode = EbMode::kAbsolute;
+  decision.config.eb = ctx.field_abs_eb * options_.eb_scales[best_s];
+  decision.backend_id = candidates_[best_c].wire_id;
+  const double base =
+      base_log2_ratio(probe, best_s, candidates_[best_c], decision.config.eb);
+  decision.predicted_ratio =
+      std::exp2(base + residual_value(ctx.field, best_c));
+
+  pending_base_[ctx.task] = base;
+  pending_cand_[ctx.task] = best_c;
+
+  // Keep-best exploration: until the field's byte budget runs out,
+  // nominate the strongest candidate that still lacks a true
+  // block-granularity observation this field. The executor compresses
+  // the block under both configs and keeps the smaller payload, so
+  // this buys an unbiased observation (the calibration prefix under-
+  // rates backends whose ratio grows with array size) at pure compute
+  // cost, never ratio.
+  fs.explored[best_c] = true;
+  pending_challenger_cand_[ctx.task] = candidates_.size();
+  const double block_bytes = static_cast<double>(ctx.block_bytes);
+  // Every field gets at least one duel even when its blocks are too
+  // large for the byte budget: a prefix probe cannot separate
+  // candidates whose ratio advantage only shows at block granularity
+  // (multilevel families), and a field stuck on the wrong backend
+  // costs far more than one keep-best block.
+  const bool first_duel = !fs.any_duel;
+  if (candidates_.size() > 1 &&
+      (fs.budget_bytes >= block_bytes || first_duel)) {
+    std::size_t challenger = candidates_.size();
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      if (fs.explored[c]) continue;
+      // A seed trailing the leader's score by more than the duel
+      // margin is beyond any observed prefix bias — not worth a block.
+      if (options_.duel_margin_log2 > 0.0 &&
+          candidate_score[c] <
+              candidate_score[best_c] - options_.duel_margin_log2) {
+        continue;
+      }
+      if (challenger == candidates_.size() ||
+          candidate_score[c] > candidate_score[challenger]) {
+        challenger = c;
+      }
+    }
+    if (challenger != candidates_.size()) {
+      fs.explored[challenger] = true;
+      fs.any_duel = true;
+      fs.budget_bytes -= block_bytes;
+      decision.has_challenger = true;
+      decision.challenger = decision.config;
+      decision.challenger.backend = candidates_[challenger].name;
+      decision.challenger_id = candidates_[challenger].wire_id;
+      pending_challenger_cand_[ctx.task] = challenger;
+      pending_challenger_base_[ctx.task] = base_log2_ratio(
+          probe, best_s, candidates_[challenger], decision.config.eb);
+    }
+  }
+
+  log_slot_[ctx.task] = log_.size();
+  log_.push_back({ctx.field, ctx.block, decision.config.backend,
+                  decision.backend_id, decision.config.eb,
+                  decision.predicted_ratio, 0.0,
+                  decision.has_challenger ? decision.challenger.backend
+                                          : std::string(),
+                  false});
+  return decision;
+}
+
+void AdvisorPolicy::observe(const BlockContext& ctx,
+                            const BlockDecision& decision,
+                            const BlockOutcome& outcome) {
+  if (outcome.primary_bytes == 0 || outcome.raw_bytes == 0) return;
+  const double raw = static_cast<double>(outcome.raw_bytes);
+  const double primary_ratio =
+      raw / static_cast<double>(outcome.primary_bytes);
+  update_residual(ctx.field, pending_cand_[ctx.task],
+                  std::log2(primary_ratio) - pending_base_[ctx.task]);
+
+  AdaptiveDecisionRecord& record = log_[log_slot_[ctx.task]];
+  record.observed_ratio = primary_ratio;
+  const std::size_t challenger = pending_challenger_cand_[ctx.task];
+  if (challenger < candidates_.size() && outcome.challenger_bytes > 0) {
+    const double challenger_ratio =
+        raw / static_cast<double>(outcome.challenger_bytes);
+    update_residual(ctx.field, challenger,
+                    std::log2(challenger_ratio) -
+                        pending_challenger_base_[ctx.task]);
+    // Closed-form path: fold the duel into the paired scores. Both
+    // payloads came from the same block, so their log-ratio delta is
+    // an unbiased pairwise comparison; chaining through the primary's
+    // score makes every dueled candidate comparable, and the top score
+    // leads the field from the next decision on.
+    FieldState& fs = field_states_[ctx.field];
+    const std::size_t primary = pending_cand_[ctx.task];
+    if (options_.model == nullptr && fs.paired_set[primary]) {
+      fs.paired[challenger] = fs.paired[primary] +
+                              std::log2(challenger_ratio) -
+                              std::log2(primary_ratio);
+      fs.paired_set[challenger] = true;
+      for (std::size_t c = 0; c < candidates_.size(); ++c) {
+        if (fs.paired_set[c] && fs.paired[c] > fs.paired[fs.leader]) {
+          fs.leader = c;
+        }
+      }
+    }
+    if (outcome.kept_challenger) {
+      // The container holds the challenger's payload; the table names
+      // what is actually on the wire.
+      record.backend = decision.challenger.backend;
+      record.backend_id = decision.challenger_id;
+      record.observed_ratio = challenger_ratio;
+      record.kept_challenger = true;
+    }
+  }
+}
+
+std::string to_string(const AdaptiveSummary& summary) {
+  std::string mix;
+  for (const auto& [name, blocks] : summary.backend_blocks) {
+    if (!mix.empty()) mix += ' ';
+    mix += name + ':' + std::to_string(blocks);
+  }
+  return mix.empty() ? "-" : mix;
+}
+
+AdaptiveSummary AdvisorPolicy::summary() const {
+  AdaptiveSummary summary;
+  summary.blocks = log_.size();
+  for (const Candidate& candidate : candidates_) {
+    std::size_t count = 0;
+    for (const AdaptiveDecisionRecord& record : log_) {
+      if (record.backend_id == candidate.wire_id) ++count;
+    }
+    if (count > 0) summary.backend_blocks.emplace_back(candidate.name, count);
+  }
+  return summary;
+}
+
+}  // namespace ocelot

@@ -51,6 +51,16 @@ struct CampaignConfig {
   double block_bytes = 0.0;
   /// Files per group for kCompressedGrouped ("world size" strategy).
   std::size_t group_world_size = 96;
+  /// Online adaptive advisor (core/adaptive.hpp) enabled for the
+  /// compression stage: the virtual-time model charges the advisor's
+  /// per-block feature-sampling / calibration overhead on top of the
+  /// block compute. `compression_ratio` should then carry the ratio a
+  /// measured adaptive run achieved (measured_compute_rates bridges
+  /// the real run into these knobs).
+  bool adaptive = false;
+  /// Fractional compression-stage overhead of the advisor hot path
+  /// (strided feature pass + per-field calibration probes).
+  double adaptive_overhead = 0.03;
   /// funcX endpoint cost structure for the remote orchestration.
   /// Ocelot keeps campaign containers warm (Section III-C), so the
   /// default cold-start charge is the warm-pool replenishment cost.

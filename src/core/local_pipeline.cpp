@@ -32,9 +32,20 @@ LocalPipelineResult run_local_pipeline(
   result.direct_transfer = model.estimate(raw_sizes, config.link);
 
   // Stage 1: parallel compression (real); block mode splits each field
-  // into slab blocks so one large field still fills every worker.
-  result.compression = parallel_compress(fields, config.compression,
-                                         config.workers, config.block_slabs);
+  // into slab blocks so one large field still fills every worker. The
+  // adaptive mode lets the online advisor pick each block's backend
+  // and error bound, learning from every observed block ratio.
+  if (config.adaptive) {
+    const std::size_t block_slabs =
+        config.block_slabs > 0 ? config.block_slabs : 8;
+    AdvisorPolicy policy(config.adaptive_options);
+    result.compression = parallel_compress(
+        fields, config.compression, config.workers, block_slabs, &policy);
+    result.adaptive = policy.summary();
+  } else {
+    result.compression = parallel_compress(fields, config.compression,
+                                           config.workers, config.block_slabs);
+  }
 
   // Stage 2 (optional): grouping; wire sizes include archive headers.
   // The ungrouped path is zero-copy: the compressed blobs travel as

@@ -13,6 +13,7 @@
 
 #include "common/ndarray.hpp"
 #include "compressor/config.hpp"
+#include "core/adaptive.hpp"
 #include "exec/cluster_model.hpp"
 #include "exec/parallel_codec.hpp"
 #include "io/file_store.hpp"
@@ -30,6 +31,12 @@ struct LocalPipelineConfig {
   /// Block-parallel codec: slabs per block along each field's slowest
   /// dimension (0 = whole-file tasks, the paper's executor).
   std::size_t block_slabs = 0;
+  /// Online adaptive advisor: pick each block's backend / error bound
+  /// through an AdvisorPolicy instead of compressing every block with
+  /// `compression`. Implies block mode (block_slabs defaults to 8 when
+  /// left at 0).
+  bool adaptive = false;
+  AdaptiveOptions adaptive_options;
 };
 
 /// Full pipeline outcome, with the direct-transfer baseline included.
@@ -41,6 +48,9 @@ struct LocalPipelineResult {
   double max_error = 0.0;             ///< worst |orig-recon| across files
   double min_psnr_db = 0.0;           ///< worst PSNR across files
   std::size_t wire_files = 0;
+  /// Per-backend block counts of the adaptive run (empty when the
+  /// pipeline ran with a fixed backend).
+  AdaptiveSummary adaptive;
 
   /// compression + transfer + decompression.
   [[nodiscard]] double total_seconds() const {

@@ -1,5 +1,6 @@
 #include "exec/parallel_codec.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/buffer_pool.hpp"
@@ -21,11 +22,11 @@ struct BlockTask {
   BlockSpan span;
 };
 
-/// Compresses the block's contiguous slab range through pooled slice
-/// scratch, streaming the blob into `sink`. The slice storage returns
-/// to the pool even when the compressor throws.
-void compress_block_slice(const FloatArray& field, const BlockSpan& span,
-                          const CompressionConfig& config, ByteSink& sink) {
+/// Runs `fn` against a pooled copy of the block's contiguous slab
+/// range. The slice storage returns to the pool even when `fn` throws.
+template <typename Fn>
+void with_block_copy(const FloatArray& field, const BlockSpan& span,
+                     Fn&& fn) {
   const Shape shape = block_shape(field.shape(), span);
   const std::size_t slab_elems =
       field.shape().dim(1) * field.shape().dim(2);
@@ -38,7 +39,7 @@ void compress_block_slice(const FloatArray& field, const BlockSpan& span,
           static_cast<std::ptrdiff_t>(begin + shape.size()));
   FloatArray block(shape, std::move(data));
   try {
-    compress_into(block, config, sink);
+    fn(block);
   } catch (...) {
     pool.release(block.release());
     throw;
@@ -46,9 +47,18 @@ void compress_block_slice(const FloatArray& field, const BlockSpan& span,
   pool.release(block.release());
 }
 
+/// Compresses the block's contiguous slab range through pooled slice
+/// scratch, streaming the blob into `sink`.
+void compress_block_slice(const FloatArray& field, const BlockSpan& span,
+                          const CompressionConfig& config, ByteSink& sink) {
+  with_block_copy(field, span, [&](const FloatArray& block) {
+    compress_into(block, config, sink);
+  });
+}
+
 ParallelCompressResult blocked_compress_impl(
     std::span<const FloatArray> fields, const CompressionConfig& config,
-    std::size_t workers, std::size_t block_slabs) {
+    std::size_t workers, std::size_t block_slabs, BlockPolicy* policy) {
   ParallelCompressResult result;
   result.blobs.resize(fields.size());
 
@@ -75,16 +85,118 @@ ParallelCompressResult blocked_compress_impl(
   // storage both cycle through the shared pools, so steady state runs
   // with no fresh allocation per block. The RAII lease keeps a
   // throwing task from stranding its buffer.
-  parallel_for(tasks.size(), workers, [&](std::size_t t) {
+  const auto context_of = [&](std::size_t t) {
+    const FloatArray& field = fields[tasks[t].field];
+    const std::size_t slab_elems = field.shape().dim(1) * field.shape().dim(2);
+    return BlockContext{tasks[t].field,
+                        tasks[t].block,
+                        t,
+                        abs_ebs[tasks[t].field],
+                        field.byte_size(),
+                        tasks[t].span.slab_count * slab_elems * sizeof(float)};
+  };
+  const auto compress_task = [&](std::size_t t,
+                                 const CompressionConfig& block_config) {
     const BlockTask& task = tasks[t];
-    CompressionConfig block_config = config;
-    block_config.eb_mode = EbMode::kAbsolute;
-    block_config.eb = abs_ebs[task.field];
     PooledBuffer blob(BufferPool::shared());
     ByteSink sink(*blob);
     compress_block_slice(fields[task.field], task.span, block_config, sink);
     block_blobs[task.field][task.block] = std::move(blob);
-  });
+  };
+  const auto check_bound = [&](std::size_t t, const CompressionConfig& c) {
+    require(c.eb_mode == EbMode::kAbsolute && c.eb > 0.0 &&
+                c.eb <= abs_ebs[tasks[t].field] * (1.0 + 1e-12),
+            "block policy: decision must carry an absolute bound no "
+            "looser than the field's");
+  };
+
+  if (policy == nullptr) {
+    parallel_for(tasks.size(), workers, [&](std::size_t t) {
+      CompressionConfig block_config = config;
+      block_config.eb_mode = EbMode::kAbsolute;
+      block_config.eb = abs_ebs[tasks[t].field];
+      compress_task(t, block_config);
+    });
+  } else {
+    // Policy mode runs in waves: concurrent probes, sequential
+    // decisions, concurrent compression, sequential feedback. Wave
+    // geometry depends only on the task list, so the emitted bytes are
+    // identical for every worker count (see block_policy.hpp).
+    policy->begin(fields.size(), tasks.size(), config);
+    std::vector<BlockDecision> decisions(tasks.size());
+    std::vector<BlockOutcome> outcomes(tasks.size());
+    // Calibration-first order: every field's block 0 goes into the
+    // first wave, so its calibration probe and duel feedback land
+    // before any other block of that field is decided — without this,
+    // a field small enough to fit in one wave could never benefit
+    // from its own calibration. The order depends only on the task
+    // list, preserving the cross-worker determinism contract;
+    // container assembly is by (field, block), so output bytes are
+    // unaffected by processing order.
+    std::vector<std::size_t> order;
+    order.reserve(tasks.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (tasks[t].block == 0) order.push_back(t);
+    }
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (tasks[t].block != 0) order.push_back(t);
+    }
+    const std::size_t wave = std::max<std::size_t>(1, policy->wave_tasks());
+    const std::size_t calibration_tasks = fields.size();  // one block 0 each
+    for (std::size_t w0 = 0; w0 < tasks.size();) {
+      std::size_t w1 = std::min(tasks.size(), w0 + wave);
+      // The calibration wave never mixes with regular blocks: its
+      // observations must land before any non-first block is decided.
+      if (w0 < calibration_tasks) w1 = std::min(w1, calibration_tasks);
+      parallel_for(w1 - w0, workers, [&](std::size_t i) {
+        const std::size_t t = order[w0 + i];
+        const BlockContext ctx = context_of(t);
+        if (!policy->wants_probe(ctx)) return;
+        with_block_copy(
+            fields[tasks[t].field], tasks[t].span,
+            [&](const FloatArray& block) { policy->probe(ctx, block); });
+      });
+      for (std::size_t w = w0; w < w1; ++w) {
+        const std::size_t t = order[w];
+        decisions[t] = policy->decide(context_of(t));
+        check_bound(t, decisions[t].config);
+        if (decisions[t].has_challenger) {
+          check_bound(t, decisions[t].challenger);
+        }
+      }
+      parallel_for(w1 - w0, workers, [&](std::size_t i) {
+        const std::size_t t = order[w0 + i];
+        const BlockTask& task = tasks[t];
+        const std::size_t slab_elems =
+            fields[task.field].shape().dim(1) *
+            fields[task.field].shape().dim(2);
+        BlockOutcome& outcome = outcomes[t];
+        outcome = {};
+        outcome.raw_bytes = task.span.slab_count * slab_elems * sizeof(float);
+        compress_task(t, decisions[t].config);
+        outcome.primary_bytes = block_blobs[task.field][task.block]->size();
+        if (decisions[t].has_challenger) {
+          // Keep-best exploration: the challenger's payload replaces
+          // the primary's only when strictly smaller, so exploring can
+          // never cost ratio (and the comparison is byte-deterministic).
+          PooledBuffer primary = std::move(block_blobs[task.field][task.block]);
+          compress_task(t, decisions[t].challenger);
+          outcome.challenger_bytes =
+              block_blobs[task.field][task.block]->size();
+          outcome.kept_challenger =
+              outcome.challenger_bytes < outcome.primary_bytes;
+          if (!outcome.kept_challenger) {
+            block_blobs[task.field][task.block] = std::move(primary);
+          }
+        }
+      });
+      for (std::size_t w = w0; w < w1; ++w) {
+        const std::size_t t = order[w];
+        policy->observe(context_of(t), decisions[t], outcomes[t]);
+      }
+      w0 = w1;
+    }
+  }
 
   // Streaming assembly: payloads append into one arena per field; the
   // pooled block buffers are recycled as they are consumed.
@@ -126,10 +238,13 @@ void decode_block_into(std::span<const std::uint8_t> container,
 
 ParallelCompressResult parallel_compress(
     const std::vector<FloatArray>& fields, const CompressionConfig& config,
-    std::size_t workers, std::size_t block_slabs) {
+    std::size_t workers, std::size_t block_slabs, BlockPolicy* policy) {
+  require(policy == nullptr || block_slabs > 0,
+          "parallel_compress: a block policy requires block mode");
   ParallelCompressResult result;
   if (block_slabs > 0) {
-    result = blocked_compress_impl(fields, config, workers, block_slabs);
+    result =
+        blocked_compress_impl(fields, config, workers, block_slabs, policy);
   } else {
     result.blobs.resize(fields.size());
     result.task_count = fields.size();
@@ -201,10 +316,12 @@ ParallelDecompressResult parallel_decompress(
 BlockCompressResult block_compress(const FloatArray& field,
                                    const CompressionConfig& config,
                                    std::size_t workers,
-                                   std::size_t block_slabs) {
+                                   std::size_t block_slabs,
+                                   BlockPolicy* policy) {
   require(block_slabs > 0, "block_compress: zero block size");
-  ParallelCompressResult r = blocked_compress_impl(
-      std::span<const FloatArray>(&field, 1), config, workers, block_slabs);
+  ParallelCompressResult r =
+      blocked_compress_impl(std::span<const FloatArray>(&field, 1), config,
+                            workers, block_slabs, policy);
   BlockCompressResult result;
   result.container = std::move(r.blobs.front());
   result.wall_seconds = r.wall_seconds;

@@ -11,6 +11,11 @@
 //     independent task, so a single large field keeps all cores busy.
 //     Blobs become OCB1 block containers (see io/block_container.hpp)
 //     and decompression is block-parallel too.
+//
+// The block mode optionally takes a BlockPolicy (see block_policy.hpp)
+// that picks each block's backend and error bound online; the policy
+// runs in wave-sequenced phases so containers stay byte-identical
+// across worker counts.
 
 #include <cstddef>
 #include <span>
@@ -19,6 +24,7 @@
 #include "common/bytes.hpp"
 #include "common/ndarray.hpp"
 #include "compressor/config.hpp"
+#include "exec/block_policy.hpp"
 
 namespace ocelot {
 
@@ -45,9 +51,16 @@ struct ParallelCompressResult {
 /// splitting, so blocked output honors the same bound as the
 /// single-shot codec, and container bytes are identical for every
 /// worker count.
+///
+/// `policy` (block mode only) delegates each block's backend and
+/// error-bound choice to a BlockPolicy; decisions and feedback run at
+/// deterministic wave barriers, so the container bytes still do not
+/// depend on the worker count. The policy may tighten but never loosen
+/// a block's bound relative to the field-resolved bound.
 ParallelCompressResult parallel_compress(
     const std::vector<FloatArray>& fields, const CompressionConfig& config,
-    std::size_t workers, std::size_t block_slabs = 0);
+    std::size_t workers, std::size_t block_slabs = 0,
+    BlockPolicy* policy = nullptr);
 
 /// Decompresses `blobs` with `workers` threads; returns arrays in
 /// order. Each blob may be a plain OCZ1 blob or an OCB1 block
@@ -85,7 +98,8 @@ struct BlockCompressResult {
 BlockCompressResult block_compress(const FloatArray& field,
                                    const CompressionConfig& config,
                                    std::size_t workers,
-                                   std::size_t block_slabs);
+                                   std::size_t block_slabs,
+                                   BlockPolicy* policy = nullptr);
 
 struct BlockDecompressResult {
   FloatArray field;

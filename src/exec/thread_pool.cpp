@@ -79,11 +79,19 @@ void parallel_for(std::size_t n, std::size_t n_threads,
     }
   };
 
-  std::vector<std::thread> threads;
   const std::size_t workers = std::min(n, n_threads);
-  threads.reserve(workers);
-  for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(body);
-  for (auto& t : threads) t.join();
+  if (workers == 1) {
+    // Inline fast path: a lone worker gains nothing from a spawned
+    // thread, and phase-heavy callers (the policy-driven block codec
+    // runs several parallel_for phases per wave) would otherwise pay
+    // a thread start/join per phase.
+    body();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(body);
+    for (auto& t : threads) t.join();
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

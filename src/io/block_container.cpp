@@ -12,6 +12,25 @@ namespace {
 
 constexpr std::uint8_t kMagic[4] = {'O', 'C', 'B', '1'};
 
+/// Container minor-version marker (v1.1: per-block backend ids in the
+/// index). v1.0 containers have no version byte: the byte after the
+/// magic is the shape rank (1-3), so any value outside that range and
+/// this marker is corruption.
+constexpr std::uint8_t kVersion11 = 0x11;
+
+/// Byte offset of the backend wire id inside an OCZ1 payload header
+/// (magic 4 bytes + dtype byte), used to sniff a block's backend when
+/// sealing it and to cross-check the index on read.
+constexpr std::size_t kOczBackendOffset = 5;
+
+/// Returns the payload's OCZ1 backend wire id, or kUnknownBackendId
+/// for payloads that are not OCZ1 blobs.
+std::uint8_t sniff_backend_id(std::span<const std::uint8_t> payload) {
+  if (payload.size() <= kOczBackendOffset) return kUnknownBackendId;
+  if (std::memcmp(payload.data(), "OCZ1", 4) != 0) return kUnknownBackendId;
+  return payload[kOczBackendOffset];
+}
+
 /// Ceiling on total field elements accepted from an untrusted header
 /// (2^40 elements = 4 TB of floats): far beyond any real field, small
 /// enough that malformed dims fail with CorruptStream instead of a
@@ -23,8 +42,7 @@ void write_shape(ByteSink& out, const Shape& shape) {
   for (int d = 0; d < shape.rank(); ++d) out.put_varint(shape.dim(d));
 }
 
-Shape read_shape(BytesReader& in) {
-  const int rank = in.get<std::uint8_t>();
+Shape read_shape(BytesReader& in, int rank) {
   if (rank < 1 || rank > 3) throw CorruptStream("block container: bad rank");
   std::size_t dims[3] = {1, 1, 1};
   std::uint64_t elements = 1;
@@ -92,7 +110,7 @@ void BlockContainerWriter::end_block() {
   require(size > 0, "BlockContainerWriter: empty block payload");
   const std::span<const std::uint8_t> payload{arena_.data() + open_offset_,
                                               size};
-  index_.emplace_back(size, crc32(payload));
+  index_.push_back({size, crc32(payload), sniff_backend_id(payload)});
 }
 
 void BlockContainerWriter::append_block(
@@ -109,12 +127,14 @@ void BlockContainerWriter::finish(const Shape& shape, ByteSink& out) {
           "BlockContainerWriter: block count does not match the plan");
   finished_ = true;
   out.put_bytes(kMagic);
+  out.put(kVersion11);
   write_shape(out, shape);
   out.put_varint(block_slabs_);
   out.put_varint(index_.size());
-  for (const auto& [size, crc] : index_) {
-    out.put_varint(size);
-    out.put(crc);
+  for (const auto& entry : index_) {
+    out.put_varint(entry.size);
+    out.put(entry.crc);
+    out.put(entry.backend_id);
   }
   out.put_bytes(arena_);
 }
@@ -140,7 +160,17 @@ BlockContainerInfo read_block_index(
     throw CorruptStream("block container: bad magic");
 
   BlockContainerInfo info;
-  info.shape = read_shape(in);
+  // v1.1 containers carry a version byte after the magic; v1.0 puts
+  // the shape rank (1-3) there, which is disjoint from the marker.
+  const std::uint8_t lead = in.get<std::uint8_t>();
+  int rank = lead;
+  if (lead == kVersion11) {
+    info.has_backend_ids = true;
+    rank = in.get<std::uint8_t>();
+  } else if (lead < 1 || lead > 3) {
+    throw CorruptStream("block container: unsupported version");
+  }
+  info.shape = read_shape(in, rank);
   info.block_slabs = in.get_varint();
   if (info.block_slabs == 0)
     throw CorruptStream("block container: zero block size");
@@ -160,6 +190,7 @@ BlockContainerInfo read_block_index(
     entry.size = in.get_varint();
     if (entry.size == 0) throw CorruptStream("block container: empty block");
     entry.crc = in.get<std::uint32_t>();
+    if (info.has_backend_ids) entry.backend_id = in.get<std::uint8_t>();
   }
   std::size_t offset = container.size() - in.remaining();
   for (auto& entry : info.blocks) {
@@ -183,6 +214,11 @@ std::span<const std::uint8_t> block_payload(
   const auto payload = container.subspan(entry.offset, entry.size);
   if (crc32(payload) != entry.crc)
     throw CorruptStream("block container: checksum mismatch in block " +
+                        std::to_string(i));
+  // The index's backend byte must agree with the payload's own header;
+  // a mismatch means one of the two was tampered with after assembly.
+  if (info.has_backend_ids && entry.backend_id != sniff_backend_id(payload))
+    throw CorruptStream("block container: backend id mismatch in block " +
                         std::to_string(i));
   return payload;
 }

@@ -10,9 +10,18 @@
 //   * fetch a single block without touching the rest (random access),
 //   * reject corrupted payloads before decompression.
 //
-// Layout: magic "OCB1", shape (rank + dims), varint block_slabs,
-// varint block count, per-block varint payload length + u32 CRC-32,
-// then the payloads concatenated in block order. Because block order
+// Layout (v1.1): magic "OCB1", version byte 0x11, shape (rank +
+// dims), varint block_slabs, varint block count, per-block varint
+// payload length + u32 CRC-32 + u8 backend wire id, then the payloads
+// concatenated in block order. The per-block backend byte is what lets
+// the adaptive advisor mix compressor families inside one container
+// and still recover every block's decision from the index alone,
+// without touching payload bytes.
+//
+// v1.0 containers (written before the backend byte existed) carry no
+// version byte: the byte after the magic is the shape rank, which is
+// always 1-3 and therefore disjoint from the 0x11 version marker.
+// Readers accept both; writers always emit v1.1. Because block order
 // and per-block compression are deterministic, container bytes do not
 // depend on how many threads produced them.
 
@@ -41,16 +50,25 @@ std::vector<BlockSpan> plan_blocks(std::size_t dim0,
 /// rank is preserved.
 Shape block_shape(const Shape& full, const BlockSpan& span);
 
+/// Index backend id for payloads that are not OCZ1 blobs (or any block
+/// of a legacy v1.0 container, whose index predates the backend byte).
+inline constexpr std::uint8_t kUnknownBackendId = 0xFF;
+
 /// Parsed container index.
 struct BlockIndexEntry {
   std::size_t offset = 0;  ///< payload start within the container
   std::size_t size = 0;    ///< payload bytes
   std::uint32_t crc = 0;   ///< CRC-32 of the payload
+  /// Compressor wire id of the block's payload (v1.1 containers);
+  /// kUnknownBackendId for v1.0 containers and non-OCZ1 payloads.
+  std::uint8_t backend_id = kUnknownBackendId;
 };
 
 struct BlockContainerInfo {
   Shape shape;                   ///< full field shape
   std::size_t block_slabs = 0;   ///< slabs per block along dim 0
+  /// True iff the index carries per-block backend ids (v1.1).
+  bool has_backend_ids = false;
   std::vector<BlockIndexEntry> blocks;  ///< in slab order
 };
 
@@ -76,8 +94,10 @@ class BlockContainerWriter {
   /// Must be paired with end_block().
   [[nodiscard]] ByteSink& begin_block();
 
-  /// Seals the open block, recording its length and CRC-32.
-  /// Throws InvalidArgument on an empty payload.
+  /// Seals the open block, recording its length, CRC-32, and backend
+  /// wire id (sniffed from the payload's OCZ1 header; non-OCZ1
+  /// payloads record kUnknownBackendId). Throws InvalidArgument on an
+  /// empty payload.
   void end_block();
 
   /// Convenience: begin_block + copy + end_block.
@@ -102,8 +122,13 @@ class BlockContainerWriter {
   std::size_t open_offset_ = 0;
   bool open_ = false;
   bool finished_ = false;
-  /// Per-block (payload length, CRC-32), in append order.
-  std::vector<std::pair<std::size_t, std::uint32_t>> index_;
+  /// Per-block (payload length, CRC-32, backend id), in append order.
+  struct PendingEntry {
+    std::size_t size = 0;
+    std::uint32_t crc = 0;
+    std::uint8_t backend_id = kUnknownBackendId;
+  };
+  std::vector<PendingEntry> index_;
 };
 
 /// Assembles a container from per-block compressed payloads, which
@@ -115,8 +140,10 @@ Bytes build_block_container(const Shape& shape, std::size_t block_slabs,
 /// Parses the header/index. Throws CorruptStream on malformed input.
 BlockContainerInfo read_block_index(std::span<const std::uint8_t> container);
 
-/// Returns the payload view for block `i`, verifying its checksum.
-/// Throws CorruptStream on a checksum mismatch.
+/// Returns the payload view for block `i`, verifying its checksum and
+/// that the index's backend id (when the container carries them)
+/// matches the payload's own OCZ1 header. Throws CorruptStream on a
+/// checksum or backend-id mismatch.
 std::span<const std::uint8_t> block_payload(
     std::span<const std::uint8_t> container, const BlockContainerInfo& info,
     std::size_t i);

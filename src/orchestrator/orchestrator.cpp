@@ -86,6 +86,8 @@ std::size_t Orchestrator::add_campaign(CampaignSpec spec) {
   require(spec.config.compression_ratio >= 1.0,
           "run_campaign: compression ratio must be >= 1");
   require(spec.submit_time >= 0.0, "Orchestrator: negative submit time");
+  require(spec.config.adaptive_overhead >= 0.0,
+          "run_campaign: negative adaptive overhead");
 
   auto rt = std::make_unique<Runtime>();
   rt->spec = std::move(spec);
@@ -156,6 +158,9 @@ void Orchestrator::start_compressed_leg(Runtime& rt) {
       rt.spec.inventory.raw_bytes, config.compress_nodes,
       config.compress_cores_per_node, config.rates, src_site.fs,
       config.block_bytes);
+  // The online advisor samples features and runs calibration probes
+  // inside the compression stage; charge its measured overhead there.
+  if (config.adaptive) rt.cp_seconds *= 1.0 + config.adaptive_overhead;
   rt.dp_seconds = cluster_decompress_seconds(
       rt.spec.inventory.raw_bytes, config.decompress_nodes,
       config.decompress_cores_per_node, config.rates, dst_site.fs,

@@ -10,12 +10,48 @@ machine-readable results; CI's bench-smoke job runs
 
 and fails the build when round-trip ratio or parallel speedup regress
 past the thresholds, or when the codec violates its error bound
-(metrics.max_error_over_eb > 1). Only the standard library is used.
+(metrics.max_error_over_eb > 1).
+
+Trend modes (the bench-trend CI subsystem):
+
+    # fail if any gated metric dropped >10% vs the committed baseline
+    python3 tools/check_bench.py BENCH_smoke.json \
+        --baseline bench/baselines/BENCH_smoke.json --max-regress 0.10
+
+    # append one {commit, date, bench, metrics} row to the history
+    python3 tools/check_bench.py BENCH_smoke.json \
+        --append-history bench-history.jsonl --commit "$GITHUB_SHA"
+
+Baseline comparison only gates machine-portable, higher-is-better
+metrics (ratios, relative throughputs, speedups — see
+DEFAULT_BASELINE_PATTERNS); absolute MB/s and allocation counters vary
+across runner hardware and are excluded unless named explicitly via
+--baseline-metrics. Only the standard library is used.
 """
 
 import argparse
+import datetime
+import fnmatch
 import json
 import sys
+
+# Metric-name patterns gated by --baseline (fnmatch syntax). All are
+# higher-is-better and independent of the machine (and run-to-run
+# timing luck) the bench ran on: compression ratios, PSNR, the
+# deterministic allocation-count ratio, and the byte-deterministic
+# adaptive-vs-fixed ratio. Deliberately absent: every wall-clock
+# metric — parallel speedups, throughput_vs_legacy,
+# adaptive_throughput_vs_fixed — because their values move with runner
+# hardware and load; their absolute --min-metric/--min-speedup floors
+# are the contract there.
+DEFAULT_BASELINE_PATTERNS = [
+    "ratio",
+    "ratio_*",
+    "*_ratio",
+    "psnr_db",
+    "alloc_reduction",
+    "*_vs_best_fixed",
+]
 
 
 def fail(msg: str) -> None:
@@ -53,6 +89,37 @@ def main() -> None:
         help="ceiling on a field of every row that carries it, e.g. "
         "max_error_over_eb=1 gates each backend row individually "
         "(repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="committed BENCH_*.json to compare against",
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help="allowed fractional drop vs the baseline (default 0.10)",
+    )
+    parser.add_argument(
+        "--baseline-metrics",
+        default=None,
+        metavar="PATTERNS",
+        help="comma-separated fnmatch patterns of metrics to gate "
+        "against the baseline (default: the machine-portable set)",
+    )
+    parser.add_argument(
+        "--append-history",
+        default=None,
+        metavar="JSONL",
+        help="append a {commit, date, bench, metrics} row to this file",
+    )
+    parser.add_argument(
+        "--commit",
+        default="",
+        help="commit id recorded with --append-history",
     )
     args = parser.parse_args()
 
@@ -110,6 +177,43 @@ def main() -> None:
             fail(f"--max-row-field {key}: no row carries that field")
         print(f"check_bench: ok: {key} <= {ceiling:.4g} on {seen} rows")
 
+    if args.baseline is not None:
+        try:
+            with open(args.baseline, encoding="utf-8") as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            fail(f"cannot read baseline {args.baseline}: {exc}")
+        base_metrics = baseline.get("metrics", {})
+        if not isinstance(base_metrics, dict):
+            fail("no metrics object in baseline")
+        patterns = (
+            [p.strip() for p in args.baseline_metrics.split(",") if p.strip()]
+            if args.baseline_metrics is not None
+            else DEFAULT_BASELINE_PATTERNS
+        )
+        gated = 0
+        for key, base_value in sorted(base_metrics.items()):
+            if not isinstance(base_value, (int, float)):
+                continue
+            if not any(fnmatch.fnmatch(key, p) for p in patterns):
+                continue
+            value = metrics.get(key)
+            if not isinstance(value, (int, float)):
+                fail(f"baseline metric '{key}' missing from current report")
+            gated += 1
+            floor = base_value * (1.0 - args.max_regress)
+            if value < floor:
+                fail(
+                    f"metric '{key}' = {value:.4g} regressed more than "
+                    f"{args.max_regress:.0%} vs baseline {base_value:.4g}"
+                )
+            print(
+                f"check_bench: ok: {key} = {value:.4g} within "
+                f"{args.max_regress:.0%} of baseline {base_value:.4g}"
+            )
+        if gated == 0:
+            fail("baseline comparison gated no metrics (check patterns)")
+
     over_eb = metrics.get("max_error_over_eb")
     if over_eb is not None:
         if not isinstance(over_eb, (int, float)):
@@ -117,6 +221,25 @@ def main() -> None:
         if over_eb > 1.0:
             fail(f"error bound violated: max|err|/eb = {over_eb:.4g} > 1")
         print(f"check_bench: ok: max_error_over_eb = {over_eb:.4g} <= 1")
+
+    # History rows append only after every gate above passed, so a
+    # failing run (e.g. a bound violation) never pollutes the recorded
+    # trajectory even though the CI cache saves on failure.
+    if args.append_history is not None:
+        row = {
+            "commit": args.commit,
+            "date": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "bench": report.get("bench", "?"),
+            "metrics": metrics,
+        }
+        try:
+            with open(args.append_history, "a", encoding="utf-8") as f:
+                f.write(json.dumps(row, sort_keys=True) + "\n")
+        except OSError as exc:
+            fail(f"cannot append to {args.append_history}: {exc}")
+        print(f"check_bench: appended history row to {args.append_history}")
 
     print(f"check_bench: PASS ({report.get('bench', '?')})")
 

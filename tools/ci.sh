@@ -12,6 +12,11 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 
+# Self-describing logs: name the toolchain before any of it runs.
+echo "== $(cmake --version | head -n1)"
+CXX_BIN="${CXX:-c++}"
+echo "== ${CXX_BIN}: $("$CXX_BIN" --version | head -n1)"
+
 EXTRA_FLAGS=()
 if [[ "${OCELOT_SANITIZE:-0}" == "1" ]]; then
   EXTRA_FLAGS+=(-DOCELOT_SANITIZE=ON)
@@ -20,4 +25,7 @@ fi
 cmake -B "$BUILD_DIR" -S . -DOCELOT_WARNINGS=ON \
   ${EXTRA_FLAGS[@]+"${EXTRA_FLAGS[@]}"} "$@"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+# CTEST_PARALLEL_LEVEL wins when the caller sets it (e.g. to serialize
+# timing-sensitive tests on a loaded machine); default to every core.
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -j"${CTEST_PARALLEL_LEVEL:-$(nproc)}"

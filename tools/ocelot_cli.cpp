@@ -3,11 +3,16 @@
 // Subcommands:
 //   generate <app> <field> <scale> <out.ocf>   synthesize a test field
 //   compress <in.ocf> <out.ocz> [eb] [mode] [backend]  (or key=value)
+//   compress <in.ocf> <out.ocb> policy=adaptive [block_slabs=N] ...
+//                                              per-block adaptive backend /
+//                                              error-bound selection
 //   compress - <out|-> slab=AxB [block_slabs=N] [key=value...]
 //                                              stream raw floats from stdin,
 //                                              chunked into an OCB1 container
 //   decompress <in.ocz|in.ocb> <out.ocf>       (OCB1 containers accepted)
 //   decompress <in|-> -                        stream raw floats to stdout
+//   advise <in.ocf|in.ocb> [key=value...]      per-block decision table of
+//                                              the adaptive advisor
 //   info <file>                                inspect OCF1/OCZ1/OCB1 headers
 //   backends                                   list registered backends
 //   diff <a.ocf> <b.ocf>                       PSNR / max error
@@ -19,8 +24,10 @@
 // backend is immediately selectable here without CLI changes.
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -29,6 +36,7 @@
 #include "common/table.hpp"
 #include "compressor/backend.hpp"
 #include "compressor/compressor.hpp"
+#include "core/adaptive.hpp"
 #include "core/stream_codec.hpp"
 #include "core/workload.hpp"
 #include "datagen/datasets.hpp"
@@ -116,16 +124,71 @@ std::size_t parse_count(const std::string& key, const std::string& value) {
   }
 }
 
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument("bad " + key + " value: " + value);
+  }
+}
+
+/// Parses the adaptive-advisor knobs shared by `compress
+/// policy=adaptive` and `advise`. Returns true when the key was one of
+/// the advisor's.
+bool parse_adaptive_option(const std::string& key, const std::string& value,
+                           AdaptiveOptions& options) {
+  if (key == "backends") {
+    options.backends.clear();
+    for (const std::string& name : split(value, ',')) {
+      options.backends.push_back(parse_backend(name));
+    }
+    return true;
+  }
+  if (key == "eb_scales") {
+    options.eb_scales.clear();
+    for (const std::string& part : split(value, ',')) {
+      options.eb_scales.push_back(parse_double(key, part));
+    }
+    return true;
+  }
+  if (key == "min_psnr") {
+    options.min_psnr_db = parse_double(key, value);
+    return true;
+  }
+  if (key == "stride") {
+    options.sample_stride = parse_count(key, value);
+    return true;
+  }
+  return false;
+}
+
+/// Worker-thread count for the adaptive CLI paths: every hardware
+/// thread unless the user said otherwise (the emitted bytes do not
+/// depend on it).
+std::size_t default_workers() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? n : 4;
+}
+
+
 int cmd_compress(const std::vector<std::string>& args) {
   if (args.size() < 2) {
     std::cerr << "usage: ocelot compress <in.ocf> <out.ocz> [eb=1e-3] "
                  "[mode=rel|abs] [backend=sz3]\n"
+              << "       ocelot compress <in.ocf> <out.ocb> policy=adaptive "
+                 "[block_slabs=8] [backends=a,b] [eb_scales=1,0.5] "
+                 "[min_psnr=60] [workers=N]\n"
               << "       ocelot compress - <out.ocb|-> slab=AxB "
                  "[block_slabs=8] [eb=...] [mode=...] [backend=...]\n"
               << "       trailing options also accept key=value form, "
                  "e.g. backend=multigrid eb=1e-4\n"
               << "       `-` streams raw float32 from stdin in block-sized "
                  "chunks (slab = trailing dims of one slab)\n"
+              << "       policy=adaptive picks each block's backend / error "
+                 "bound online (see `ocelot advise`)\n"
               << "       (see `ocelot backends` for registered backends)\n";
     return 2;
   }
@@ -136,6 +199,10 @@ int cmd_compress(const std::vector<std::string>& args) {
   std::size_t block_slabs = 8;
   bool slab_given = false;
   bool block_slabs_given = false;
+  bool adaptive = false;
+  bool adaptive_given = false;  ///< an advisor knob appeared
+  AdaptiveOptions adaptive_options;
+  std::size_t workers = 0;  ///< 0 = every hardware thread
 
   // Trailing options: positional [eb] [mode] [backend], with key=value
   // accepted anywhere (so `backend=multigrid` works without spelling
@@ -187,14 +254,37 @@ int cmd_compress(const std::vector<std::string>& args) {
     } else if (key == "block_slabs") {
       block_slabs = parse_count(key, value);
       block_slabs_given = true;
+    } else if (key == "policy") {
+      if (value != "fixed" && value != "adaptive")
+        throw InvalidArgument("unknown policy: " + value +
+                              " (expected fixed|adaptive)");
+      adaptive = value == "adaptive";
+    } else if (key == "workers") {
+      workers = parse_count(key, value);
+      adaptive_given = true;
+    } else if (parse_adaptive_option(key, value, adaptive_options)) {
+      adaptive_given = true;
     } else {
       throw InvalidArgument("unknown compress option: " + key);
     }
   }
-  if (!streaming && (slab_given || block_slabs_given)) {
+  if (!streaming && slab_given) {
     throw InvalidArgument(
-        "slab/block_slabs apply to the streaming mode only "
+        "slab applies to the streaming mode only "
         "(use `ocelot compress - ...`)");
+  }
+  if (!streaming && block_slabs_given && !adaptive) {
+    throw InvalidArgument(
+        "block_slabs applies to the streaming or adaptive modes only");
+  }
+  if (!adaptive && adaptive_given) {
+    throw InvalidArgument(
+        "backends/eb_scales/min_psnr/stride/workers need policy=adaptive");
+  }
+  if (streaming && adaptive) {
+    throw InvalidArgument(
+        "policy=adaptive needs the whole field (chunked stdin input is "
+        "not supported)");
   }
 
   if (streaming) {
@@ -226,6 +316,19 @@ int cmd_compress(const std::vector<std::string>& args) {
   }
 
   const LoadedField field = load_field(read_file(args[0]));
+  if (adaptive) {
+    AdvisorPolicy policy(adaptive_options);
+    const BlockCompressResult r = block_compress(
+        field.data, config, workers > 0 ? workers : default_workers(),
+        block_slabs, &policy);
+    write_file(args[1], r.container);
+    std::cout << "compressed " << args[0] << " -> " << args[1] << "  ratio "
+              << fmt_double(r.ratio(), 2) << "x  (abs eb "
+              << resolve_abs_eb(field.data, config) << ", adaptive over "
+              << r.n_blocks << " blocks: " << to_string(policy.summary())
+              << ")\n";
+    return 0;
+  }
   const Bytes blob = compress(field.data, config);
   write_file(args[1], blob);
   const double ratio = static_cast<double>(field.data.byte_size()) /
@@ -295,6 +398,105 @@ int cmd_decompress(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Per-block decision table: either recovered from an OCB1 container's
+/// v1.1 index (every block's backend id is in the index, no payload
+/// decode needed), or produced live by running the adaptive advisor
+/// over a raw field.
+int cmd_advise(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr
+        << "usage: ocelot advise <in.ocb>   (decision table from the "
+           "container index)\n"
+        << "       ocelot advise <in.ocf> [eb=1e-3] [mode=rel|abs] "
+           "[block_slabs=8] [backends=a,b] [eb_scales=1,0.5] [min_psnr=60] "
+           "[stride=50] [workers=N]\n"
+        << "       runs the online advisor and prints every block's "
+           "backend / error-bound choice\n";
+    return 2;
+  }
+  const Bytes bytes = read_file(args[0]);
+
+  if (is_block_container(bytes)) {
+    const BlockContainerInfo info = read_block_index(bytes);
+    if (!info.has_backend_ids) {
+      std::cout << "legacy v1.0 container: per-block backend ids are not "
+                   "recorded in the index\n";
+      return 0;
+    }
+    const auto spans = plan_blocks(info.shape.dim(0), info.block_slabs);
+    TextTable table({"block", "slabs", "backend", "payload", "ratio"});
+    for (std::size_t b = 0; b < info.blocks.size(); ++b) {
+      const CompressorBackend* backend =
+          info.blocks[b].backend_id == kUnknownBackendId
+              ? nullptr
+              : BackendRegistry::instance().find_by_id(
+                    info.blocks[b].backend_id);
+      const double raw = static_cast<double>(
+          block_shape(info.shape, spans[b]).size() * sizeof(float));
+      table.add_row(
+          {std::to_string(b),
+           std::to_string(spans[b].slab_begin) + "+" +
+               std::to_string(spans[b].slab_count),
+           backend != nullptr
+               ? backend->name()
+               : "#" + std::to_string(info.blocks[b].backend_id),
+           fmt_bytes(static_cast<double>(info.blocks[b].size)),
+           fmt_double(raw / static_cast<double>(info.blocks[b].size), 2)});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  CompressionConfig config;
+  config.eb_mode = EbMode::kValueRangeRel;
+  std::size_t block_slabs = 8;
+  std::size_t workers = 0;  ///< 0 = every hardware thread
+  AdaptiveOptions options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const auto eq = args[i].find('=');
+    if (eq == std::string::npos)
+      throw InvalidArgument("advise options are key=value, got: " + args[i]);
+    const std::string key = args[i].substr(0, eq);
+    const std::string value = args[i].substr(eq + 1);
+    if (key == "eb") {
+      config.eb = parse_double(key, value);
+    } else if (key == "mode") {
+      if (value != "abs" && value != "rel")
+        throw InvalidArgument("unknown eb mode: " + value +
+                              " (expected abs|rel)");
+      config.eb_mode =
+          value == "abs" ? EbMode::kAbsolute : EbMode::kValueRangeRel;
+    } else if (key == "block_slabs") {
+      block_slabs = parse_count(key, value);
+    } else if (key == "workers") {
+      workers = parse_count(key, value);
+    } else if (parse_adaptive_option(key, value, options)) {
+      // handled
+    } else {
+      throw InvalidArgument("unknown advise option: " + key);
+    }
+  }
+
+  const LoadedField field = load_field(bytes);
+  AdvisorPolicy policy(options);
+  const BlockCompressResult r = block_compress(
+      field.data, config, workers > 0 ? workers : default_workers(),
+      block_slabs, &policy);
+
+  TextTable table({"block", "backend", "abs eb", "pred ratio", "ratio"});
+  for (const AdaptiveDecisionRecord& record : policy.log()) {
+    table.add_row({std::to_string(record.block), record.backend,
+                   fmt_double(record.abs_eb, 6),
+                   fmt_double(record.predicted_ratio, 2),
+                   fmt_double(record.observed_ratio, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\naggregate ratio " << fmt_double(r.ratio(), 2) << "x over "
+            << r.n_blocks << " blocks (" << to_string(policy.summary())
+            << ")\n";
+  return 0;
+}
+
 int cmd_info(const std::vector<std::string>& args) {
   if (args.size() != 1) {
     std::cerr << "usage: ocelot info <file>\n";
@@ -318,9 +520,26 @@ int cmd_info(const std::vector<std::string>& args) {
     std::size_t payload = 0;
     for (const auto& block : info.blocks) payload += block.size;
     const std::size_t raw = info.shape.size() * sizeof(float);
+    // v1.1 indexes name every block's compressor; summarize the mix.
+    std::string mix;
+    if (info.has_backend_ids) {
+      std::map<std::uint8_t, std::size_t> counts;
+      for (const auto& block : info.blocks) ++counts[block.backend_id];
+      for (const auto& [id, count] : counts) {
+        const CompressorBackend* backend =
+            BackendRegistry::instance().find_by_id(id);
+        if (!mix.empty()) mix += ' ';
+        mix += (backend != nullptr ? backend->name()
+                                   : "#" + std::to_string(id)) +
+               ':' + std::to_string(count);
+      }
+    }
     std::cout << "OCB1 block container: shape=" << shape_label(info.shape)
               << " blocks=" << info.blocks.size() << " block_slabs="
-              << info.block_slabs << "\n"
+              << info.block_slabs
+              << (mix.empty() ? std::string(" (v1.0 index)")
+                              : " backends " + mix)
+              << "\n"
               << "  " << fmt_bytes(static_cast<double>(bytes.size()))
               << " compressed ("
               << fmt_bytes(static_cast<double>(bytes.size() - payload))
@@ -420,6 +639,11 @@ CampaignSpec parse_campaign(const std::string& arg) {
       spec.config.compression_ratio = std::stod(value);
     } else if (key == "nodes") {
       spec.config.compress_nodes = std::stoi(value);
+    } else if (key == "adaptive") {
+      if (value != "0" && value != "1")
+        throw InvalidArgument("bad adaptive value: " + value +
+                              " (expected 0|1)");
+      spec.config.adaptive = value == "1";
     } else if (key == "name") {
       spec.name = value;
     } else {
@@ -450,7 +674,8 @@ int cmd_simulate(const std::vector<std::string>& args) {
     std::cerr
         << "usage: ocelot simulate --demo\n"
         << "       ocelot simulate app=RTM[,src=Anvil][,dst=Cori]"
-           "[,mode=np|cp|op][,at=0][,prio=0][,ratio=10][,nodes=16] ...\n"
+           "[,mode=np|cp|op][,at=0][,prio=0][,ratio=10][,nodes=16]"
+           "[,adaptive=1] ...\n"
         << "Runs the campaigns concurrently over shared links, node\n"
         << "pools and funcX endpoints, then compares against isolated\n"
         << "runs of the same campaigns.\n";
@@ -500,8 +725,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
     std::cerr << "ocelot — error-bounded lossy compression toolkit\n"
-              << "commands: generate, compress, decompress, info, backends, "
-                 "diff, simulate\n";
+              << "commands: generate, compress, decompress, advise, info, "
+                 "backends, diff, simulate\n";
     return 2;
   }
   try {
@@ -510,6 +735,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(rest);
     if (cmd == "compress") return cmd_compress(rest);
     if (cmd == "decompress") return cmd_decompress(rest);
+    if (cmd == "advise") return cmd_advise(rest);
     if (cmd == "info") return cmd_info(rest);
     if (cmd == "backends") return cmd_backends(rest);
     if (cmd == "diff") return cmd_diff(rest);
