@@ -19,9 +19,11 @@
 #include "bench_common.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
 #include "core/campaign.hpp"
 #include "datagen/datasets.hpp"
 #include "exec/parallel_codec.hpp"
+#include "obs/trace.hpp"
 
 using namespace ocelot;
 
@@ -155,6 +157,32 @@ int main(int argc, char** argv) {
                     blocked_report.compress_seconds);
   report.set_metric("model_compress_seconds_whole",
                     whole_report.compress_seconds);
+
+  if (smoke) {
+    // A/B cost of the instrumentation itself: interleaved min-of-N
+    // single-worker walls with profiling toggled, so machine drift
+    // hits both arms equally. tools/check_bench.py gates this at <=2%
+    // in CI (enabled-but-idle budget from the obs design).
+    constexpr int kRounds = 5;
+    double off_s = 1e300;
+    double on_s = 1e300;
+    for (int r = 0; r < kRounds; ++r) {
+      obs::set_profiling(false);
+      Timer off_timer;
+      (void)block_compress(field, config, 1, block_slabs);
+      off_s = std::min(off_s, off_timer.seconds());
+
+      obs::set_profiling(true);
+      Timer on_timer;
+      (void)block_compress(field, config, 1, block_slabs);
+      on_s = std::min(on_s, on_timer.seconds());
+    }
+    const double overhead_pct =
+        off_s > 0.0 ? std::max(0.0, (on_s - off_s) / off_s * 100.0) : 0.0;
+    std::cout << "obs overhead (profiling on vs off, min of " << kRounds
+              << " walls): " << fmt_double(overhead_pct, 2) << "%\n";
+    report.set_metric("obs_overhead_pct", overhead_pct);
+  }
 
   const std::string path = report.write();
   std::cout << "wrote " << path << "\n";

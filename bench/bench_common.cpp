@@ -14,6 +14,8 @@
 #include "common/error.hpp"
 #include "compressor/backend.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 // ---------------------------------------------------------------------
 // Global allocation counters. These overrides live in the same TU as
@@ -179,6 +181,10 @@ void append_string(std::ostream& os, const std::string& s) {
 
 BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
   require(!name_.empty(), "BenchReport: empty name");
+  // Benches always profile: the stage breakdown stamped by write() is
+  // part of the perf trajectory, and keeping it on in every bench run
+  // is itself a live overhead test of the instrumentation.
+  obs::set_profiling(true);
 }
 
 void BenchReport::set_metric(const std::string& key, double value) {
@@ -213,6 +219,35 @@ std::string BenchReport::write() const {
     if (!present) metrics.emplace_back(key, value);
   }
 
+  // Per-stage breakdown + pool stats rows, stamped into every report.
+  // Stage totals also land in the metrics map ("obs_s:<stage>") so the
+  // bench-trend history rows — which record metrics only — carry the
+  // hot-path profile, not just the headline numbers. The obs_s:*
+  // pattern is deliberately outside DEFAULT_BASELINE_PATTERNS: wall
+  // time is recorded, never baseline-gated.
+  std::vector<Row> rows = rows_;
+  for (const obs::StageSnapshot& s : obs::metrics_snapshot().stages) {
+    const double total_ms = static_cast<double>(s.total_ns) * 1e-6;
+    const double mean_us =
+        s.calls > 0 ? static_cast<double>(s.total_ns) * 1e-3 /
+                          static_cast<double>(s.calls)
+                    : 0.0;
+    rows.push_back({"obs:" + s.name,
+                    {{"calls", static_cast<double>(s.calls)},
+                     {"total_ms", total_ms},
+                     {"mean_us", mean_us}}});
+    metrics.emplace_back("obs_s:" + s.name, total_ms * 1e-3);
+  }
+  for (const obs::PoolReport& p : obs::shared_pool_reports()) {
+    rows.push_back(
+        {"pool:" + p.name,
+         {{"created", static_cast<double>(p.created)},
+          {"reused", static_cast<double>(p.reused)},
+          {"pooled_capacity_bytes",
+           static_cast<double>(p.pooled_capacity_bytes)},
+          {"wait_ms", static_cast<double>(p.wait_ns) * 1e-6}}});
+  }
+
   std::ostringstream os;
   os << "{\n  \"bench\": ";
   append_string(os, name_);
@@ -224,11 +259,11 @@ std::string BenchReport::write() const {
     append_number(os, metrics[i].second);
   }
   os << "},\n  \"rows\": [";
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
+  for (std::size_t r = 0; r < rows.size(); ++r) {
     os << (r > 0 ? ",\n    {" : "\n    {");
     os << "\"label\": ";
-    append_string(os, rows_[r].label);
-    for (const auto& [key, value] : rows_[r].fields) {
+    append_string(os, rows[r].label);
+    for (const auto& [key, value] : rows[r].fields) {
       os << ", ";
       append_string(os, key);
       os << ": ";
@@ -236,7 +271,7 @@ std::string BenchReport::write() const {
     }
     os << "}";
   }
-  os << (rows_.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  os << (rows.empty() ? "]\n}\n" : "\n  ]\n}\n");
 
   std::string dir = ".";
   if (const char* env = std::getenv("OCELOT_BENCH_DIR");

@@ -53,6 +53,13 @@ void reset_alloc_peak();
 /// when set, else the working directory. write() appends the process
 /// allocation counters (total_allocs, peak_alloc_bytes) to the metrics
 /// automatically unless the bench already set those keys.
+///
+/// Constructing a BenchReport also turns on obs profiling, and write()
+/// stamps the per-stage breakdown ("obs:<stage>" rows with calls /
+/// total_ms / mean_us, plus "obs_s:<stage>" seconds metrics) and the
+/// shared-pool stats ("pool:<name>" rows) into every report, so the
+/// bench-trend history carries the hot-path profile alongside the
+/// headline metrics.
 class BenchReport {
  public:
   explicit BenchReport(std::string name);

@@ -2,12 +2,12 @@
 // number of concurrent campaigns sharing one route and reports how
 // fair-shared bandwidth stretches each campaign, plus the engine's
 // wall-clock event throughput.
-#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "common/timer.hpp"
 #include "core/campaign.hpp"
 #include "core/workload.hpp"
 #include "orchestrator/orchestrator.hpp"
@@ -48,9 +48,9 @@ SweepPoint run_point(int n, TransferMode mode) {
   }
   const OrchestratorReport isolated = run_campaigns(specs, /*isolated=*/true);
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const Timer wall;
   const OrchestratorReport contended = run_campaigns(specs);
-  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_seconds = wall.seconds();
 
   SweepPoint point;
   point.n = n;
@@ -65,8 +65,7 @@ SweepPoint run_point(int n, TransferMode mode) {
     point.peak_flows = std::max(point.peak_flows, link.stats.peak_flows);
   }
   point.events = contended.events_executed;
-  point.wall_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  point.wall_ms = wall_seconds * 1e3;
   return point;
 }
 

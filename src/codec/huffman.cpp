@@ -7,6 +7,7 @@
 #include "common/bitstream.hpp"
 #include "common/buffer_pool.hpp"
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace ocelot {
 
@@ -183,8 +184,13 @@ void huffman_encode(std::span<const std::uint32_t> symbols, ByteSink& out) {
   out.put_varint(symbols.size());
   if (symbols.empty()) return;
 
-  const SymbolHist counts = histogram_symbols(symbols);
-  const HuffmanCode code = HuffmanCode::from_histogram(counts);
+  SymbolHist counts;
+  HuffmanCode code;
+  {
+    OCELOT_SPAN("codec.huffman.histogram");
+    counts = histogram_symbols(symbols);
+    code = HuffmanCode::from_histogram(counts);
+  }
 
   // Table: unique count, then delta-coded symbols with lengths.
   out.put_varint(code.lengths_.size());

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace ocelot {
 
@@ -41,8 +43,13 @@ class VectorPool {
   /// `reserve_hint` bytes/elements of capacity.
   [[nodiscard]] V acquire(std::size_t reserve_hint = 0) {
     V buf;
+    // Lease-wait accounting costs one flag load when profiling is
+    // off; when on, it measures time spent blocked on the pool mutex.
+    const bool timed = obs::profiling_enabled();
+    const std::uint64_t wait_from = timed ? monotonic_now_ns() : 0;
     {
       const std::scoped_lock lock(mu_);
+      if (timed) wait_ns_ += monotonic_now_ns() - wait_from;
       ++outstanding_;
       if (!free_.empty()) {
         ++reused_;
@@ -71,6 +78,9 @@ class VectorPool {
     std::size_t outstanding = 0;  ///< currently leased
     std::size_t free = 0;         ///< currently pooled
     std::size_t pooled_capacity = 0;  ///< summed capacity of free buffers
+    /// Total time acquire() spent blocked on the pool mutex; only
+    /// accumulated while obs profiling is enabled.
+    std::uint64_t wait_ns = 0;
   };
 
   [[nodiscard]] Stats stats() const {
@@ -81,6 +91,7 @@ class VectorPool {
     s.outstanding = outstanding_;
     s.free = free_.size();
     for (const V& b : free_) s.pooled_capacity += b.capacity();
+    s.wait_ns = wait_ns_;
     return s;
   }
 
@@ -98,6 +109,7 @@ class VectorPool {
   std::size_t created_ = 0;
   std::size_t reused_ = 0;
   std::size_t outstanding_ = 0;
+  std::uint64_t wait_ns_ = 0;
 };
 
 }  // namespace detail

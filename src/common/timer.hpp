@@ -1,25 +1,42 @@
 #pragma once
 // Wall-clock stopwatch for measuring real compression/feature costs.
+//
+// The single monotonic now-source of the process lives here:
+// monotonic_now_ns() is shared by Timer, the obs trace spans, and the
+// buffer-pool wait accounting, so every measured duration in the repo
+// is on one steady_clock timeline and directly comparable.
 
 #include <chrono>
+#include <cstdint>
 
 namespace ocelot {
+
+/// The one monotonic clock every measurement uses.
+using MonotonicClock = std::chrono::steady_clock;
+
+/// Nanoseconds on the monotonic timeline (epoch is unspecified; only
+/// differences are meaningful).
+[[nodiscard]] inline std::uint64_t monotonic_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          MonotonicClock::now().time_since_epoch())
+          .count());
+}
 
 /// Monotonic stopwatch; starts on construction.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_ns_(monotonic_now_ns()) {}
 
   /// Seconds elapsed since construction or the last reset().
   [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(monotonic_now_ns() - start_ns_) * 1e-9;
   }
 
-  void reset() { start_ = Clock::now(); }
+  void reset() { start_ns_ = monotonic_now_ns(); }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 }  // namespace ocelot

@@ -6,17 +6,28 @@
 
 #include "codec/huffman.hpp"
 #include "compressor/multigrid.hpp"
+#include "obs/trace.hpp"
 
 namespace ocelot {
 
 void pack_codes(std::span<const std::uint32_t> codes, LosslessBackend lossless,
                 ByteSink& out) {
+  OCELOT_SPAN("codec.entropy.codes");
+  const std::size_t out_before = out.size();
   // The Huffman output lives in pooled scratch only long enough for
   // the lossless stage to consume it.
   PooledBuffer huff(BufferPool::shared());
   ByteSink huff_sink(*huff);
-  huffman_encode(codes, huff_sink);
-  lossless_compress(*huff, lossless, out);
+  {
+    OCELOT_SPAN("codec.huffman");
+    huffman_encode(codes, huff_sink);
+  }
+  {
+    OCELOT_SPAN("codec.lossless");
+    lossless_compress(*huff, lossless, out);
+  }
+  OCELOT_COUNT("codec.entropy_in_bytes", codes.size_bytes());
+  OCELOT_COUNT("codec.entropy_out_bytes", out.size() - out_before);
 }
 
 Bytes pack_codes(std::span<const std::uint32_t> codes,
@@ -28,6 +39,7 @@ Bytes pack_codes(std::span<const std::uint32_t> codes,
 
 void unpack_codes_into(std::span<const std::uint8_t> packed,
                        std::vector<std::uint32_t>& out) {
+  OCELOT_SPAN("codec.entropy.decode");
   PooledBuffer huff(BufferPool::shared());
   lossless_decompress_into(packed, *huff);
   huffman_decode_into(*huff, out);
@@ -42,10 +54,14 @@ std::vector<std::uint32_t> unpack_codes(std::span<const std::uint8_t> packed) {
 template <typename T>
 void pack_raw_values(std::span<const T> values, LosslessBackend lossless,
                      ByteSink& out) {
+  OCELOT_SPAN("codec.entropy.raw");
+  const std::size_t out_before = out.size();
   std::span<const std::uint8_t> bytes{
       reinterpret_cast<const std::uint8_t*>(values.data()),
       values.size() * sizeof(T)};
   lossless_compress(bytes, lossless, out);
+  OCELOT_COUNT("codec.entropy_in_bytes", bytes.size());
+  OCELOT_COUNT("codec.entropy_out_bytes", out.size() - out_before);
 }
 
 template void pack_raw_values<float>(std::span<const float>, LosslessBackend,

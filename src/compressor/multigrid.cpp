@@ -5,6 +5,7 @@
 #include "common/buffer_pool.hpp"
 #include "compressor/interpolation.hpp"
 #include "compressor/quantizer.hpp"
+#include "obs/trace.hpp"
 
 namespace ocelot {
 
@@ -40,11 +41,15 @@ class MultigridBackend final : public TypedBackend<MultigridBackend> {
     QuantEncoder<T> fine(abs_eb, config.quant_radius);
     fine.reserve(data.size());
     const auto original = data.values();
-    hierarchy_traverse<T>(
-        data.shape(), std::span<T>(*recon), stride, /*cubic=*/false,
-        [&](std::size_t idx, double pred, std::size_t level) {
-          return (level == 1 ? fine : coarse).encode(pred, original[idx]);
-        });
+    {
+      OCELOT_SPAN("codec.predict_quantize");
+      hierarchy_traverse<T>(
+          data.shape(), std::span<T>(*recon), stride, /*cubic=*/false,
+          [&](std::size_t idx, double pred, std::size_t level) {
+            return (level == 1 ? fine : coarse).encode(pred, original[idx]);
+          });
+    }
+    OCELOT_COUNT("codec.raw_bytes", data.size() * sizeof(T));
     recon.reset();
     out.add_streamed("mg_coarse_codes", [&](ByteSink& sink) {
       pack_codes(coarse.codes(), config.lossless, sink);

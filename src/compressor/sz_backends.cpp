@@ -11,6 +11,7 @@
 #include "compressor/quantizer.hpp"
 #include "compressor/regression.hpp"
 #include "compressor/traversal.hpp"
+#include "obs/trace.hpp"
 
 namespace ocelot {
 
@@ -37,9 +38,13 @@ void quantized_encode(const NdArray<T>& data, double abs_eb,
   QuantEncoder<T> quant(abs_eb, config.quant_radius);
   quant.reserve(data.size());
   const auto original = data.values();
-  traverse(std::span<T>(*recon), [&](std::size_t idx, double pred) {
-    return quant.encode(pred, original[idx]);
-  });
+  {
+    OCELOT_SPAN("codec.predict_quantize");
+    traverse(std::span<T>(*recon), [&](std::size_t idx, double pred) {
+      return quant.encode(pred, original[idx]);
+    });
+  }
+  OCELOT_COUNT("codec.raw_bytes", data.size() * sizeof(T));
   out.add_streamed("codes", [&](ByteSink& sink) {
     pack_codes(quant.codes(), config.lossless, sink);
   });
@@ -266,11 +271,15 @@ class Sz2Backend final : public TypedBackend<Sz2Backend> {
       coef_pred.update(recon_c);
       return {true, recon_c};
     };
-    block_traverse<T>(data.shape(), std::span<T>(*recon), config.block_size,
-                      oracle,
-                      [&](std::size_t idx, double pred) {
-                        return quant.encode(pred, original[idx]);
-                      });
+    {
+      OCELOT_SPAN("codec.predict_quantize");
+      block_traverse<T>(data.shape(), std::span<T>(*recon), config.block_size,
+                        oracle,
+                        [&](std::size_t idx, double pred) {
+                          return quant.encode(pred, original[idx]);
+                        });
+    }
+    OCELOT_COUNT("codec.raw_bytes", data.size() * sizeof(T));
 
     out.add_streamed("choices", [&](ByteSink& sink) {
       lossless_compress(choices, config.lossless, sink);

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "compressor/compressor.hpp"
 #include "io/block_container.hpp"
+#include "obs/trace.hpp"
 
 namespace ocelot {
 
@@ -76,6 +77,7 @@ StreamStats stream_compress(std::istream& in, std::ostream& out,
     FloatArray block(chunk_shape(slabs, config.slab_dims),
                      std::move(*chunk));
     try {
+      OCELOT_SPAN("stream.chunk");
       compress_into(block, config.compression, writer.begin_block());
     } catch (...) {
       *chunk = block.release();

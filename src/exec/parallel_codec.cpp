@@ -9,6 +9,7 @@
 #include "compressor/compressor.hpp"
 #include "exec/thread_pool.hpp"
 #include "io/block_container.hpp"
+#include "obs/trace.hpp"
 
 namespace ocelot {
 
@@ -97,10 +98,13 @@ ParallelCompressResult blocked_compress_impl(
   };
   const auto compress_task = [&](std::size_t t,
                                  const CompressionConfig& block_config) {
+    OCELOT_SPAN("compress.block");
     const BlockTask& task = tasks[t];
     PooledBuffer blob(BufferPool::shared());
     ByteSink sink(*blob);
     compress_block_slice(fields[task.field], task.span, block_config, sink);
+    OCELOT_COUNT("block.compressed_bytes", blob->size());
+    OCELOT_HIST("block.compressed_bytes", blob->size());
     block_blobs[task.field][task.block] = std::move(blob);
   };
   const auto check_bound = [&](std::size_t t, const CompressionConfig& c) {
@@ -152,16 +156,23 @@ ParallelCompressResult blocked_compress_impl(
         const std::size_t t = order[w0 + i];
         const BlockContext ctx = context_of(t);
         if (!policy->wants_probe(ctx)) return;
+        OCELOT_SPAN("advisor.probe");
+        OCELOT_COUNT("advisor.probes", 1);
         with_block_copy(
             fields[tasks[t].field], tasks[t].span,
             [&](const FloatArray& block) { policy->probe(ctx, block); });
       });
-      for (std::size_t w = w0; w < w1; ++w) {
-        const std::size_t t = order[w];
-        decisions[t] = policy->decide(context_of(t));
-        check_bound(t, decisions[t].config);
-        if (decisions[t].has_challenger) {
-          check_bound(t, decisions[t].challenger);
+      {
+        OCELOT_SPAN("advisor.decide");
+        for (std::size_t w = w0; w < w1; ++w) {
+          const std::size_t t = order[w];
+          decisions[t] = policy->decide(context_of(t));
+          OCELOT_COUNT("advisor.decisions", 1);
+          check_bound(t, decisions[t].config);
+          if (decisions[t].has_challenger) {
+            OCELOT_COUNT("advisor.challengers", 1);
+            check_bound(t, decisions[t].challenger);
+          }
         }
       }
       parallel_for(w1 - w0, workers, [&](std::size_t i) {
@@ -185,14 +196,19 @@ ParallelCompressResult blocked_compress_impl(
               block_blobs[task.field][task.block]->size();
           outcome.kept_challenger =
               outcome.challenger_bytes < outcome.primary_bytes;
-          if (!outcome.kept_challenger) {
+          if (outcome.kept_challenger) {
+            OCELOT_COUNT("advisor.challenger_wins", 1);
+          } else {
             block_blobs[task.field][task.block] = std::move(primary);
           }
         }
       });
-      for (std::size_t w = w0; w < w1; ++w) {
-        const std::size_t t = order[w];
-        policy->observe(context_of(t), decisions[t], outcomes[t]);
+      {
+        OCELOT_SPAN("advisor.observe");
+        for (std::size_t w = w0; w < w1; ++w) {
+          const std::size_t t = order[w];
+          policy->observe(context_of(t), decisions[t], outcomes[t]);
+        }
       }
       w0 = w1;
     }
@@ -200,6 +216,7 @@ ParallelCompressResult blocked_compress_impl(
 
   // Streaming assembly: payloads append into one arena per field; the
   // pooled block buffers are recycled as they are consumed.
+  OCELOT_SPAN("container.finish");
   for (std::size_t f = 0; f < fields.size(); ++f) {
     BlockContainerWriter writer(block_slabs);
     for (PooledBuffer& blob : block_blobs[f]) {
@@ -217,6 +234,7 @@ ParallelCompressResult blocked_compress_impl(
 void decode_block_into(std::span<const std::uint8_t> container,
                        const BlockContainerInfo& info, std::size_t block,
                        const BlockSpan& span, FloatArray& out) {
+  OCELOT_SPAN("decompress.block");
   // The lease survives any decode/validation throw: decompress_reusing
   // restores the storage on failure and the decoded array hands it
   // back below, so corrupt blocks cannot drain the pool.

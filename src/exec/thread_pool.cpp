@@ -2,6 +2,9 @@
 
 #include <atomic>
 
+#include "common/timer.hpp"
+#include "obs/trace.hpp"
+
 namespace ocelot {
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
@@ -24,11 +27,14 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
+  std::size_t depth = 0;
   {
     std::scoped_lock lock(mutex_);
     require(!stop_, "ThreadPool: submit after shutdown");
     queue_.push_back(std::move(packaged));
+    depth = queue_.size();
   }
+  OCELOT_HIST("exec.queue_depth", depth);
   cv_.notify_one();
   return future;
 }
@@ -62,6 +68,10 @@ void parallel_for(std::size_t n, std::size_t n_threads,
                   const std::function<void(std::size_t)>& fn) {
   require(n_threads > 0, "parallel_for: need at least one thread");
   if (n == 0) return;
+  OCELOT_SPAN("exec.wave");
+  OCELOT_COUNT("exec.waves", 1);
+  OCELOT_COUNT("exec.tasks", n);
+  const std::uint64_t wave_from = monotonic_now_ns();
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -92,6 +102,7 @@ void parallel_for(std::size_t n, std::size_t n_threads,
     for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(body);
     for (auto& t : threads) t.join();
   }
+  OCELOT_HIST("exec.wave_us", (monotonic_now_ns() - wave_from) / 1000);
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -8,6 +8,7 @@
 #include "core/grouping.hpp"
 #include "exec/cluster_model.hpp"
 #include "netsim/sites.hpp"
+#include "obs/trace.hpp"
 
 namespace ocelot {
 
@@ -270,6 +271,26 @@ OrchestratorReport Orchestrator::run() {
     outcome.finish_time = rt->proc->exited_at();
     report.makespan = std::max(report.makespan, outcome.finish_time);
     report.campaigns.push_back(std::move(outcome));
+  }
+  if (obs::tracing_enabled()) {
+    // Replay each campaign onto the virtual timeline: one track per
+    // campaign, a covering span plus its serialized legs. The legs
+    // actually interleave with queueing inside the sim, so this is
+    // the report's sequential decomposition, not an event-exact
+    // replay — but it lines campaigns up against each other exactly.
+    for (const CampaignOutcome& o : report.campaigns) {
+      obs::emit_sim_span(o.name, "campaign", o.submit_time, o.finish_time);
+      double at = o.submit_time;
+      const auto leg = [&](const char* name, double seconds) {
+        if (seconds <= 0.0) return;
+        obs::emit_sim_span(o.name, name, at, at + seconds);
+        at += seconds;
+      };
+      leg("node_wait", o.report.node_wait_seconds);
+      leg("compress", o.report.compress_seconds);
+      leg("transfer", o.report.transfer_seconds);
+      leg("decompress", o.report.decompress_seconds);
+    }
   }
   for (const auto& [name, channel] : globus_->channels()) {
     report.links.emplace(name,

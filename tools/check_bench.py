@@ -6,11 +6,12 @@ machine-readable results; CI's bench-smoke job runs
 
     OCELOT_BENCH_DIR=. build/bench_blocks_scaling --smoke
     python3 tools/check_bench.py BENCH_smoke.json \
-        --min-ratio 1.5 --min-speedup 0.9
+        --min-ratio 1.5 --min-speedup 0.9 --max-metric obs_overhead_pct=2
 
 and fails the build when round-trip ratio or parallel speedup regress
-past the thresholds, or when the codec violates its error bound
-(metrics.max_error_over_eb > 1).
+past the thresholds, when a --max-metric ceiling (e.g. the
+observability overhead budget) is exceeded, or when the codec violates
+its error bound (metrics.max_error_over_eb > 1).
 
 Trend modes (the bench-trend CI subsystem):
 
@@ -80,6 +81,14 @@ def main() -> None:
         default=[],
         metavar="KEY=VALUE",
         help="extra floor on any metrics entry (repeatable)",
+    )
+    parser.add_argument(
+        "--max-metric",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="ceiling on any metrics entry, e.g. obs_overhead_pct=2 "
+        "gates the observability cost (repeatable)",
     )
     parser.add_argument(
         "--max-row-field",
@@ -155,6 +164,15 @@ def main() -> None:
         if value < floor:
             fail(f"metric '{key}' = {value:.4g} below floor {floor:.4g}")
         print(f"check_bench: ok: {key} = {value:.4g} >= {floor:.4g}")
+
+    for spec in args.max_metric:
+        key, ceiling = parse_threshold("--max-metric", spec)
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)):
+            fail(f"metric '{key}' missing or non-numeric (got {value!r})")
+        if value > ceiling:
+            fail(f"metric '{key}' = {value:.4g} above ceiling {ceiling:.4g}")
+        print(f"check_bench: ok: {key} = {value:.4g} <= {ceiling:.4g}")
 
     rows = report.get("rows", [])
     for spec in args.max_row_field:

@@ -5,7 +5,8 @@
 # Extra cmake flags pass straight through, e.g.
 #   tools/ci.sh -DCMAKE_BUILD_TYPE=Debug
 # Set OCELOT_SANITIZE=1 (or pass -DOCELOT_SANITIZE=ON) for the
-# ASan+UBSan configuration the sanitizer CI job runs.
+# ASan+UBSan configuration the sanitizer CI job runs, or
+# OCELOT_SANITIZE=thread for the TSan leg.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,7 +19,9 @@ CXX_BIN="${CXX:-c++}"
 echo "== ${CXX_BIN}: $("$CXX_BIN" --version | head -n1)"
 
 EXTRA_FLAGS=()
-if [[ "${OCELOT_SANITIZE:-0}" == "1" ]]; then
+if [[ "${OCELOT_SANITIZE:-0}" == "thread" ]]; then
+  EXTRA_FLAGS+=(-DOCELOT_SANITIZE=thread)
+elif [[ "${OCELOT_SANITIZE:-0}" == "1" ]]; then
   EXTRA_FLAGS+=(-DOCELOT_SANITIZE=ON)
 fi
 

@@ -13,10 +13,16 @@
 //   decompress <in|-> -                        stream raw floats to stdout
 //   advise <in.ocf|in.ocb> [key=value...]      per-block decision table of
 //                                              the adaptive advisor
-//   info <file>                                inspect OCF1/OCZ1/OCB1 headers
+//   info <file> [json=1]                       inspect OCF1/OCZ1/OCB1 headers
+//   stats <in.ocf|in.ocz|in.ocb> [json=1]      profile a (de)compression and
+//                                              print the per-stage breakdown
 //   backends                                   list registered backends
 //   diff <a.ocf> <b.ocf>                       PSNR / max error
 //   simulate <campaign>... | --demo            multi-campaign orchestrator
+//
+// Observability: `compress`/`stats`/`simulate` accept trace=out.json
+// (Chrome trace-event / Perfetto span timeline) and compress accepts
+// stats=1 (per-stage metrics report after the run); see src/obs/.
 //
 // Files use the repo's self-describing formats: OCF1 raw fields, OCZ1
 // compressed blobs, and OCB1 block containers. Compression families
@@ -43,6 +49,8 @@
 #include "exec/parallel_codec.hpp"
 #include "io/block_container.hpp"
 #include "io/dataset_file.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "orchestrator/orchestrator.hpp"
 
 namespace {
@@ -189,6 +197,8 @@ int cmd_compress(const std::vector<std::string>& args) {
                  "chunks (slab = trailing dims of one slab)\n"
               << "       policy=adaptive picks each block's backend / error "
                  "bound online (see `ocelot advise`)\n"
+              << "       trace=out.json writes a Perfetto span timeline; "
+                 "stats=1 prints the per-stage breakdown\n"
               << "       (see `ocelot backends` for registered backends)\n";
     return 2;
   }
@@ -203,6 +213,8 @@ int cmd_compress(const std::vector<std::string>& args) {
   bool adaptive_given = false;  ///< an advisor knob appeared
   AdaptiveOptions adaptive_options;
   std::size_t workers = 0;  ///< 0 = every hardware thread
+  std::string trace_path;
+  bool show_stats = false;
 
   // Trailing options: positional [eb] [mode] [backend], with key=value
   // accepted anywhere (so `backend=multigrid` works without spelling
@@ -262,6 +274,13 @@ int cmd_compress(const std::vector<std::string>& args) {
     } else if (key == "workers") {
       workers = parse_count(key, value);
       adaptive_given = true;
+    } else if (key == "trace") {
+      if (value.empty()) throw InvalidArgument("trace needs a file path");
+      trace_path = value;
+    } else if (key == "stats") {
+      if (value != "0" && value != "1")
+        throw InvalidArgument("bad stats value: " + value + " (expected 0|1)");
+      show_stats = value == "1";
     } else if (parse_adaptive_option(key, value, adaptive_options)) {
       adaptive_given = true;
     } else {
@@ -286,6 +305,23 @@ int cmd_compress(const std::vector<std::string>& args) {
         "policy=adaptive needs the whole field (chunked stdin input is "
         "not supported)");
   }
+
+  // Observation never changes decisions: profiling/tracing only record
+  // timings, so trace=/stats= leave the output bytes identical.
+  if (!trace_path.empty()) {
+    obs::start_tracing();
+  } else if (show_stats) {
+    obs::set_profiling(true);
+  }
+  const auto finish_obs = [&] {
+    if (!trace_path.empty()) {
+      obs::stop_tracing();
+      obs::write_chrome_trace_file(trace_path);
+      std::cerr << "wrote trace " << trace_path
+                << " (load in Perfetto / chrome://tracing)\n";
+    }
+    if (show_stats) obs::write_stats_report(std::cout, /*json=*/false);
+  };
 
   if (streaming) {
     if (!slab_given)
@@ -312,6 +348,7 @@ int cmd_compress(const std::vector<std::string>& args) {
               << stats.blocks << " blocks, ratio "
               << fmt_double(stats.ratio(), 2) << "x (" << config.backend
               << ")\n";
+    finish_obs();
     return 0;
   }
 
@@ -327,6 +364,7 @@ int cmd_compress(const std::vector<std::string>& args) {
               << resolve_abs_eb(field.data, config) << ", adaptive over "
               << r.n_blocks << " blocks: " << to_string(policy.summary())
               << ")\n";
+    finish_obs();
     return 0;
   }
   const Bytes blob = compress(field.data, config);
@@ -337,6 +375,7 @@ int cmd_compress(const std::vector<std::string>& args) {
             << fmt_double(ratio, 2) << "x  (abs eb "
             << resolve_abs_eb(field.data, config) << ", " << config.backend
             << ")\n";
+  finish_obs();
   return 0;
 }
 
@@ -497,20 +536,54 @@ int cmd_advise(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// `[d0,d1,...]` — the machine-readable shape form.
+std::string shape_json(const Shape& shape) {
+  std::string out = "[";
+  for (int d = 0; d < shape.rank(); ++d) {
+    if (d > 0) out += ',';
+    out += std::to_string(shape.dim(d));
+  }
+  out += ']';
+  return out;
+}
+
+/// `"..."` with the two JSON-significant characters escaped (names
+/// here are app/field identifiers, never control characters).
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 int cmd_info(const std::vector<std::string>& args) {
-  if (args.size() != 1) {
-    std::cerr << "usage: ocelot info <file>\n";
+  if (args.empty() || args.size() > 2 ||
+      (args.size() == 2 && args[1] != "json=1")) {
+    std::cerr << "usage: ocelot info <file> [json=1]\n";
     return 2;
   }
+  const bool json = args.size() == 2;
   const Bytes bytes = read_file(args[0]);
   if (bytes.size() >= 4 && bytes[0] == 'O' && bytes[1] == 'C' &&
       bytes[2] == 'F' && bytes[3] == '1') {
     const LoadedField field = load_field(bytes);
+    const ValueSummary s = summarize(field.data.values());
+    if (json) {
+      std::cout << "{\"format\":\"ocf1\",\"name\":" << json_quote(field.name)
+                << ",\"shape\":" << shape_json(field.data.shape())
+                << ",\"raw_bytes\":" << field.data.byte_size()
+                << ",\"min\":" << s.min << ",\"max\":" << s.max
+                << ",\"mean\":" << s.mean << ",\"stddev\":" << s.stddev
+                << "}\n";
+      return 0;
+    }
     std::cout << "OCF1 raw field: name=" << field.name << " shape="
               << shape_label(field.data.shape()) << " ("
               << fmt_bytes(static_cast<double>(field.data.byte_size()))
               << ")\n";
-    const ValueSummary s = summarize(field.data.values());
     std::cout << "  min " << s.min << "  max " << s.max << "  mean "
               << s.mean << "  stddev " << s.stddev << "\n";
     return 0;
@@ -520,19 +593,52 @@ int cmd_info(const std::vector<std::string>& args) {
     std::size_t payload = 0;
     for (const auto& block : info.blocks) payload += block.size;
     const std::size_t raw = info.shape.size() * sizeof(float);
+    const auto backend_name = [](std::uint8_t id) {
+      const CompressorBackend* backend =
+          BackendRegistry::instance().find_by_id(id);
+      return backend != nullptr ? backend->name()
+                                : "#" + std::to_string(id);
+    };
     // v1.1 indexes name every block's compressor; summarize the mix.
+    std::map<std::uint8_t, std::size_t> counts;
     std::string mix;
     if (info.has_backend_ids) {
-      std::map<std::uint8_t, std::size_t> counts;
       for (const auto& block : info.blocks) ++counts[block.backend_id];
       for (const auto& [id, count] : counts) {
-        const CompressorBackend* backend =
-            BackendRegistry::instance().find_by_id(id);
         if (!mix.empty()) mix += ' ';
-        mix += (backend != nullptr ? backend->name()
-                                   : "#" + std::to_string(id)) +
-               ':' + std::to_string(count);
+        mix += backend_name(id) + ':' + std::to_string(count);
       }
+    }
+    if (json) {
+      std::cout << "{\"format\":\"ocb1\",\"version\":\""
+                << (info.has_backend_ids ? "1.1" : "1.0")
+                << "\",\"shape\":" << shape_json(info.shape)
+                << ",\"block_slabs\":" << info.block_slabs
+                << ",\"compressed_bytes\":" << bytes.size()
+                << ",\"payload_bytes\":" << payload
+                << ",\"raw_bytes\":" << raw << ",\"ratio\":"
+                << static_cast<double>(raw) /
+                       static_cast<double>(bytes.size())
+                << ",\"backend_mix\":{";
+      bool first = true;
+      for (const auto& [id, count] : counts) {
+        if (!first) std::cout << ",";
+        first = false;
+        std::cout << json_quote(backend_name(id)) << ":" << count;
+      }
+      std::cout << "},\"blocks\":[";
+      for (std::size_t b = 0; b < info.blocks.size(); ++b) {
+        if (b > 0) std::cout << ",";
+        std::cout << "{\"offset\":" << info.blocks[b].offset
+                  << ",\"size\":" << info.blocks[b].size;
+        if (info.has_backend_ids) {
+          std::cout << ",\"backend\":"
+                    << json_quote(backend_name(info.blocks[b].backend_id));
+        }
+        std::cout << "}";
+      }
+      std::cout << "]}\n";
+      return 0;
     }
     std::cout << "OCB1 block container: shape=" << shape_label(info.shape)
               << " blocks=" << info.blocks.size() << " block_slabs="
@@ -552,6 +658,19 @@ int cmd_info(const std::vector<std::string>& args) {
     return 0;
   }
   const BlobInfo info = inspect_blob(bytes);
+  if (json) {
+    std::cout << "{\"format\":\"ocz1\",\"backend\":" << json_quote(info.backend)
+              << ",\"backend_id\":" << static_cast<int>(info.backend_id)
+              << ",\"dtype\":\"" << (info.is_double ? "f64" : "f32")
+              << "\",\"shape\":" << shape_json(info.shape)
+              << ",\"abs_eb\":" << info.abs_eb
+              << ",\"compressed_bytes\":" << info.compressed_bytes
+              << ",\"raw_bytes\":" << info.raw_bytes << ",\"ratio\":"
+              << static_cast<double>(info.raw_bytes) /
+                     static_cast<double>(info.compressed_bytes)
+              << "}\n";
+    return 0;
+  }
   std::cout << "OCZ1 compressed blob: backend=" << info.backend
             << " dtype=" << (info.is_double ? "f64" : "f32") << " shape="
             << shape_label(info.shape) << "\n"
@@ -563,6 +682,102 @@ int cmd_info(const std::vector<std::string>& args) {
                               static_cast<double>(info.compressed_bytes),
                           2)
             << "x)\n";
+  return 0;
+}
+
+/// Profiles one in-memory (de)compression of the given file and
+/// prints the per-stage breakdown. OCF1 inputs are compressed (with
+/// the usual compression knobs); OCZ1/OCB1 inputs are decompressed.
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "usage: ocelot stats <in.ocf> [json=1] [trace=out.json] "
+                 "[eb=1e-3] [mode=rel|abs] [backend=sz3] [policy=adaptive] "
+                 "[block_slabs=8] [workers=N] [backends=a,b] "
+                 "[eb_scales=1,0.5] [min_psnr=60] [stride=50]\n"
+              << "       ocelot stats <in.ocz|in.ocb> [json=1] "
+                 "[trace=out.json] [workers=N]\n"
+              << "       profiles one in-memory run and prints stage "
+                 "timings, counters, histograms, and pool stats\n";
+    return 2;
+  }
+  bool json = false;
+  std::string trace_path;
+  CompressionConfig config;
+  config.eb_mode = EbMode::kValueRangeRel;
+  std::size_t block_slabs = 8;
+  bool adaptive = false;
+  std::size_t workers = 0;
+  AdaptiveOptions adaptive_options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const auto eq = args[i].find('=');
+    if (eq == std::string::npos)
+      throw InvalidArgument("stats options are key=value, got: " + args[i]);
+    const std::string key = args[i].substr(0, eq);
+    const std::string value = args[i].substr(eq + 1);
+    if (key == "json") {
+      json = value == "1";
+    } else if (key == "trace") {
+      if (value.empty()) throw InvalidArgument("trace needs a file path");
+      trace_path = value;
+    } else if (key == "eb") {
+      config.eb = parse_double(key, value);
+    } else if (key == "mode") {
+      if (value != "abs" && value != "rel")
+        throw InvalidArgument("unknown eb mode: " + value +
+                              " (expected abs|rel)");
+      config.eb_mode =
+          value == "abs" ? EbMode::kAbsolute : EbMode::kValueRangeRel;
+    } else if (key == "backend" || key == "pipeline") {
+      config.backend = parse_backend(value);
+    } else if (key == "policy") {
+      if (value != "fixed" && value != "adaptive")
+        throw InvalidArgument("unknown policy: " + value +
+                              " (expected fixed|adaptive)");
+      adaptive = value == "adaptive";
+    } else if (key == "block_slabs") {
+      block_slabs = parse_count(key, value);
+    } else if (key == "workers") {
+      workers = parse_count(key, value);
+    } else if (parse_adaptive_option(key, value, adaptive_options)) {
+      // handled
+    } else {
+      throw InvalidArgument("unknown stats option: " + key);
+    }
+  }
+
+  const Bytes bytes = read_file(args[0]);
+  if (!trace_path.empty()) {
+    obs::start_tracing();
+  } else {
+    obs::set_profiling(true);
+  }
+  obs::reset_metrics();  // report covers exactly this run
+
+  const bool is_field = bytes.size() >= 4 && bytes[0] == 'O' &&
+                        bytes[1] == 'C' && bytes[2] == 'F' && bytes[3] == '1';
+  if (is_field) {
+    const LoadedField field = load_field(bytes);
+    if (adaptive) {
+      AdvisorPolicy policy(adaptive_options);
+      (void)block_compress(field.data, config,
+                           workers > 0 ? workers : default_workers(),
+                           block_slabs, &policy);
+    } else {
+      (void)compress(field.data, config);
+    }
+  } else if (is_block_container(bytes)) {
+    (void)block_decompress(bytes, workers > 0 ? workers : default_workers());
+  } else {
+    (void)decompress<float>(bytes);
+  }
+
+  if (!trace_path.empty()) {
+    obs::stop_tracing();
+    obs::write_chrome_trace_file(trace_path);
+    std::cerr << "wrote trace " << trace_path
+              << " (load in Perfetto / chrome://tracing)\n";
+  }
+  obs::write_stats_report(std::cout, json);
   return 0;
 }
 
@@ -659,7 +874,19 @@ CampaignSpec parse_campaign(const std::string& arg) {
   return spec;
 }
 
-int cmd_simulate(const std::vector<std::string>& args) {
+int cmd_simulate(const std::vector<std::string>& raw_args) {
+  // trace=out.json records campaign spans on the virtual timeline;
+  // strip it before campaign parsing.
+  std::string trace_path;
+  std::vector<std::string> args;
+  for (const std::string& arg : raw_args) {
+    if (arg.rfind("trace=", 0) == 0) {
+      trace_path = arg.substr(6);
+      if (trace_path.empty()) throw InvalidArgument("trace needs a file path");
+    } else {
+      args.push_back(arg);
+    }
+  }
   std::vector<CampaignSpec> specs;
   if (args.size() == 1 && args[0] == "--demo") {
     specs.push_back(parse_campaign("app=Miranda,mode=op,at=0,prio=1"));
@@ -678,12 +905,23 @@ int cmd_simulate(const std::vector<std::string>& args) {
            "[,adaptive=1] ...\n"
         << "Runs the campaigns concurrently over shared links, node\n"
         << "pools and funcX endpoints, then compares against isolated\n"
-        << "runs of the same campaigns.\n";
+        << "runs of the same campaigns.\n"
+        << "trace=out.json writes the shared run's campaign spans on\n"
+        << "the virtual timeline (Perfetto-loadable).\n";
     return 2;
   }
 
+  // The isolated baseline runs before tracing starts so the trace
+  // holds exactly one span set per campaign (the contended run).
   const OrchestratorReport isolated = run_campaigns(specs, /*isolated=*/true);
+  if (!trace_path.empty()) obs::start_tracing();
   const OrchestratorReport report = run_campaigns(specs);
+  if (!trace_path.empty()) {
+    obs::stop_tracing();
+    obs::write_chrome_trace_file(trace_path);
+    std::cerr << "wrote trace " << trace_path
+              << " (load in Perfetto / chrome://tracing)\n";
+  }
 
   TextTable table({"campaign", "mode", "submit", "total", "transfer",
                    "stretch", "node wait", "finish"});
@@ -726,7 +964,7 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::cerr << "ocelot — error-bounded lossy compression toolkit\n"
               << "commands: generate, compress, decompress, advise, info, "
-                 "backends, diff, simulate\n";
+                 "stats, backends, diff, simulate\n";
     return 2;
   }
   try {
@@ -737,6 +975,7 @@ int main(int argc, char** argv) {
     if (cmd == "decompress") return cmd_decompress(rest);
     if (cmd == "advise") return cmd_advise(rest);
     if (cmd == "info") return cmd_info(rest);
+    if (cmd == "stats") return cmd_stats(rest);
     if (cmd == "backends") return cmd_backends(rest);
     if (cmd == "diff") return cmd_diff(rest);
     if (cmd == "simulate") return cmd_simulate(rest);
