@@ -1,0 +1,242 @@
+#include "codec/bwt_mtf.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "codec/entropy.hpp"
+#include "codec/huffman.hpp"
+#include "codec/rle.hpp"
+#include "common/buffer_pool.hpp"
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace ocelot {
+
+namespace {
+
+/// Transform chunk size. Chunking bounds the suffix-array working set
+/// (a few MB of u32 scratch) and keeps per-chunk primary indices in
+/// two varint bytes.
+constexpr std::size_t kChunk = std::size_t{1} << 16;
+
+/// Sorts all cyclic rotations of `s` by counting-sort prefix doubling:
+/// p[i] is the start of the i-th rotation in sorted order. O(n log n)
+/// regardless of content, so the all-equal streams the plane split
+/// produces do not degenerate. Scratch vectors are caller-owned so the
+/// per-chunk loop reuses their capacity.
+void sort_rotations(std::span<const std::uint8_t> s, std::vector<std::uint32_t>& p,
+                    std::vector<std::uint32_t>& c, std::vector<std::uint32_t>& pn,
+                    std::vector<std::uint32_t>& cn,
+                    std::vector<std::uint32_t>& cnt) {
+  const std::size_t n = s.size();
+  p.resize(n);
+  c.resize(n);
+  pn.resize(n);
+  cn.resize(n);
+  cnt.assign(std::max<std::size_t>(256, n), 0);
+
+  for (const std::uint8_t b : s) ++cnt[b];
+  for (std::size_t i = 1; i < 256; ++i) cnt[i] += cnt[i - 1];
+  for (std::size_t i = n; i-- > 0;) p[--cnt[s[i]]] = static_cast<std::uint32_t>(i);
+  c[p[0]] = 0;
+  std::uint32_t classes = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (s[p[i]] != s[p[i - 1]]) ++classes;
+    c[p[i]] = classes - 1;
+  }
+
+  for (std::size_t h = 1; h < n && classes < n; h <<= 1) {
+    // pn is p shifted back by h: already sorted by the second half of
+    // the 2h-prefix, so one stable counting sort on the first half
+    // finishes the round.
+    for (std::size_t i = 0; i < n; ++i) {
+      pn[i] = static_cast<std::uint32_t>((p[i] + n - h) % n);
+    }
+    std::fill(cnt.begin(), cnt.begin() + classes, 0);
+    for (std::size_t i = 0; i < n; ++i) ++cnt[c[pn[i]]];
+    for (std::size_t i = 1; i < classes; ++i) cnt[i] += cnt[i - 1];
+    for (std::size_t i = n; i-- > 0;) p[--cnt[c[pn[i]]]] = pn[i];
+
+    cn[p[0]] = 0;
+    classes = 1;
+    for (std::size_t i = 1; i < n; ++i) {
+      const bool same = c[p[i]] == c[p[i - 1]] &&
+                        c[(p[i] + h) % n] == c[(p[i - 1] + h) % n];
+      if (!same) ++classes;
+      cn[p[i]] = classes - 1;
+    }
+    c.swap(cn);
+  }
+}
+
+/// Move-to-front table shared across the whole stream (chunks included)
+/// so cross-chunk locality carries over.
+struct MtfTable {
+  std::array<std::uint8_t, 256> order;
+
+  MtfTable() { std::iota(order.begin(), order.end(), std::uint8_t{0}); }
+
+  std::uint8_t encode(std::uint8_t b) {
+    std::uint8_t j = 0;
+    while (order[j] != b) ++j;
+    std::memmove(&order[1], &order[0], j);
+    order[0] = b;
+    return j;
+  }
+
+  std::uint8_t decode(std::uint8_t j) {
+    const std::uint8_t b = order[j];
+    std::memmove(&order[1], &order[0], j);
+    order[0] = b;
+    return b;
+  }
+};
+
+/// LF-mapping inverse of one chunk transform; appends to `out`.
+void inverse_bwt(std::span<const std::uint8_t> last, std::uint32_t primary,
+                 std::vector<std::uint32_t>& lf, Bytes& out) {
+  const std::size_t n = last.size();
+  std::array<std::uint32_t, 257> starts{};
+  for (const std::uint8_t b : last) ++starts[b + 1];
+  for (std::size_t i = 1; i <= 256; ++i) starts[i] += starts[i - 1];
+
+  lf.resize(n);
+  std::array<std::uint32_t, 256> seen{};
+  for (std::size_t i = 0; i < n; ++i) {
+    lf[i] = starts[last[i]] + seen[last[i]]++;
+  }
+
+  const std::size_t base = out.size();
+  out.resize(base + n);
+  std::uint32_t row = primary;
+  for (std::size_t k = n; k-- > 0;) {
+    out[base + k] = last[row];
+    row = lf[row];
+  }
+}
+
+}  // namespace
+
+void bwt_mtf_encode(std::span<const std::uint8_t> raw, ByteSink& out) {
+  OCELOT_SPAN("codec.bwt");
+  out.put_varint(raw.size());
+  if (raw.empty()) return;
+
+  const std::size_t chunks = (raw.size() + kChunk - 1) / kChunk;
+  out.put_varint(chunks);
+
+  PooledBuffer mtf(BufferPool::shared());
+  mtf->reserve(raw.size());
+  MtfTable table;
+  std::vector<std::uint32_t> p, c, pn, cn, cnt;
+  for (std::size_t ci = 0; ci < chunks; ++ci) {
+    const auto s = raw.subspan(ci * kChunk,
+                               std::min(kChunk, raw.size() - ci * kChunk));
+    sort_rotations(s, p, c, pn, cn, cnt);
+    const std::size_t n = s.size();
+    std::uint32_t primary = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p[i] == 0) primary = static_cast<std::uint32_t>(i);
+    }
+    out.put_varint(primary);
+    for (std::size_t i = 0; i < n; ++i) {
+      mtf->push_back(table.encode(s[(p[i] + n - 1) % n]));
+    }
+  }
+
+  PooledBuffer rle(BufferPool::shared());
+  ByteSink rle_sink(*rle);
+  rle_compress(*mtf, rle_sink);
+
+  ScratchLease<std::uint32_t> wide(ScratchPool<std::uint32_t>::shared(),
+                                   rle->size());
+  wide->assign(rle->begin(), rle->end());
+  huffman_encode(*wide, out);
+}
+
+void bwt_mtf_decode_into(std::span<const std::uint8_t> data, Bytes& out) {
+  OCELOT_SPAN("codec.bwt");
+  out.clear();
+  BytesReader in(data);
+  const std::uint64_t raw_size = in.get_varint();
+  if (raw_size == 0) {
+    if (!in.exhausted()) throw CorruptStream("bwt: trailing bytes");
+    return;
+  }
+  if (raw_size > (std::uint64_t{1} << 40))
+    throw CorruptStream("bwt: implausible raw size");
+
+  const std::uint64_t chunks = in.get_varint();
+  if (chunks != (raw_size + kChunk - 1) / kChunk)
+    throw CorruptStream("bwt: chunk count mismatch");
+  std::vector<std::uint32_t> primaries(chunks);
+  for (std::uint64_t ci = 0; ci < chunks; ++ci) {
+    const std::uint64_t primary = in.get_varint();
+    const std::uint64_t len =
+        std::min<std::uint64_t>(kChunk, raw_size - ci * kChunk);
+    if (primary >= len) throw CorruptStream("bwt: primary row out of range");
+    primaries[ci] = static_cast<std::uint32_t>(primary);
+  }
+
+  ScratchLease<std::uint32_t> wide(ScratchPool<std::uint32_t>::shared(), 0);
+  huffman_decode_into(in.get_bytes(in.remaining()), *wide);
+  PooledBuffer rle(BufferPool::shared());
+  rle->reserve(wide->size());
+  for (const std::uint32_t v : *wide) {
+    if (v > 0xFF) throw CorruptStream("bwt: symbol out of range");
+    rle->push_back(static_cast<std::uint8_t>(v));
+  }
+
+  PooledBuffer mtf(BufferPool::shared());
+  rle_decompress_into(*rle, *mtf);
+  if (mtf->size() != raw_size)
+    throw CorruptStream("bwt: transform length mismatch");
+
+  MtfTable table;
+  for (auto& b : *mtf) b = table.decode(b);
+
+  out.reserve(raw_size);
+  std::vector<std::uint32_t> lf;
+  for (std::uint64_t ci = 0; ci < chunks; ++ci) {
+    const std::size_t len =
+        std::min<std::uint64_t>(kChunk, raw_size - ci * kChunk);
+    inverse_bwt(std::span<const std::uint8_t>(*mtf).subspan(ci * kChunk, len),
+                primaries[ci], lf, out);
+  }
+}
+
+namespace {
+
+class BwtMtfStage final : public EntropyStage {
+ public:
+  [[nodiscard]] std::string name() const override { return "bwt-mtf"; }
+  [[nodiscard]] std::uint8_t wire_id() const override { return kEntropyBwtId; }
+  [[nodiscard]] std::string description() const override {
+    return "block-sorting chain: BWT (64 KB chunks) + MTF + RLE + Huffman";
+  }
+  [[nodiscard]] std::uint32_t capabilities() const override {
+    return kEntropyCapBytes;
+  }
+
+  void encode_bytes_into(std::span<const std::uint8_t> raw,
+                         ByteSink& out) const override {
+    bwt_mtf_encode(raw, out);
+  }
+
+  void decode_bytes_into(std::span<const std::uint8_t> payload,
+                         Bytes& out) const override {
+    bwt_mtf_decode_into(payload, out);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<EntropyStage> make_bwt_mtf_stage() {
+  return std::make_unique<BwtMtfStage>();
+}
+
+}  // namespace ocelot

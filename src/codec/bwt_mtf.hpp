@@ -1,0 +1,33 @@
+#pragma once
+// BWT/MTF+RLE entropy pipeline over byte streams.
+//
+// The classic block-sorting chain: a Burrows-Wheeler transform over
+// fixed 64 KB chunks (cyclic suffix array by counting-sort prefix
+// doubling, so degenerate all-equal inputs stay O(n log n)) groups
+// equal contexts, move-to-front turns that locality into small byte
+// values, the shared RLE codec (codec/rle.hpp) squeezes the runs, and
+// a canonical Huffman pass codes what remains. Quantized-code streams
+// reach it plane-split (see entropy.hpp), so the near-constant high
+// planes collapse into runs.
+//
+// Stream layout: varint raw size; then (when non-empty) varint chunk
+// count, one varint primary-row index per chunk, and the Huffman
+// stream of the RLE'd MTF output of all chunk transforms concatenated.
+//
+// Registered as entropy stage "bwt-mtf" (wire id 4, see entropy.hpp).
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace ocelot {
+
+/// Encodes `raw` into `out` (appended; no stage-id byte).
+void bwt_mtf_encode(std::span<const std::uint8_t> raw, ByteSink& out);
+
+/// Decodes a stream produced by bwt_mtf_encode. Throws CorruptStream
+/// on malformed chunk geometry or primary indices.
+void bwt_mtf_decode_into(std::span<const std::uint8_t> data, Bytes& out);
+
+}  // namespace ocelot

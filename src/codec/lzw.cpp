@@ -1,0 +1,161 @@
+#include "codec/lzw.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/entropy.hpp"
+#include "common/bitstream.hpp"
+#include "common/buffer_pool.hpp"
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace ocelot {
+
+namespace {
+
+constexpr std::uint32_t kMaxDict = 1u << 16;
+
+/// Width in bits of the m-th code (1-based) in the stream. The encoder
+/// emitting its m-th code has assigned ids up to 255 + (m - 1), so
+/// bit_width(254 + m) always covers the largest emittable id; the
+/// decoder's dictionary lags one entry behind, which is precisely the
+/// cScSc case (code == next) the decoder special-cases.
+int code_width(std::uint64_t m) {
+  const std::uint64_t top = std::min<std::uint64_t>(254 + m, kMaxDict - 1);
+  return std::bit_width(top);
+}
+
+/// Decoder dictionary entry for code 256 + i: the phrase is the
+/// expansion of `prev` followed by `last`; `first` caches the phrase's
+/// first byte for the cScSc case.
+struct LzwEntry {
+  std::uint32_t prev;
+  std::uint8_t last;
+  std::uint8_t first;
+};
+
+}  // namespace
+
+void lzw_encode(std::span<const std::uint8_t> raw, ByteSink& out) {
+  OCELOT_SPAN("codec.lzw");
+  out.put_varint(raw.size());
+  if (raw.empty()) return;
+
+  // Phrase (prefix code, next byte) -> code. Literals are implicit.
+  std::unordered_map<std::uint64_t, std::uint32_t> dict;
+  dict.reserve(std::min<std::size_t>(raw.size(), kMaxDict));
+  std::uint32_t next = 256;
+
+  BitWriter bits(out.target());
+  std::uint64_t emitted = 0;
+  std::uint32_t w = raw[0];
+  for (std::size_t i = 1; i < raw.size(); ++i) {
+    const std::uint8_t c = raw[i];
+    const std::uint64_t key = (static_cast<std::uint64_t>(w) << 8) | c;
+    const auto it = dict.find(key);
+    if (it != dict.end()) {
+      w = it->second;
+      continue;
+    }
+    bits.put_bits(w, code_width(++emitted));
+    if (next < kMaxDict) dict.emplace(key, next++);
+    w = c;
+  }
+  bits.put_bits(w, code_width(++emitted));
+  bits.flush();
+}
+
+void lzw_decode_into(std::span<const std::uint8_t> data, Bytes& out) {
+  OCELOT_SPAN("codec.lzw");
+  out.clear();
+  BytesReader in(data);
+  const std::uint64_t raw_size = in.get_varint();
+  if (raw_size == 0) {
+    if (!in.exhausted()) throw CorruptStream("lzw: trailing bytes");
+    return;
+  }
+  if (raw_size > (std::uint64_t{1} << 40))
+    throw CorruptStream("lzw: implausible raw size");
+  out.reserve(raw_size);
+
+  BitReader bits(in.get_bytes(in.remaining()));
+  std::vector<LzwEntry> entries;
+  entries.reserve(kMaxDict - 256);
+  std::uint32_t next = 256;
+
+  const auto first_byte = [&](std::uint32_t code) -> std::uint8_t {
+    return code < 256 ? static_cast<std::uint8_t>(code)
+                      : entries[code - 256].first;
+  };
+  // Expands `code` onto `out` by walking the prefix chain backwards
+  // through `stack`.
+  std::vector<std::uint8_t> stack;
+  const auto expand = [&](std::uint32_t code) {
+    stack.clear();
+    while (code >= 256) {
+      stack.push_back(entries[code - 256].last);
+      code = entries[code - 256].prev;
+    }
+    stack.push_back(static_cast<std::uint8_t>(code));
+    out.insert(out.end(), stack.rbegin(), stack.rend());
+  };
+
+  // First code is always a literal (8 bits cannot exceed 255).
+  std::uint64_t m = 1;
+  std::uint32_t prev = static_cast<std::uint32_t>(bits.get_bits(code_width(m)));
+  out.push_back(static_cast<std::uint8_t>(prev));
+
+  while (out.size() < raw_size) {
+    const auto code =
+        static_cast<std::uint32_t>(bits.get_bits(code_width(++m)));
+    if (code > next) throw CorruptStream("lzw: code out of range");
+    if (code == next && next >= kMaxDict)
+      throw CorruptStream("lzw: code out of range");
+    // The entry the encoder created right after emitting `prev`. When
+    // code == next this is the phrase being decoded (cScSc), so the
+    // entry must exist before the expansion walks it.
+    if (next < kMaxDict) {
+      const std::uint8_t fc =
+          code == next ? first_byte(prev) : first_byte(code);
+      entries.push_back({prev, fc, first_byte(prev)});
+      ++next;
+    }
+    expand(code);
+    if (out.size() > raw_size) throw CorruptStream("lzw: output overrun");
+    prev = code;
+  }
+}
+
+namespace {
+
+class LzwStage final : public EntropyStage {
+ public:
+  [[nodiscard]] std::string name() const override { return "lzw"; }
+  [[nodiscard]] std::uint8_t wire_id() const override { return kEntropyLzwId; }
+  [[nodiscard]] std::string description() const override {
+    return "variable-width LZW (64K dictionary, no reset)";
+  }
+  [[nodiscard]] std::uint32_t capabilities() const override {
+    return kEntropyCapBytes;
+  }
+
+  void encode_bytes_into(std::span<const std::uint8_t> raw,
+                         ByteSink& out) const override {
+    lzw_encode(raw, out);
+  }
+
+  void decode_bytes_into(std::span<const std::uint8_t> payload,
+                         Bytes& out) const override {
+    lzw_decode_into(payload, out);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<EntropyStage> make_lzw_stage() {
+  return std::make_unique<LzwStage>();
+}
+
+}  // namespace ocelot

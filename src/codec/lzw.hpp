@@ -1,0 +1,33 @@
+#pragma once
+// Variable-width LZW over byte streams.
+//
+// The dictionary coder of the stage family: codes 0-255 are literals,
+// fresh phrases take ids from 256 up to a 65536-entry cap (no clear
+// code — once full, both sides simply stop adding, so the dictionaries
+// stay identical without reset bookkeeping). Code widths grow with the
+// dictionary: the m-th code (1-based) on either side is written and
+// read with bit_width(min(254 + m, 65535)) bits, which is exactly the
+// encoder's largest emittable id at that step — the classic
+// early-change off-by-one cannot happen because both sides share the
+// formula.
+//
+// Stream layout: varint raw size, then the LSB-first code bit stream
+// (BitWriter framing, zero-padded to a byte boundary).
+//
+// Registered as entropy stage "lzw" (wire id 5, see entropy.hpp).
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace ocelot {
+
+/// Encodes `raw` into `out` (appended; no stage-id byte).
+void lzw_encode(std::span<const std::uint8_t> raw, ByteSink& out);
+
+/// Decodes a stream produced by lzw_encode. Throws CorruptStream on
+/// out-of-range codes or a bit stream that disagrees with the raw size.
+void lzw_decode_into(std::span<const std::uint8_t> data, Bytes& out);
+
+}  // namespace ocelot

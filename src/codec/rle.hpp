@@ -2,9 +2,10 @@
 // Byte-level run-length coding with a double-byte escape.
 //
 // Runs of three or more equal bytes are stored as two copies of the
-// byte plus a varint of the remaining run length. Useful ahead of LZB
-// for extremely sparse quantization streams and exercised by the
-// lossless-backend chain tests.
+// byte plus a varint of the remaining run length. Used ahead of LZB
+// for extremely sparse quantization streams (LosslessBackend::kRleLzb)
+// and as the run-squeezing sub-stage of the "bwt-mtf" entropy pipeline
+// (codec/bwt_mtf.hpp), whose MTF output is dominated by zero runs.
 
 #include <cstdint>
 #include <span>

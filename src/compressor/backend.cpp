@@ -4,28 +4,30 @@
 #include <cstring>
 #include <sstream>
 
+#include "codec/entropy.hpp"
 #include "codec/huffman.hpp"
 #include "compressor/multigrid.hpp"
 #include "obs/trace.hpp"
 
 namespace ocelot {
 
+void pack_codes(std::span<const std::uint32_t> codes,
+                const CompressionConfig& config, ByteSink& out) {
+  OCELOT_SPAN("codec.entropy.codes");
+  const std::size_t out_before = out.size();
+  const EntropyStage& stage =
+      EntropyRegistry::instance().by_name(config.entropy);
+  entropy_encode_codes(codes, stage, config.lossless, out);
+  OCELOT_COUNT("codec.entropy_in_bytes", codes.size_bytes());
+  OCELOT_COUNT("codec.entropy_out_bytes", out.size() - out_before);
+}
+
 void pack_codes(std::span<const std::uint32_t> codes, LosslessBackend lossless,
                 ByteSink& out) {
   OCELOT_SPAN("codec.entropy.codes");
   const std::size_t out_before = out.size();
-  // The Huffman output lives in pooled scratch only long enough for
-  // the lossless stage to consume it.
-  PooledBuffer huff(BufferPool::shared());
-  ByteSink huff_sink(*huff);
-  {
-    OCELOT_SPAN("codec.huffman");
-    huffman_encode(codes, huff_sink);
-  }
-  {
-    OCELOT_SPAN("codec.lossless");
-    lossless_compress(*huff, lossless, out);
-  }
+  entropy_encode_codes(codes, EntropyRegistry::instance().by_name("huffman"),
+                       lossless, out);
   OCELOT_COUNT("codec.entropy_in_bytes", codes.size_bytes());
   OCELOT_COUNT("codec.entropy_out_bytes", out.size() - out_before);
 }
@@ -40,9 +42,7 @@ Bytes pack_codes(std::span<const std::uint32_t> codes,
 void unpack_codes_into(std::span<const std::uint8_t> packed,
                        std::vector<std::uint32_t>& out) {
   OCELOT_SPAN("codec.entropy.decode");
-  PooledBuffer huff(BufferPool::shared());
-  lossless_decompress_into(packed, *huff);
-  huffman_decode_into(*huff, out);
+  entropy_decode_codes_into(packed, out);
 }
 
 std::vector<std::uint32_t> unpack_codes(std::span<const std::uint8_t> packed) {

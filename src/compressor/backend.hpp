@@ -6,7 +6,8 @@
 // resolve a CompressorBackend by name (when writing) or by the wire id
 // stored in the OCZ1 header (when reading), and the backend owns the
 // payload encode/decode against the shared section container, the
-// uniform quantizer, and the Huffman+lossless entropy stage.
+// uniform quantizer, and the pluggable entropy stage (entropy.hpp —
+// resolved from CompressionConfig::entropy, "huffman" by default).
 //
 // Adding a compressor family = implement CompressorBackend (usually
 // via TypedBackend to get both dtypes from one template), pick a fresh
@@ -36,13 +37,17 @@
 
 namespace ocelot {
 
-/// Parsed OCZ1 header, handed to backend decode. Layout (unchanged
+/// Parsed blob header, handed to backend decode. Layout (unchanged
 /// since the enum era, so old blobs parse bit-exactly): magic "OCZ1",
 /// dtype u8, backend wire id u8, resolved absolute eb f64, then the
-/// varint parameter block and the shape.
+/// varint parameter block and the shape. Blobs written with a
+/// non-default entropy stage use magic "OCZ2" and carry the stage's
+/// wire id in one extra byte between the backend id and the eb.
 struct BlobHeader {
   std::uint8_t dtype = 0;
   std::uint8_t backend_id = 0;
+  /// Entropy-stage wire id (0 for OCZ1 blobs — the legacy chain).
+  std::uint8_t entropy_id = 0;
   double abs_eb = 0.0;
   std::uint32_t quant_radius = 0;
   std::size_t anchor_stride = 0;
@@ -136,17 +141,25 @@ class SectionReader {
   std::map<std::string, std::span<const std::uint8_t>> sections_;
 };
 
-/// Shared entropy stage: Huffman on the u32 code stream, then the
-/// configured lossless backend. Every backend funnels its quantizer
-/// output through these so ratios stay comparable across families.
-/// The sink forms stream through pooled scratch; the Bytes forms are
-/// compatibility wrappers.
+/// Shared entropy stage for quantized-code sections. Every backend
+/// funnels its quantizer output through these so ratios stay
+/// comparable across families. The config form resolves the stage from
+/// CompressionConfig::entropy via the EntropyRegistry and writes a
+/// self-describing packed section (the decoder dispatches on the
+/// section's leading byte, so unpack needs no config); with the
+/// default "huffman" stage the bytes match the legacy chain exactly.
+void pack_codes(std::span<const std::uint32_t> codes,
+                const CompressionConfig& config, ByteSink& out);
+/// Deprecated legacy forms, fixed to the Huffman+`lossless` chain.
+/// Kept for wire-format tests and out-of-tree callers; new code should
+/// pass the config (sink form) so the entropy stage stays pluggable.
 void pack_codes(std::span<const std::uint32_t> codes, LosslessBackend lossless,
                 ByteSink& out);
 Bytes pack_codes(std::span<const std::uint32_t> codes,
                  LosslessBackend lossless);
 void unpack_codes_into(std::span<const std::uint8_t> packed,
                        std::vector<std::uint32_t>& out);
+/// Deprecated Bytes-returning wrapper; prefer unpack_codes_into.
 std::vector<std::uint32_t> unpack_codes(std::span<const std::uint8_t> packed);
 
 template <typename T>

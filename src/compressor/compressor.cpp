@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "codec/entropy.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
@@ -12,6 +13,10 @@ namespace ocelot {
 namespace {
 
 constexpr std::uint8_t kMagic[4] = {'O', 'C', 'Z', '1'};
+// Header variant carrying an entropy-stage byte after the backend id.
+// Emitted only when config.entropy is not the default chain, so
+// default-path blobs keep the exact OCZ1 bytes.
+constexpr std::uint8_t kMagic2[4] = {'O', 'C', 'Z', '2'};
 
 template <typename T>
 constexpr std::uint8_t dtype_id() {
@@ -38,11 +43,13 @@ Shape read_shape(BytesReader& in) {
 
 BlobHeader read_header(BytesReader& in) {
   const auto magic = in.get_bytes(4);
-  if (std::memcmp(magic.data(), kMagic, 4) != 0)
+  const bool v2 = std::memcmp(magic.data(), kMagic2, 4) == 0;
+  if (!v2 && std::memcmp(magic.data(), kMagic, 4) != 0)
     throw CorruptStream("blob: bad magic");
   BlobHeader h;
   h.dtype = in.get<std::uint8_t>();
   h.backend_id = in.get<std::uint8_t>();
+  if (v2) h.entropy_id = in.get<std::uint8_t>();
   h.abs_eb = in.get<double>();
   if (!(h.abs_eb > 0.0)) throw CorruptStream("blob: bad error bound");
   h.quant_radius = static_cast<std::uint32_t>(in.get_varint());
@@ -79,10 +86,17 @@ void compress_into(const NdArray<T>& data, const CompressionConfig& config,
   const CompressorBackend& backend =
       BackendRegistry::instance().by_name(config.backend);
   const double abs_eb = resolve_abs_eb(data, config);
+  const std::uint8_t entropy_id =
+      EntropyRegistry::instance().by_name(config.entropy).wire_id();
 
-  out.put_bytes(kMagic);
+  if (entropy_id == kEntropyHuffmanId) {
+    out.put_bytes(kMagic);  // default chain: unchanged OCZ1 bytes
+  } else {
+    out.put_bytes(kMagic2);
+  }
   out.put(dtype_id<T>());
   out.put(backend.wire_id());
+  if (entropy_id != kEntropyHuffmanId) out.put(entropy_id);
   out.put(abs_eb);
   out.put_varint(config.quant_radius);
   out.put_varint(config.anchor_stride);
@@ -123,6 +137,8 @@ BlobInfo inspect_blob(std::span<const std::uint8_t> blob) {
   info.is_double = h.dtype == 1;
   info.backend = backend.name();
   info.backend_id = h.backend_id;
+  info.entropy = EntropyRegistry::instance().by_id(h.entropy_id).name();
+  info.entropy_id = h.entropy_id;
   info.abs_eb = h.abs_eb;
   info.shape = h.shape;
   info.compressed_bytes = blob.size();

@@ -10,7 +10,10 @@
 // the backend by wire id, compress resolves config.backend by name,
 // and the backend owns the payload. Blob layout: magic "OCZ1", dtype,
 // backend wire id, resolved absolute eb, the varint parameter block,
-// shape, then the backend's named sections.
+// shape, then the backend's named sections. Blobs written with a
+// non-default entropy stage (config.entropy != "huffman", see
+// codec/entropy.hpp) use magic "OCZ2" with the stage's wire id in one
+// extra byte after the backend id; everything else is unchanged.
 
 #include <cstdint>
 #include <span>
@@ -55,14 +58,17 @@ struct BlobInfo {
   bool is_double = false;
   std::string backend;          ///< registry name resolved from the wire id
   std::uint8_t backend_id = 0;  ///< raw wire id from the header
+  std::string entropy;          ///< entropy-stage name ("huffman" for OCZ1)
+  std::uint8_t entropy_id = 0;  ///< entropy-stage wire id
   double abs_eb = 0.0;
   Shape shape;
   std::size_t compressed_bytes = 0;
   std::size_t raw_bytes = 0;
 };
 
-/// Parses header fields only; resolves the backend name through the
-/// registry and throws CorruptStream for unknown backend ids.
+/// Parses header fields only; resolves the backend and entropy-stage
+/// names through their registries and throws CorruptStream for
+/// unknown wire ids.
 BlobInfo inspect_blob(std::span<const std::uint8_t> blob);
 
 /// Convenience round-trip measurement used by tests, benches and the

@@ -28,6 +28,11 @@ struct CompressionConfig {
   std::string backend = "sz3-interp";  ///< BackendRegistry key
   EbMode eb_mode = EbMode::kAbsolute;
   double eb = 1e-3;
+  /// EntropyRegistry key for quantized-code sections. The default
+  /// ("huffman") keeps the legacy Huffman+lossless chain and the exact
+  /// pre-registry wire bytes; any other stage switches the blob header
+  /// to the OCZ2 variant that records the stage id.
+  std::string entropy = "huffman";
   LosslessBackend lossless = LosslessBackend::kLzb;
   std::uint32_t quant_radius = 32768;  ///< quantizer capacity / 2
   std::size_t anchor_stride = 64;  ///< sz3-interp/multigrid stride cap

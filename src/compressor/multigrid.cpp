@@ -52,14 +52,14 @@ class MultigridBackend final : public TypedBackend<MultigridBackend> {
     OCELOT_COUNT("codec.raw_bytes", data.size() * sizeof(T));
     recon.reset();
     out.add_streamed("mg_coarse_codes", [&](ByteSink& sink) {
-      pack_codes(coarse.codes(), config.lossless, sink);
+      pack_codes(coarse.codes(), config, sink);
     });
     out.add_streamed("mg_coarse_raw", [&](ByteSink& sink) {
       pack_raw_values(std::span<const T>(coarse.raw_values()), config.lossless,
                       sink);
     });
     out.add_streamed("codes", [&](ByteSink& sink) {
-      pack_codes(fine.codes(), config.lossless, sink);
+      pack_codes(fine.codes(), config, sink);
     });
     out.add_streamed("raw", [&](ByteSink& sink) {
       pack_raw_values(std::span<const T>(fine.raw_values()), config.lossless,
@@ -72,12 +72,14 @@ class MultigridBackend final : public TypedBackend<MultigridBackend> {
                    NdArray<T>& out) const {
     const std::size_t stride =
         choose_anchor_stride(header.shape, header.anchor_stride);
-    const std::vector<std::uint32_t> coarse_codes =
-        unpack_codes(in.get("mg_coarse_codes"));
-    const std::vector<T> coarse_raw =
-        unpack_raw_values<T>(in.get("mg_coarse_raw"));
-    const std::vector<std::uint32_t> fine_codes = unpack_codes(in.get("codes"));
-    const std::vector<T> fine_raw = unpack_raw_values<T>(in.get("raw"));
+    std::vector<std::uint32_t> coarse_codes;
+    unpack_codes_into(in.get("mg_coarse_codes"), coarse_codes);
+    std::vector<T> coarse_raw;
+    unpack_raw_values_into(in.get("mg_coarse_raw"), coarse_raw);
+    std::vector<std::uint32_t> fine_codes;
+    unpack_codes_into(in.get("codes"), fine_codes);
+    std::vector<T> fine_raw;
+    unpack_raw_values_into(in.get("raw"), fine_raw);
     if (coarse_codes.size() + fine_codes.size() != header.shape.size())
       throw CorruptStream("blob: multigrid code count does not match shape");
     QuantDecoder<T> coarse(header.abs_eb / kMultigridCoarseTighten,

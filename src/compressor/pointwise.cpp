@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "codec/lossless.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/error.hpp"
 #include "compressor/compressor.hpp"
 
@@ -78,12 +79,22 @@ Bytes compress_pointwise_rel(const FloatArray& data, double rel,
   BytesWriter out;
   out.put_bytes(kMagic);
   out.put(rel);
-  out.put_blob(lossless_compress(classes, LosslessBackend::kRleLzb));
+  // The side streams compress into pooled scratch (reused across
+  // calls) and land in the blob through put_blob; no fresh Bytes.
+  {
+    PooledBuffer packed(BufferPool::shared());
+    ByteSink packed_sink(*packed);
+    lossless_compress(classes, LosslessBackend::kRleLzb, packed_sink);
+    out.put_blob(*packed);
+  }
   {
     std::span<const std::uint8_t> raw{
         reinterpret_cast<const std::uint8_t*>(verbatim.data()),
         verbatim.size() * sizeof(float)};
-    out.put_blob(lossless_compress(raw, LosslessBackend::kLzb));
+    PooledBuffer packed(BufferPool::shared());
+    ByteSink packed_sink(*packed);
+    lossless_compress(raw, LosslessBackend::kLzb, packed_sink);
+    out.put_blob(*packed);
   }
   out.put_blob(payload);
   return out.take();
@@ -98,24 +109,26 @@ FloatArray decompress_pointwise_rel(std::span<const std::uint8_t> blob) {
   if (!(rel > 0.0 && rel < 1.0))
     throw CorruptStream("pointwise blob: bad rel bound");
 
-  const Bytes classes = lossless_decompress(in.get_blob());
-  const Bytes verbatim_bytes = lossless_decompress(in.get_blob());
-  if (verbatim_bytes.size() % sizeof(float) != 0)
+  PooledBuffer classes(BufferPool::shared());
+  lossless_decompress_into(in.get_blob(), *classes);
+  PooledBuffer verbatim_bytes(BufferPool::shared());
+  lossless_decompress_into(in.get_blob(), *verbatim_bytes);
+  if (verbatim_bytes->size() % sizeof(float) != 0)
     throw CorruptStream("pointwise blob: misaligned verbatim stream");
-  std::vector<float> verbatim(verbatim_bytes.size() / sizeof(float));
-  if (!verbatim_bytes.empty()) {
-    std::memcpy(verbatim.data(), verbatim_bytes.data(),
-                verbatim_bytes.size());
+  std::vector<float> verbatim(verbatim_bytes->size() / sizeof(float));
+  if (!verbatim_bytes->empty()) {
+    std::memcpy(verbatim.data(), verbatim_bytes->data(),
+                verbatim_bytes->size());
   }
 
   const FloatArray log_mag = decompress<float>(in.get_blob());
-  if (classes.size() != log_mag.size())
+  if (classes->size() != log_mag.size())
     throw CorruptStream("pointwise blob: class/payload size mismatch");
 
   FloatArray out(log_mag.shape());
   std::size_t verbatim_pos = 0;
   for (std::size_t i = 0; i < out.size(); ++i) {
-    switch (classes[i]) {
+    switch ((*classes)[i]) {
       case kPositive:
         out[i] = std::exp(log_mag[i]);
         break;

@@ -46,7 +46,7 @@ void quantized_encode(const NdArray<T>& data, double abs_eb,
   }
   OCELOT_COUNT("codec.raw_bytes", data.size() * sizeof(T));
   out.add_streamed("codes", [&](ByteSink& sink) {
-    pack_codes(quant.codes(), config.lossless, sink);
+    pack_codes(quant.codes(), config, sink);
   });
   out.add_streamed("raw", [&](ByteSink& sink) {
     pack_raw_values(std::span<const T>(quant.raw_values()), config.lossless,
@@ -58,8 +58,10 @@ void quantized_encode(const NdArray<T>& data, double abs_eb,
 template <typename T, typename Traverse>
 void quantized_decode(const BlobHeader& header, const SectionReader& in,
                       NdArray<T>& out, Traverse&& traverse) {
-  const std::vector<std::uint32_t> codes = unpack_codes(in.get("codes"));
-  const std::vector<T> raw = unpack_raw_values<T>(in.get("raw"));
+  std::vector<std::uint32_t> codes;
+  unpack_codes_into(in.get("codes"), codes);
+  std::vector<T> raw;
+  unpack_raw_values_into(in.get("raw"), raw);
   if (codes.size() != header.shape.size())
     throw CorruptStream("blob: code count does not match shape");
   QuantDecoder<T> quant(header.abs_eb, header.quant_radius, codes, raw);
@@ -285,14 +287,14 @@ class Sz2Backend final : public TypedBackend<Sz2Backend> {
       lossless_compress(choices, config.lossless, sink);
     });
     out.add_streamed("coef_codes", [&](ByteSink& sink) {
-      pack_codes(coef_quant.codes(), config.lossless, sink);
+      pack_codes(coef_quant.codes(), config, sink);
     });
     out.add_streamed("coef_raw", [&](ByteSink& sink) {
       pack_raw_values(std::span<const double>(coef_quant.raw_values()),
                       config.lossless, sink);
     });
     out.add_streamed("codes", [&](ByteSink& sink) {
-      pack_codes(quant.codes(), config.lossless, sink);
+      pack_codes(quant.codes(), config, sink);
     });
     out.add_streamed("raw", [&](ByteSink& sink) {
       pack_raw_values(std::span<const T>(quant.raw_values()), config.lossless,
@@ -303,17 +305,20 @@ class Sz2Backend final : public TypedBackend<Sz2Backend> {
   template <typename T>
   void decode_impl(const BlobHeader& header, const SectionReader& in,
                    NdArray<T>& out) const {
-    const std::vector<std::uint32_t> codes = unpack_codes(in.get("codes"));
-    const std::vector<T> raw = unpack_raw_values<T>(in.get("raw"));
+    std::vector<std::uint32_t> codes;
+    unpack_codes_into(in.get("codes"), codes);
+    std::vector<T> raw;
+    unpack_raw_values_into(in.get("raw"), raw);
     if (codes.size() != header.shape.size())
       throw CorruptStream("blob: code count does not match shape");
     QuantDecoder<T> quant(header.abs_eb, header.quant_radius, codes, raw);
 
-    const Bytes choice_bytes = lossless_decompress(in.get("choices"));
-    const std::vector<std::uint32_t> coef_codes =
-        unpack_codes(in.get("coef_codes"));
-    const std::vector<double> coef_raw =
-        unpack_raw_values<double>(in.get("coef_raw"));
+    Bytes choice_bytes;
+    lossless_decompress_into(in.get("choices"), choice_bytes);
+    std::vector<std::uint32_t> coef_codes;
+    unpack_codes_into(in.get("coef_codes"), coef_codes);
+    std::vector<double> coef_raw;
+    unpack_raw_values_into(in.get("coef_raw"), coef_raw);
     QuantDecoder<double> coef_quant(coeff_eb(header.abs_eb, header.block_size),
                                     kDefaultQuantRadius, coef_codes, coef_raw);
     CoeffPredictor coef_pred;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "codec/lossless.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/error.hpp"
 
 namespace ocelot {
@@ -273,8 +274,10 @@ Bytes transform_compress(const FloatArray& data,
   out.put(config.abs_eb);
   out.put(static_cast<std::uint8_t>(d.rank));
   for (int i = 0; i < d.rank; ++i) out.put_varint(d.n[static_cast<std::size_t>(i)]);
-  const Bytes packed = lossless_compress(body.bytes(), LosslessBackend::kLzb);
-  out.put_blob(packed);
+  PooledBuffer packed(BufferPool::shared());
+  ByteSink packed_sink(*packed);
+  lossless_compress(body.bytes(), LosslessBackend::kLzb, packed_sink);
+  out.put_blob(*packed);
   return out.take();
 }
 
@@ -296,8 +299,9 @@ FloatArray transform_decompress(std::span<const std::uint8_t> blob) {
                       : rank == 2 ? Shape(dims[0], dims[1])
                                   : Shape(dims[0], dims[1], dims[2]);
 
-  const Bytes body_bytes = lossless_decompress(in.get_blob());
-  BytesReader body(body_bytes);
+  PooledBuffer body_bytes(BufferPool::shared());
+  lossless_decompress_into(in.get_blob(), *body_bytes);
+  BytesReader body(*body_bytes);
 
   FloatArray out(shape);
   const Dims d = dims_of(shape);

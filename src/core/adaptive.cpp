@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "codec/entropy.hpp"
 #include "common/error.hpp"
 #include "compressor/backend.hpp"
 #include "compressor/compressor.hpp"
@@ -90,23 +91,58 @@ AdvisorPolicy::AdvisorPolicy(AdaptiveOptions options)
   require(options_.sample_stride >= 1, "AdvisorPolicy: zero sample stride");
 
   const auto& registry = BackendRegistry::instance();
+  std::vector<Candidate> backends;
   if (options_.backends.empty()) {
     for (const CompressorBackend* backend : registry.list()) {
-      candidates_.push_back({backend->name(), backend->wire_id()});
+      backends.push_back({backend->name(), backend->wire_id(), "", 0});
     }
   } else {
     for (const std::string& name : options_.backends) {
       const CompressorBackend& backend = registry.by_name(name);
-      candidates_.push_back({backend.name(), backend.wire_id()});
+      backends.push_back({backend.name(), backend.wire_id(), "", 0});
     }
   }
-  require(!candidates_.empty(), "AdvisorPolicy: no candidate backends");
+  require(!backends.empty(), "AdvisorPolicy: no candidate backends");
+  // The candidate set is the backends x entropy-stages cross-product,
+  // backend-major so same-backend candidates stay adjacent in the
+  // decision tables. An empty stage list contributes one inherit-base
+  // pseudo-stage (empty name, id 0), which keeps the candidate list —
+  // and therefore every residual slot and tie-break hash — identical
+  // to the stage-unaware advisor's.
+  std::vector<Candidate> stages;
+  if (options_.entropy_stages.empty()) {
+    stages.push_back({});
+  } else {
+    const auto& entropy_registry = EntropyRegistry::instance();
+    for (const std::string& name : options_.entropy_stages) {
+      const EntropyStage& stage = entropy_registry.by_name(name);
+      stages.push_back({"", 0, stage.name(), stage.wire_id()});
+    }
+  }
+  for (const Candidate& backend : backends) {
+    for (const Candidate& stage : stages) {
+      candidates_.push_back(
+          {backend.name, backend.wire_id, stage.entropy, stage.entropy_id});
+    }
+  }
   residuals_.assign(candidates_.size(), {});
+}
+
+const std::string& AdvisorPolicy::candidate_entropy(std::size_t c) const {
+  return candidates_[c].entropy.empty() ? base_.entropy
+                                        : candidates_[c].entropy;
+}
+
+std::uint8_t AdvisorPolicy::candidate_entropy_id(std::size_t c) const {
+  return candidates_[c].entropy.empty() ? base_entropy_id_
+                                        : candidates_[c].entropy_id;
 }
 
 void AdvisorPolicy::begin(std::size_t n_fields, std::size_t n_tasks,
                           const CompressionConfig& base) {
   base_ = base;
+  base_entropy_id_ =
+      EntropyRegistry::instance().by_name(base.entropy).wire_id();
   probes_.assign(n_tasks, {});
   calibrations_.assign(n_fields, {});
   field_states_.assign(n_fields, {});
@@ -171,6 +207,8 @@ void AdvisorPolicy::probe(const BlockContext& ctx, const FloatArray& block) {
     for (std::size_t c = 0; c < candidates_.size(); ++c) {
       CompressionConfig config = base_;
       config.backend = candidates_[c].name;
+      if (!candidates_[c].entropy.empty())
+        config.entropy = candidates_[c].entropy;
       config.eb_mode = EbMode::kAbsolute;
       config.eb = ctx.field_abs_eb * options_.eb_scales.front();
       const Bytes blob = compress(prefix, config);
@@ -326,8 +364,14 @@ BlockDecision AdvisorPolicy::decide(const BlockContext& ctx) {
         candidate_scale[c] = s;
         candidate_scale_feasible[c] = feasible;
       }
-      const std::uint64_t tie = mix(options_.seed ^ (ctx.task * 1315423911u) ^
-                                    (candidates_[c].wire_id << 8) ^ s);
+      // The entropy id enters the hash shifted past the backend id's
+      // byte; the default stage contributes 0, so stage-unaware runs
+      // hash — and tie-break — exactly as before.
+      const std::uint64_t tie =
+          mix(options_.seed ^ (ctx.task * 1315423911u) ^
+              (candidates_[c].wire_id << 8) ^
+              (static_cast<std::uint64_t>(candidates_[c].entropy_id) << 16) ^
+              s);
       const bool best_valid =
           best_score > -std::numeric_limits<double>::infinity();
       const bool better =
@@ -366,6 +410,8 @@ BlockDecision AdvisorPolicy::decide(const BlockContext& ctx) {
   BlockDecision decision;
   decision.config = base_;
   decision.config.backend = candidates_[best_c].name;
+  if (!candidates_[best_c].entropy.empty())
+    decision.config.entropy = candidates_[best_c].entropy;
   decision.config.eb_mode = EbMode::kAbsolute;
   decision.config.eb = ctx.field_abs_eb * options_.eb_scales[best_s];
   decision.backend_id = candidates_[best_c].wire_id;
@@ -417,6 +463,7 @@ BlockDecision AdvisorPolicy::decide(const BlockContext& ctx) {
       decision.has_challenger = true;
       decision.challenger = decision.config;
       decision.challenger.backend = candidates_[challenger].name;
+      decision.challenger.entropy = candidate_entropy(challenger);
       decision.challenger_id = candidates_[challenger].wire_id;
       pending_challenger_cand_[ctx.task] = challenger;
       pending_challenger_base_[ctx.task] = base_log2_ratio(
@@ -426,7 +473,8 @@ BlockDecision AdvisorPolicy::decide(const BlockContext& ctx) {
 
   log_slot_[ctx.task] = log_.size();
   log_.push_back({ctx.field, ctx.block, decision.config.backend,
-                  decision.backend_id, decision.config.eb,
+                  decision.backend_id, candidate_entropy(best_c),
+                  candidate_entropy_id(best_c), decision.config.eb,
                   decision.predicted_ratio, 0.0,
                   decision.has_challenger ? decision.challenger.backend
                                           : std::string(),
@@ -476,6 +524,8 @@ void AdvisorPolicy::observe(const BlockContext& ctx,
       // what is actually on the wire.
       record.backend = decision.challenger.backend;
       record.backend_id = decision.challenger_id;
+      record.entropy = candidate_entropy(challenger);
+      record.entropy_id = candidate_entropy_id(challenger);
       record.observed_ratio = challenger_ratio;
       record.kept_challenger = true;
     }
@@ -488,18 +538,54 @@ std::string to_string(const AdaptiveSummary& summary) {
     if (!mix.empty()) mix += ' ';
     mix += name + ':' + std::to_string(blocks);
   }
+  // The stage mix only earns its line width when some block left the
+  // default chain; all-huffman runs read exactly as they used to.
+  const bool all_default = summary.entropy_blocks.empty() ||
+                           (summary.entropy_blocks.size() == 1 &&
+                            summary.entropy_blocks.front().first == "huffman");
+  if (!all_default) {
+    mix += mix.empty() ? "entropy[" : " entropy[";
+    for (std::size_t i = 0; i < summary.entropy_blocks.size(); ++i) {
+      if (i > 0) mix += ' ';
+      mix += summary.entropy_blocks[i].first + ':' +
+             std::to_string(summary.entropy_blocks[i].second);
+    }
+    mix += ']';
+  }
   return mix.empty() ? "-" : mix;
 }
 
 AdaptiveSummary AdvisorPolicy::summary() const {
   AdaptiveSummary summary;
   summary.blocks = log_.size();
-  for (const Candidate& candidate : candidates_) {
-    std::size_t count = 0;
-    for (const AdaptiveDecisionRecord& record : log_) {
-      if (record.backend_id == candidate.wire_id) ++count;
+  // Candidates are a cross-product, so the same backend (or stage) can
+  // appear several times; count each wire id once, in candidate order
+  // (backend-major keeps both lists in wire-id order).
+  std::vector<std::uint8_t> seen_backends;
+  std::vector<std::uint8_t> seen_stages;
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    const Candidate& candidate = candidates_[c];
+    if (std::find(seen_backends.begin(), seen_backends.end(),
+                  candidate.wire_id) == seen_backends.end()) {
+      seen_backends.push_back(candidate.wire_id);
+      std::size_t count = 0;
+      for (const AdaptiveDecisionRecord& record : log_) {
+        if (record.backend_id == candidate.wire_id) ++count;
+      }
+      if (count > 0)
+        summary.backend_blocks.emplace_back(candidate.name, count);
     }
-    if (count > 0) summary.backend_blocks.emplace_back(candidate.name, count);
+    const std::uint8_t stage_id = candidate_entropy_id(c);
+    if (std::find(seen_stages.begin(), seen_stages.end(), stage_id) ==
+        seen_stages.end()) {
+      seen_stages.push_back(stage_id);
+      std::size_t count = 0;
+      for (const AdaptiveDecisionRecord& record : log_) {
+        if (record.entropy_id == stage_id) ++count;
+      }
+      if (count > 0)
+        summary.entropy_blocks.emplace_back(candidate_entropy(c), count);
+    }
   }
   return summary;
 }

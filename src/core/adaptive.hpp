@@ -28,6 +28,13 @@
 // per-block backend choice is recorded in the container's v1.1 index,
 // so `ocelot advise` can recover the decision table from the output
 // alone.
+//
+// With AdaptiveOptions::entropy_stages set, the candidate set becomes
+// the backends x entropy-stages cross-product: every duel, residual,
+// and calibration slot tracks a (backend, stage) pair, and the chosen
+// stage rides into CompressionConfig::entropy (surfacing as OCZ2
+// payloads and a v1.2 container index). Left empty, the advisor is
+// byte-for-byte the stage-unaware one.
 
 #include <cstdint>
 #include <string>
@@ -44,6 +51,14 @@ namespace ocelot {
 struct AdaptiveOptions {
   /// Candidate backend names; empty enlists every registered backend.
   std::vector<std::string> backends;
+  /// Candidate entropy-stage names (codec/entropy.hpp registry). The
+  /// advisor duels the backends x stages cross-product per block. An
+  /// empty list keeps the base config's stage only — no cross-product,
+  /// and the emitted bytes match a stage-unaware advisor exactly.
+  /// Unlike `backends`, empty does NOT enlist every registered stage:
+  /// stages multiply the calibration-probe cost, so opting in is
+  /// explicit.
+  std::vector<std::string> entropy_stages;
   /// Candidate error-bound scales relative to the field-resolved
   /// absolute bound. Every entry must lie in (0, 1]: the policy may
   /// tighten a block's bound, never loosen it past the user's.
@@ -105,6 +120,8 @@ struct AdaptiveDecisionRecord {
   std::size_t block = 0;
   std::string backend;
   std::uint8_t backend_id = 0;
+  std::string entropy;            ///< entropy stage of the landed payload
+  std::uint8_t entropy_id = 0;
   double abs_eb = 0.0;
   double predicted_ratio = 0.0;
   double observed_ratio = 0.0;
@@ -117,10 +134,14 @@ struct AdaptiveSummary {
   std::size_t blocks = 0;
   /// Blocks per chosen backend name, in wire-id order.
   std::vector<std::pair<std::string, std::size_t>> backend_blocks;
+  /// Blocks per chosen entropy-stage name, in candidate order.
+  std::vector<std::pair<std::string, std::size_t>> entropy_blocks;
 };
 
 /// "sz3-interp:12 multigrid:4" — the run's chosen-backend mix ("-"
-/// when empty). Shared by the CLI and the bench tables.
+/// when empty), followed by "entropy[huffman:12 ans:4]" whenever the
+/// run used anything besides the default huffman chain. Shared by the
+/// CLI and the bench tables.
 std::string to_string(const AdaptiveSummary& summary);
 
 /// Feature-driven per-block backend / error-bound selector with
@@ -154,6 +175,10 @@ class AdvisorPolicy final : public BlockPolicy {
   struct Candidate {
     std::string name;
     std::uint8_t wire_id = 0;
+    /// Entropy stage this candidate compresses with; empty inherits
+    /// the base config's stage (the no-cross-product mode).
+    std::string entropy;
+    std::uint8_t entropy_id = 0;
   };
   /// Strided per-block measurements, one slot per task.
   struct TaskProbe {
@@ -226,8 +251,14 @@ class AdvisorPolicy final : public BlockPolicy {
   void update_residual(std::size_t field, std::size_t candidate,
                        double sample_log2);
 
+  /// Stage name/id a candidate actually compresses with: its own when
+  /// set, the base config's otherwise.
+  [[nodiscard]] const std::string& candidate_entropy(std::size_t c) const;
+  [[nodiscard]] std::uint8_t candidate_entropy_id(std::size_t c) const;
+
   AdaptiveOptions options_;
   CompressionConfig base_;
+  std::uint8_t base_entropy_id_ = 0;  ///< wire id of base_.entropy
   std::vector<Candidate> candidates_;
   std::vector<TaskProbe> probes_;
   std::vector<FieldCalibration> calibrations_;

@@ -2,7 +2,8 @@
 // Per-block compression-policy hook for the block-parallel executor.
 //
 // The block mode of parallel_compress can delegate the choice of
-// compressor backend and error bound to a BlockPolicy, block by block.
+// compressor backend, entropy stage, and error bound to a BlockPolicy,
+// block by block (the decision is a whole CompressionConfig).
 // The executor drives the policy in fixed-size waves of tasks, with a
 // strict phase protocol chosen so that decisions are deterministic no
 // matter how many worker threads run:

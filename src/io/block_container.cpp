@@ -12,23 +12,44 @@ namespace {
 
 constexpr std::uint8_t kMagic[4] = {'O', 'C', 'B', '1'};
 
-/// Container minor-version marker (v1.1: per-block backend ids in the
-/// index). v1.0 containers have no version byte: the byte after the
-/// magic is the shape rank (1-3), so any value outside that range and
-/// this marker is corruption.
+/// Container minor-version markers (v1.1: per-block backend ids in
+/// the index; v1.2: backend + entropy-stage ids). v1.0 containers have
+/// no version byte: the byte after the magic is the shape rank (1-3),
+/// so any value outside that range and these markers is corruption.
 constexpr std::uint8_t kVersion11 = 0x11;
+constexpr std::uint8_t kVersion12 = 0x12;
 
-/// Byte offset of the backend wire id inside an OCZ1 payload header
-/// (magic 4 bytes + dtype byte), used to sniff a block's backend when
-/// sealing it and to cross-check the index on read.
+/// Byte offsets inside an OCZ1/OCZ2 payload header (magic 4 bytes +
+/// dtype byte, then backend id; OCZ2 adds the entropy-stage byte),
+/// used to sniff a block's ids when sealing it and to cross-check the
+/// index on read.
 constexpr std::size_t kOczBackendOffset = 5;
+constexpr std::size_t kOczEntropyOffset = 6;
 
-/// Returns the payload's OCZ1 backend wire id, or kUnknownBackendId
-/// for payloads that are not OCZ1 blobs.
+/// Returns the payload's backend wire id, or kUnknownBackendId for
+/// payloads that are not OCZ1/OCZ2 blobs.
 std::uint8_t sniff_backend_id(std::span<const std::uint8_t> payload) {
   if (payload.size() <= kOczBackendOffset) return kUnknownBackendId;
-  if (std::memcmp(payload.data(), "OCZ1", 4) != 0) return kUnknownBackendId;
+  if (std::memcmp(payload.data(), "OCZ1", 4) != 0 &&
+      std::memcmp(payload.data(), "OCZ2", 4) != 0) {
+    return kUnknownBackendId;
+  }
   return payload[kOczBackendOffset];
+}
+
+/// Returns the payload's entropy-stage wire id: 0 for OCZ1 blobs (the
+/// legacy chain is implicit), the header byte for OCZ2 blobs, and
+/// kUnknownEntropyId for anything else.
+std::uint8_t sniff_entropy_id(std::span<const std::uint8_t> payload) {
+  if (payload.size() > kOczBackendOffset &&
+      std::memcmp(payload.data(), "OCZ1", 4) == 0) {
+    return 0;
+  }
+  if (payload.size() > kOczEntropyOffset &&
+      std::memcmp(payload.data(), "OCZ2", 4) == 0) {
+    return payload[kOczEntropyOffset];
+  }
+  return kUnknownEntropyId;
 }
 
 /// Ceiling on total field elements accepted from an untrusted header
@@ -110,7 +131,8 @@ void BlockContainerWriter::end_block() {
   require(size > 0, "BlockContainerWriter: empty block payload");
   const std::span<const std::uint8_t> payload{arena_.data() + open_offset_,
                                               size};
-  index_.push_back({size, crc32(payload), sniff_backend_id(payload)});
+  index_.push_back({size, crc32(payload), sniff_backend_id(payload),
+                    sniff_entropy_id(payload)});
 }
 
 void BlockContainerWriter::append_block(
@@ -126,8 +148,18 @@ void BlockContainerWriter::finish(const Shape& shape, ByteSink& out) {
   require(index_.size() == spans.size(),
           "BlockContainerWriter: block count does not match the plan");
   finished_ = true;
+  // v1.2 is only worth its extra index bytes when some block actually
+  // carries a non-default entropy stage; all-default (and non-OCZ)
+  // containers keep the exact v1.1 bytes.
+  bool mixed_entropy = false;
+  for (const auto& entry : index_) {
+    if (entry.entropy_id != 0 && entry.entropy_id != kUnknownEntropyId) {
+      mixed_entropy = true;
+      break;
+    }
+  }
   out.put_bytes(kMagic);
-  out.put(kVersion11);
+  out.put(mixed_entropy ? kVersion12 : kVersion11);
   write_shape(out, shape);
   out.put_varint(block_slabs_);
   out.put_varint(index_.size());
@@ -135,6 +167,7 @@ void BlockContainerWriter::finish(const Shape& shape, ByteSink& out) {
     out.put_varint(entry.size);
     out.put(entry.crc);
     out.put(entry.backend_id);
+    if (mixed_entropy) out.put(entry.entropy_id);
   }
   out.put_bytes(arena_);
 }
@@ -160,12 +193,13 @@ BlockContainerInfo read_block_index(
     throw CorruptStream("block container: bad magic");
 
   BlockContainerInfo info;
-  // v1.1 containers carry a version byte after the magic; v1.0 puts
-  // the shape rank (1-3) there, which is disjoint from the marker.
+  // v1.1/v1.2 containers carry a version byte after the magic; v1.0
+  // puts the shape rank (1-3) there, disjoint from both markers.
   const std::uint8_t lead = in.get<std::uint8_t>();
   int rank = lead;
-  if (lead == kVersion11) {
+  if (lead == kVersion11 || lead == kVersion12) {
     info.has_backend_ids = true;
+    info.has_entropy_ids = lead == kVersion12;
     rank = in.get<std::uint8_t>();
   } else if (lead < 1 || lead > 3) {
     throw CorruptStream("block container: unsupported version");
@@ -191,6 +225,13 @@ BlockContainerInfo read_block_index(
     if (entry.size == 0) throw CorruptStream("block container: empty block");
     entry.crc = in.get<std::uint32_t>();
     if (info.has_backend_ids) entry.backend_id = in.get<std::uint8_t>();
+    if (info.has_entropy_ids) {
+      entry.entropy_id = in.get<std::uint8_t>();
+    } else if (entry.backend_id != kUnknownBackendId) {
+      // A v1.1 index only ever described OCZ1 payloads, whose entropy
+      // stage is the implicit legacy chain.
+      entry.entropy_id = 0;
+    }
   }
   std::size_t offset = container.size() - in.remaining();
   for (auto& entry : info.blocks) {
@@ -215,10 +256,13 @@ std::span<const std::uint8_t> block_payload(
   if (crc32(payload) != entry.crc)
     throw CorruptStream("block container: checksum mismatch in block " +
                         std::to_string(i));
-  // The index's backend byte must agree with the payload's own header;
-  // a mismatch means one of the two was tampered with after assembly.
+  // The index's id bytes must agree with the payload's own header; a
+  // mismatch means one of the two was tampered with after assembly.
   if (info.has_backend_ids && entry.backend_id != sniff_backend_id(payload))
     throw CorruptStream("block container: backend id mismatch in block " +
+                        std::to_string(i));
+  if (info.has_entropy_ids && entry.entropy_id != sniff_entropy_id(payload))
+    throw CorruptStream("block container: entropy id mismatch in block " +
                         std::to_string(i));
   return payload;
 }

@@ -18,12 +18,21 @@
 // and still recover every block's decision from the index alone,
 // without touching payload bytes.
 //
+// v1.2 extends each index entry with one more byte: the block's
+// entropy-stage wire id (see codec/entropy.hpp), sniffed from the
+// payload header the same way the backend byte is. The writer only
+// emits v1.2 when some block actually uses a non-default entropy
+// stage (an OCZ2 payload); all-default containers keep the exact v1.1
+// bytes, so advisor-less pipelines and their golden containers are
+// untouched.
+//
 // v1.0 containers (written before the backend byte existed) carry no
 // version byte: the byte after the magic is the shape rank, which is
-// always 1-3 and therefore disjoint from the 0x11 version marker.
-// Readers accept both; writers always emit v1.1. Because block order
-// and per-block compression are deterministic, container bytes do not
-// depend on how many threads produced them.
+// always 1-3 and therefore disjoint from the 0x11/0x12 version
+// markers. Readers accept all three; writers emit v1.1 or v1.2 as
+// described. Because block order and per-block compression are
+// deterministic, container bytes do not depend on how many threads
+// produced them.
 
 #include <cstdint>
 #include <span>
@@ -50,25 +59,35 @@ std::vector<BlockSpan> plan_blocks(std::size_t dim0,
 /// rank is preserved.
 Shape block_shape(const Shape& full, const BlockSpan& span);
 
-/// Index backend id for payloads that are not OCZ1 blobs (or any block
-/// of a legacy v1.0 container, whose index predates the backend byte).
+/// Index backend id for payloads that are not OCZ1/OCZ2 blobs (or any
+/// block of a legacy v1.0 container, whose index predates the byte).
 inline constexpr std::uint8_t kUnknownBackendId = 0xFF;
+
+/// Index entropy-stage id for payloads whose header carries none
+/// (non-OCZ payloads, and every block of a v1.0 container).
+inline constexpr std::uint8_t kUnknownEntropyId = 0xFF;
 
 /// Parsed container index.
 struct BlockIndexEntry {
   std::size_t offset = 0;  ///< payload start within the container
   std::size_t size = 0;    ///< payload bytes
   std::uint32_t crc = 0;   ///< CRC-32 of the payload
-  /// Compressor wire id of the block's payload (v1.1 containers);
-  /// kUnknownBackendId for v1.0 containers and non-OCZ1 payloads.
+  /// Compressor wire id of the block's payload (v1.1+ containers);
+  /// kUnknownBackendId for v1.0 containers and non-OCZ payloads.
   std::uint8_t backend_id = kUnknownBackendId;
+  /// Entropy-stage wire id of the block's payload: stored in v1.2
+  /// indexes, implied 0 for OCZ1 payloads of v1.1 containers,
+  /// kUnknownEntropyId for v1.0 containers and non-OCZ payloads.
+  std::uint8_t entropy_id = kUnknownEntropyId;
 };
 
 struct BlockContainerInfo {
   Shape shape;                   ///< full field shape
   std::size_t block_slabs = 0;   ///< slabs per block along dim 0
-  /// True iff the index carries per-block backend ids (v1.1).
+  /// True iff the index carries per-block backend ids (v1.1+).
   bool has_backend_ids = false;
+  /// True iff the index carries per-block entropy-stage ids (v1.2).
+  bool has_entropy_ids = false;
   std::vector<BlockIndexEntry> blocks;  ///< in slab order
 };
 
@@ -94,10 +113,10 @@ class BlockContainerWriter {
   /// Must be paired with end_block().
   [[nodiscard]] ByteSink& begin_block();
 
-  /// Seals the open block, recording its length, CRC-32, and backend
-  /// wire id (sniffed from the payload's OCZ1 header; non-OCZ1
-  /// payloads record kUnknownBackendId). Throws InvalidArgument on an
-  /// empty payload.
+  /// Seals the open block, recording its length, CRC-32, backend wire
+  /// id, and entropy-stage wire id (both sniffed from the payload's
+  /// OCZ1/OCZ2 header; non-OCZ payloads record the unknown sentinels).
+  /// Throws InvalidArgument on an empty payload.
   void end_block();
 
   /// Convenience: begin_block + copy + end_block.
@@ -122,11 +141,13 @@ class BlockContainerWriter {
   std::size_t open_offset_ = 0;
   bool open_ = false;
   bool finished_ = false;
-  /// Per-block (payload length, CRC-32, backend id), in append order.
+  /// Per-block (payload length, CRC-32, backend id, entropy id), in
+  /// append order.
   struct PendingEntry {
     std::size_t size = 0;
     std::uint32_t crc = 0;
     std::uint8_t backend_id = kUnknownBackendId;
+    std::uint8_t entropy_id = kUnknownEntropyId;
   };
   std::vector<PendingEntry> index_;
 };
@@ -141,9 +162,9 @@ Bytes build_block_container(const Shape& shape, std::size_t block_slabs,
 BlockContainerInfo read_block_index(std::span<const std::uint8_t> container);
 
 /// Returns the payload view for block `i`, verifying its checksum and
-/// that the index's backend id (when the container carries them)
-/// matches the payload's own OCZ1 header. Throws CorruptStream on a
-/// checksum or backend-id mismatch.
+/// that the index's backend and entropy-stage ids (when the container
+/// carries them) match the payload's own header. Throws CorruptStream
+/// on a checksum or id mismatch.
 std::span<const std::uint8_t> block_payload(
     std::span<const std::uint8_t> container, const BlockContainerInfo& info,
     std::size_t i);

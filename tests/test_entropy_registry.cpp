@@ -1,0 +1,485 @@
+// Entropy-stage registry and coder tests: registry semantics, per-stage
+// round-trip properties over codes and bytes, packed-section dispatch,
+// and corrupt-stream rejection. The container/advisor integration of
+// the stages is exercised further down in this file once the compressor
+// plumbing is involved.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codec/ans.hpp"
+#include "codec/bwt_mtf.hpp"
+#include "codec/entropy.hpp"
+#include "codec/huffman.hpp"
+#include "codec/lossless.hpp"
+#include "codec/lzw.hpp"
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/ndarray.hpp"
+#include "common/rng.hpp"
+#include "compressor/compressor.hpp"
+#include "core/adaptive.hpp"
+#include "exec/parallel_codec.hpp"
+#include "io/block_container.hpp"
+
+namespace ocelot {
+namespace {
+
+std::vector<std::vector<std::uint32_t>> code_corpus() {
+  std::vector<std::vector<std::uint32_t>> corpus;
+  corpus.push_back({});                                  // empty
+  corpus.push_back({0});                                 // single symbol
+  corpus.push_back({42});                                // single nonzero
+  corpus.push_back(std::vector<std::uint32_t>(5000, 7));  // one-symbol run
+  corpus.push_back({0xFFFFFFFFu, 0, 0xFFFFFFFFu});       // extreme values
+
+  // Skewed quantization-like codes centered on a radius, the shape the
+  // SZ pipelines emit.
+  Rng skew_rng(0x5EED);
+  std::vector<std::uint32_t> skewed(20000);
+  for (auto& c : skewed) {
+    const double g = skew_rng.normal(0.0, 3.0);
+    c = static_cast<std::uint32_t>(32768 + static_cast<int>(g));
+  }
+  corpus.push_back(std::move(skewed));
+
+  // Uniform random over a large alphabet (stress for table builders).
+  Rng wide_rng(0x71DE);
+  std::vector<std::uint32_t> wide(8000);
+  for (auto& c : wide) {
+    c = static_cast<std::uint32_t>(wide_rng.uniform_int(0, 1 << 20));
+  }
+  corpus.push_back(std::move(wide));
+
+  // Small alphabet with runs (MTF/RLE-friendly).
+  std::vector<std::uint32_t> runs;
+  for (int r = 0; r < 200; ++r) {
+    runs.insert(runs.end(), 37, static_cast<std::uint32_t>(r % 5));
+  }
+  corpus.push_back(std::move(runs));
+  return corpus;
+}
+
+std::vector<Bytes> byte_corpus() {
+  std::vector<Bytes> corpus;
+  corpus.push_back({});
+  corpus.push_back({0x00});
+  corpus.push_back({0xFF});
+  corpus.push_back(Bytes(70000, 0x42));  // constant run across BWT chunks
+  Bytes all_values(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    all_values[i] = static_cast<std::uint8_t>(i);
+  }
+  corpus.push_back(std::move(all_values));
+  Bytes text;
+  while (text.size() < 150000) {  // > 2 BWT chunks, repetitive
+    const std::string phrase = "the quick brown fox jumps over the lazy dog ";
+    text.insert(text.end(), phrase.begin(), phrase.end());
+  }
+  corpus.push_back(std::move(text));
+  for (const std::size_t n : {2u, 255u, 4096u, 65536u, 65537u, 131073u}) {
+    Rng rng(0xB17E5 + n);
+    Bytes random(n);
+    for (auto& b : random) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    corpus.push_back(std::move(random));
+  }
+  return corpus;
+}
+
+TEST(EntropyRegistry, ListsBuiltInStagesInWireIdOrder) {
+  const auto stages = EntropyRegistry::instance().list();
+  ASSERT_GE(stages.size(), 4u);
+  EXPECT_EQ(stages[0]->name(), "huffman");
+  EXPECT_EQ(stages[0]->wire_id(), kEntropyHuffmanId);
+  EXPECT_EQ(stages[1]->name(), "ans");
+  EXPECT_EQ(stages[1]->wire_id(), kEntropyAnsId);
+  EXPECT_EQ(stages[2]->name(), "bwt-mtf");
+  EXPECT_EQ(stages[2]->wire_id(), kEntropyBwtId);
+  EXPECT_EQ(stages[3]->name(), "lzw");
+  EXPECT_EQ(stages[3]->wire_id(), kEntropyLzwId);
+  for (std::size_t i = 1; i < stages.size(); ++i) {
+    EXPECT_LT(stages[i - 1]->wire_id(), stages[i]->wire_id());
+  }
+}
+
+TEST(EntropyRegistry, ByNameAndByIdAgree) {
+  auto& reg = EntropyRegistry::instance();
+  for (const EntropyStage* s : reg.list()) {
+    EXPECT_EQ(&reg.by_name(s->name()), s);
+    EXPECT_EQ(&reg.by_id(s->wire_id()), s);
+    EXPECT_EQ(reg.find(s->name()), s);
+    EXPECT_EQ(reg.find_by_id(s->wire_id()), s);
+  }
+  EXPECT_THROW((void)reg.by_name("no-such-stage"), InvalidArgument);
+  EXPECT_EQ(reg.find("no-such-stage"), nullptr);
+  EXPECT_THROW((void)reg.by_id(200), CorruptStream);
+  EXPECT_EQ(reg.find_by_id(200), nullptr);
+}
+
+TEST(EntropyRegistry, RejectsReservedAndDuplicateRegistrations) {
+  auto& reg = EntropyRegistry::instance();
+  EXPECT_THROW(reg.add(nullptr), InvalidArgument);
+  // Same name and wire id as the built-in "ans" stage.
+  EXPECT_THROW(reg.add(make_ans_stage()), InvalidArgument);
+}
+
+TEST(EntropyStage, CodeRoundTripPerStage) {
+  for (const EntropyStage* stage : EntropyRegistry::instance().list()) {
+    for (const auto& codes : code_corpus()) {
+      Bytes buf;
+      ByteSink sink(buf);
+      stage->encode_into(codes, sink);
+      std::vector<std::uint32_t> back;
+      stage->decode_into(buf, back);
+      EXPECT_EQ(back, codes) << stage->name() << " n=" << codes.size();
+    }
+  }
+}
+
+TEST(EntropyStage, ByteRoundTripPerStage) {
+  for (const EntropyStage* stage : EntropyRegistry::instance().list()) {
+    for (const auto& raw : byte_corpus()) {
+      Bytes buf;
+      ByteSink sink(buf);
+      stage->encode_bytes_into(raw, sink);
+      Bytes back;
+      stage->decode_bytes_into(buf, back);
+      EXPECT_EQ(back, raw) << stage->name() << " n=" << raw.size();
+    }
+  }
+}
+
+TEST(EntropyStage, PackedSectionDispatchRoundTrips) {
+  auto& reg = EntropyRegistry::instance();
+  for (const EntropyStage* stage : reg.list()) {
+    for (const auto& codes : code_corpus()) {
+      Bytes buf;
+      ByteSink sink(buf);
+      entropy_encode_codes(codes, *stage, LosslessBackend::kLzb, sink);
+      ASSERT_FALSE(buf.empty());
+      if (stage->wire_id() == kEntropyHuffmanId) {
+        // Legacy chain: leading byte is the lossless backend id.
+        EXPECT_EQ(buf[0], static_cast<std::uint8_t>(LosslessBackend::kLzb));
+      } else {
+        EXPECT_EQ(buf[0], stage->wire_id());
+      }
+      std::vector<std::uint32_t> back;
+      entropy_decode_codes_into(buf, back);
+      EXPECT_EQ(back, codes) << stage->name();
+    }
+  }
+}
+
+TEST(EntropyStage, HuffmanStageMatchesLegacyChainBytes) {
+  // The registry's stage 0 must reproduce the pre-registry writer
+  // bit for bit — the property the golden blobs pin end to end.
+  const auto corpus = code_corpus();
+  const auto& stage = EntropyRegistry::instance().by_name("huffman");
+  for (const auto& codes : corpus) {
+    Bytes legacy;
+    {
+      BytesWriter huff;
+      huffman_encode(codes, huff);
+      ByteSink sink(legacy);
+      lossless_compress(huff.bytes(), LosslessBackend::kLzb, sink);
+    }
+    Bytes via_stage;
+    ByteSink sink(via_stage);
+    entropy_encode_codes(codes, stage, LosslessBackend::kLzb, sink);
+    EXPECT_EQ(via_stage, legacy);
+  }
+}
+
+TEST(EntropyStage, RejectsCorruptStreams) {
+  std::vector<std::uint32_t> codes(512);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = static_cast<std::uint32_t>(i % 19);
+  }
+
+  // Empty and unknown-id sections.
+  std::vector<std::uint32_t> out;
+  EXPECT_THROW(entropy_decode_codes_into({}, out), CorruptStream);
+  Bytes unknown{0x77, 1, 2, 3};
+  EXPECT_THROW(entropy_decode_codes_into(unknown, out), CorruptStream);
+
+  for (const EntropyStage* stage : EntropyRegistry::instance().list()) {
+    Bytes buf;
+    ByteSink sink(buf);
+    entropy_encode_codes(codes, *stage, LosslessBackend::kLzb, sink);
+    // Every strict prefix must be rejected, never mis-decode silently
+    // into the original stream.
+    for (const std::size_t cut : {std::size_t{0}, std::size_t{1}, buf.size() / 2,
+                                  buf.size() - 1}) {
+      std::vector<std::uint32_t> partial;
+      try {
+        entropy_decode_codes_into(
+            std::span<const std::uint8_t>(buf).first(cut), partial);
+        EXPECT_NE(partial, codes) << stage->name() << " cut=" << cut;
+      } catch (const CorruptStream&) {
+        // expected for most cuts
+      }
+    }
+  }
+
+  // Targeted ANS corruption: a frequency table that does not fill the
+  // scale, and a dangling final state.
+  {
+    Bytes buf;
+    ByteSink sink(buf);
+    ans_encode(codes, sink);
+    Bytes broken = buf;
+    broken[broken.size() / 2] ^= 0xA5;  // perturb the state stream
+    std::vector<std::uint32_t> back;
+    try {
+      ans_decode_into(broken, back);
+      EXPECT_NE(back, codes);
+    } catch (const CorruptStream&) {
+    }
+  }
+
+  // LZW code beyond the dictionary.
+  {
+    Bytes buf;
+    ByteSink sink(buf);
+    sink.put_varint(4);
+    // 8-bit literal 'a', then a 9-bit code 300 (> next == 256).
+    sink.put('a');  // not a valid bitstream framing on purpose
+    Bytes out_bytes;
+    EXPECT_THROW(lzw_decode_into(buf, out_bytes), CorruptStream);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Compressor / container / advisor integration.
+
+template <typename T>
+NdArray<T> wavy_array(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  NdArray<T> data(shape);
+  std::size_t i = 0;
+  for (T& v : data.values()) {
+    v = static_cast<T>(std::sin(static_cast<double>(i++) * 0.21) +
+                       rng.normal(0.0, 0.05));
+  }
+  return data;
+}
+
+TEST(EntropyCompressor, BackendStageDtypeSweepHoldsBoundAndInspects) {
+  const std::vector<std::string> backends = {"lorenzo", "sz3-interp",
+                                             "multigrid"};
+  const auto sweep = [&](auto tag) {
+    using T = decltype(tag);
+    const NdArray<T> data = wavy_array<T>(Shape(12, 9, 5), 0xD7);
+    for (const std::string& backend : backends) {
+      for (const EntropyStage* stage : EntropyRegistry::instance().list()) {
+        CompressionConfig config;
+        config.backend = backend;
+        config.eb_mode = EbMode::kAbsolute;
+        config.eb = 1e-3;
+        config.entropy = stage->name();
+        const Bytes blob = compress(data, config);
+        // The default stage keeps the OCZ1 magic (bit-compatible with
+        // every pre-registry reader); anything else switches to OCZ2.
+        ASSERT_GE(blob.size(), 7u);
+        EXPECT_EQ(std::memcmp(blob.data(),
+                              stage->wire_id() == 0 ? "OCZ1" : "OCZ2", 4),
+                  0)
+            << backend << "/" << stage->name();
+        const BlobInfo info = inspect_blob(blob);
+        EXPECT_EQ(info.backend, backend);
+        EXPECT_EQ(info.entropy, stage->name());
+        EXPECT_EQ(info.entropy_id, stage->wire_id());
+        const NdArray<T> back = decompress<T>(blob);
+        ASSERT_EQ(back.size(), data.size());
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          ASSERT_LE(std::abs(static_cast<double>(data[i]) -
+                             static_cast<double>(back[i])),
+                    1e-3 + 1e-12)
+              << backend << "/" << stage->name() << " element " << i;
+        }
+      }
+    }
+  };
+  sweep(float{});
+  sweep(double{});
+}
+
+/// Byte length of the varint encoding ByteSink::put_varint emits, used
+/// to locate index bytes inside a hand-addressed container.
+std::size_t varint_len(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 128) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+Bytes mixed_stage_container(const FloatArray& field, std::size_t block_slabs,
+                            const std::vector<std::string>& stages) {
+  BlockContainerWriter writer(block_slabs);
+  const auto spans = plan_blocks(field.shape().dim(0), block_slabs);
+  for (std::size_t b = 0; b < spans.size(); ++b) {
+    std::vector<float> vals(
+        field.values().begin() +
+            static_cast<std::ptrdiff_t>(spans[b].slab_begin *
+                                        (field.size() / field.shape().dim(0))),
+        field.values().begin() +
+            static_cast<std::ptrdiff_t>(
+                (spans[b].slab_begin + spans[b].slab_count) *
+                (field.size() / field.shape().dim(0))));
+    CompressionConfig config;
+    config.eb_mode = EbMode::kAbsolute;
+    config.eb = 1e-3;
+    config.entropy = stages[b % stages.size()];
+    compress_into(FloatArray(block_shape(field.shape(), spans[b]),
+                             std::move(vals)),
+                  config, writer.begin_block());
+    writer.end_block();
+  }
+  return writer.finish(field.shape());
+}
+
+FloatArray sine_field(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  FloatArray data(shape);
+  std::size_t i = 0;
+  for (float& v : data.values()) {
+    v = static_cast<float>(std::sin(static_cast<double>(i++) * 0.05) +
+                           rng.normal(0.0, 0.02));
+  }
+  return data;
+}
+
+TEST(BlockContainerV12, MixedStagesRoundTripAndIndexNamesEveryBlock) {
+  const FloatArray field = sine_field(Shape(16, 7, 5), 0xB12);
+  const Bytes container = mixed_stage_container(
+      field, 4, {"huffman", "ans", "bwt-mtf", "lzw"});
+
+  const BlockContainerInfo info = read_block_index(container);
+  ASSERT_TRUE(info.has_backend_ids);
+  ASSERT_TRUE(info.has_entropy_ids);
+  ASSERT_EQ(info.blocks.size(), 4u);
+  const std::uint8_t expect_ids[] = {kEntropyHuffmanId, kEntropyAnsId,
+                                     kEntropyBwtId, kEntropyLzwId};
+  for (std::size_t b = 0; b < info.blocks.size(); ++b) {
+    EXPECT_EQ(info.blocks[b].entropy_id, expect_ids[b]) << "block " << b;
+    const FloatArray block = decompress_block(container, b);
+    EXPECT_EQ(block.shape().dim(0), 4u);
+  }
+
+  // All-default payloads must keep the v1.1 index (no entropy bytes),
+  // so stage-unaware pipelines emit the exact bytes they always did.
+  const Bytes plain =
+      mixed_stage_container(field, 4, {"huffman"});
+  const BlockContainerInfo plain_info = read_block_index(plain);
+  EXPECT_TRUE(plain_info.has_backend_ids);
+  EXPECT_FALSE(plain_info.has_entropy_ids);
+  for (const auto& entry : plain_info.blocks) EXPECT_EQ(entry.entropy_id, 0);
+  EXPECT_LT(plain.size() - plain_info.blocks.size(),
+            container.size());  // v1.2 spends one index byte per block
+}
+
+TEST(BlockContainerV12, EveryPrefixTruncationRejected) {
+  const FloatArray field = sine_field(Shape(8, 5, 3), 0xC4);
+  const Bytes container =
+      mixed_stage_container(field, 4, {"ans", "lzw"});
+  for (std::size_t cut = 0; cut < container.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix{container.data(), cut};
+    EXPECT_THROW(
+        {
+          const BlockContainerInfo info = read_block_index(prefix);
+          for (std::size_t b = 0; b < info.blocks.size(); ++b) {
+            (void)decompress_block(prefix, b);
+          }
+        },
+        Error)
+        << "prefix " << cut << " of " << container.size();
+  }
+}
+
+TEST(BlockContainerV12, IndexEntropyByteMismatchRejected) {
+  const FloatArray field = sine_field(Shape(8, 5, 3), 0xC5);
+  Bytes container = mixed_stage_container(field, 4, {"ans", "lzw"});
+  const BlockContainerInfo info = read_block_index(container);
+  ASSERT_TRUE(info.has_entropy_ids);
+
+  // Address block 0's index entropy byte: magic(4) + version(1) +
+  // rank(1) + dim varints + block_slabs + count, then within the entry
+  // varint size + crc(4) + backend(1).
+  std::size_t offset = 4 + 1 + 1;
+  for (int d = 0; d < info.shape.rank(); ++d)
+    offset += varint_len(info.shape.dim(d));
+  offset += varint_len(info.block_slabs) + varint_len(info.blocks.size());
+  offset += varint_len(info.blocks[0].size) + 4 + 1;
+  ASSERT_EQ(container[offset], kEntropyAnsId);
+
+  container[offset] = kEntropyLzwId;  // lies about block 0's stage
+  const BlockContainerInfo tampered = read_block_index(container);
+  EXPECT_THROW((void)block_payload(container, tampered, 0), CorruptStream);
+  // Block 1's entry is untouched and still verifies.
+  (void)block_payload(container, tampered, 1);
+}
+
+TEST(AdaptiveEntropy, StageDuelingIsByteDeterministicAcrossWorkers) {
+  const FloatArray field = sine_field(Shape(30, 11, 6), 0xAD);
+  CompressionConfig config;
+  config.eb_mode = EbMode::kValueRangeRel;
+  config.eb = 1e-3;
+  AdaptiveOptions options;
+  options.backends = {"lorenzo", "sz3-interp"};
+  options.entropy_stages = {"huffman", "ans", "bwt-mtf"};
+
+  Bytes reference;
+  for (const std::size_t workers : {1u, 2u, 5u}) {
+    AdvisorPolicy policy(options);
+    const BlockCompressResult r =
+        block_compress(field, config, workers, 4, &policy);
+    if (reference.empty()) {
+      reference = r.container;
+    } else {
+      EXPECT_EQ(r.container, reference) << "workers=" << workers;
+    }
+    const AdaptiveSummary summary = policy.summary();
+    EXPECT_EQ(summary.blocks, r.n_blocks);
+    for (const AdaptiveDecisionRecord& record : policy.log()) {
+      EXPECT_FALSE(record.entropy.empty());
+    }
+  }
+}
+
+TEST(AdaptiveEntropy, ForcedStageLandsInContainerAndHoldsBound) {
+  const FloatArray field = sine_field(Shape(16, 9, 4), 0xF0);
+  CompressionConfig config;
+  config.eb_mode = EbMode::kAbsolute;
+  config.eb = 2e-3;
+  AdaptiveOptions options;
+  options.entropy_stages = {"ans"};
+
+  AdvisorPolicy policy(options);
+  const BlockCompressResult r = block_compress(field, config, 2, 4, &policy);
+  const BlockContainerInfo info = read_block_index(r.container);
+  ASSERT_TRUE(info.has_entropy_ids);
+  for (const auto& entry : info.blocks)
+    EXPECT_EQ(entry.entropy_id, kEntropyAnsId);
+  const AdaptiveSummary summary = policy.summary();
+  ASSERT_EQ(summary.entropy_blocks.size(), 1u);
+  EXPECT_EQ(summary.entropy_blocks.front().first, "ans");
+  EXPECT_EQ(summary.entropy_blocks.front().second, summary.blocks);
+
+  const FloatArray back = block_decompress(r.container, 2).field;
+  ASSERT_EQ(back.size(), field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    ASSERT_LE(std::abs(field[i] - back[i]), 2e-3 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ocelot

@@ -100,6 +100,15 @@ def main() -> None:
         "(repeatable)",
     )
     parser.add_argument(
+        "--min-row-field",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="floor on a field of every row that carries it, e.g. "
+        "ans_ratio_vs_huffman=1 requires the floor on each field row "
+        "individually (repeatable)",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         metavar="BASELINE_JSON",
@@ -194,6 +203,26 @@ def main() -> None:
         if seen == 0:
             fail(f"--max-row-field {key}: no row carries that field")
         print(f"check_bench: ok: {key} <= {ceiling:.4g} on {seen} rows")
+
+    for spec in args.min_row_field:
+        key, floor = parse_threshold("--min-row-field", spec)
+        seen = 0
+        for row in rows:
+            if not isinstance(row, dict) or key not in row:
+                continue
+            seen += 1
+            cell = row[key]
+            label = row.get("label", "?")
+            if not isinstance(cell, (int, float)):
+                fail(f"row '{label}' field '{key}' non-numeric ({cell!r})")
+            if cell < floor:
+                fail(
+                    f"row '{label}' field '{key}' = {cell:.4g} "
+                    f"below floor {floor:.4g}"
+                )
+        if seen == 0:
+            fail(f"--min-row-field {key}: no row carries that field")
+        print(f"check_bench: ok: {key} >= {floor:.4g} on {seen} rows")
 
     if args.baseline is not None:
         try:

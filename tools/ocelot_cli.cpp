@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "codec/entropy.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/str.hpp"
@@ -100,6 +101,19 @@ std::string parse_backend(const std::string& name) {
   const std::string resolved = name == "sz3" ? "sz3-interp" : name;
   (void)BackendRegistry::instance().by_name(resolved);  // throws if unknown
   return resolved;
+}
+
+/// Resolves an entropy-stage name through its registry.
+std::string parse_entropy_stage(const std::string& name) {
+  return EntropyRegistry::instance().by_name(name).name();  // throws if unknown
+}
+
+/// Display name for an entropy-stage wire id from a container index or
+/// blob header ("?" for the unknown sentinel, "#id" for foreign ids).
+std::string entropy_stage_label(std::uint8_t id) {
+  if (id == kUnknownEntropyId) return "?";
+  const EntropyStage* stage = EntropyRegistry::instance().find_by_id(id);
+  return stage != nullptr ? stage->name() : "#" + std::to_string(id);
 }
 
 /// Parses "A" or "AxB" into streaming slab dimensions.
@@ -170,6 +184,13 @@ bool parse_adaptive_option(const std::string& key, const std::string& value,
     options.sample_stride = parse_count(key, value);
     return true;
   }
+  if (key == "entropy_stages") {
+    options.entropy_stages.clear();
+    for (const std::string& name : split(value, ',')) {
+      options.entropy_stages.push_back(parse_entropy_stage(name));
+    }
+    return true;
+  }
   return false;
 }
 
@@ -187,8 +208,8 @@ int cmd_compress(const std::vector<std::string>& args) {
     std::cerr << "usage: ocelot compress <in.ocf> <out.ocz> [eb=1e-3] "
                  "[mode=rel|abs] [backend=sz3]\n"
               << "       ocelot compress <in.ocf> <out.ocb> policy=adaptive "
-                 "[block_slabs=8] [backends=a,b] [eb_scales=1,0.5] "
-                 "[min_psnr=60] [workers=N]\n"
+                 "[block_slabs=8] [backends=a,b] [entropy_stages=a,b] "
+                 "[eb_scales=1,0.5] [min_psnr=60] [workers=N]\n"
               << "       ocelot compress - <out.ocb|-> slab=AxB "
                  "[block_slabs=8] [eb=...] [mode=...] [backend=...]\n"
               << "       trailing options also accept key=value form, "
@@ -199,7 +220,8 @@ int cmd_compress(const std::vector<std::string>& args) {
                  "bound online (see `ocelot advise`)\n"
               << "       trace=out.json writes a Perfetto span timeline; "
                  "stats=1 prints the per-stage breakdown\n"
-              << "       (see `ocelot backends` for registered backends)\n";
+              << "       entropy=<stage> swaps the quantized-code entropy "
+                 "coder (see `ocelot backends` for both registries)\n";
     return 2;
   }
   const bool streaming = args[0] == "-";
@@ -260,6 +282,8 @@ int cmd_compress(const std::vector<std::string>& args) {
           value == "abs" ? EbMode::kAbsolute : EbMode::kValueRangeRel;
     } else if (key == "backend" || key == "pipeline") {
       config.backend = parse_backend(value);
+    } else if (key == "entropy") {
+      config.entropy = parse_entropy_stage(value);
     } else if (key == "slab") {
       slab_dims = parse_slab(value);
       slab_given = true;
@@ -298,7 +322,8 @@ int cmd_compress(const std::vector<std::string>& args) {
   }
   if (!adaptive && adaptive_given) {
     throw InvalidArgument(
-        "backends/eb_scales/min_psnr/stride/workers need policy=adaptive");
+        "backends/entropy_stages/eb_scales/min_psnr/stride/workers need "
+        "policy=adaptive");
   }
   if (streaming && adaptive) {
     throw InvalidArgument(
@@ -401,6 +426,18 @@ int cmd_backends(const std::vector<std::string>& args) {
                    backend->description(), tunables});
   }
   table.print(std::cout);
+
+  // The entropy-stage registry is the other half of the pipeline: any
+  // backend's quantized-code sections can run through any stage
+  // (compress entropy=<stage>, or entropy_stages=a,b with the advisor).
+  std::cout << "\n";
+  TextTable stages({"entropy stage", "id", "capabilities", "description"});
+  for (const EntropyStage* stage : EntropyRegistry::instance().list()) {
+    stages.add_row({stage->name(), std::to_string(stage->wire_id()),
+                    entropy_caps_to_string(stage->capabilities()),
+                    stage->description()});
+  }
+  stages.print(std::cout);
   return 0;
 }
 
@@ -447,10 +484,10 @@ int cmd_advise(const std::vector<std::string>& args) {
         << "usage: ocelot advise <in.ocb>   (decision table from the "
            "container index)\n"
         << "       ocelot advise <in.ocf> [eb=1e-3] [mode=rel|abs] "
-           "[block_slabs=8] [backends=a,b] [eb_scales=1,0.5] [min_psnr=60] "
-           "[stride=50] [workers=N]\n"
+           "[block_slabs=8] [backends=a,b] [entropy_stages=a,b] "
+           "[eb_scales=1,0.5] [min_psnr=60] [stride=50] [workers=N]\n"
         << "       runs the online advisor and prints every block's "
-           "backend / error-bound choice\n";
+           "backend / entropy-stage / error-bound choice\n";
     return 2;
   }
   const Bytes bytes = read_file(args[0]);
@@ -463,7 +500,8 @@ int cmd_advise(const std::vector<std::string>& args) {
       return 0;
     }
     const auto spans = plan_blocks(info.shape.dim(0), info.block_slabs);
-    TextTable table({"block", "slabs", "backend", "payload", "ratio"});
+    TextTable table(
+        {"block", "slabs", "backend", "entropy", "payload", "ratio"});
     for (std::size_t b = 0; b < info.blocks.size(); ++b) {
       const CompressorBackend* backend =
           info.blocks[b].backend_id == kUnknownBackendId
@@ -479,6 +517,7 @@ int cmd_advise(const std::vector<std::string>& args) {
            backend != nullptr
                ? backend->name()
                : "#" + std::to_string(info.blocks[b].backend_id),
+           entropy_stage_label(info.blocks[b].entropy_id),
            fmt_bytes(static_cast<double>(info.blocks[b].size)),
            fmt_double(raw / static_cast<double>(info.blocks[b].size), 2)});
     }
@@ -522,10 +561,11 @@ int cmd_advise(const std::vector<std::string>& args) {
       field.data, config, workers > 0 ? workers : default_workers(),
       block_slabs, &policy);
 
-  TextTable table({"block", "backend", "abs eb", "pred ratio", "ratio"});
+  TextTable table(
+      {"block", "backend", "entropy", "abs eb", "pred ratio", "ratio"});
   for (const AdaptiveDecisionRecord& record : policy.log()) {
     table.add_row({std::to_string(record.block), record.backend,
-                   fmt_double(record.abs_eb, 6),
+                   record.entropy, fmt_double(record.abs_eb, 6),
                    fmt_double(record.predicted_ratio, 2),
                    fmt_double(record.observed_ratio, 2)});
   }
@@ -599,19 +639,30 @@ int cmd_info(const std::vector<std::string>& args) {
       return backend != nullptr ? backend->name()
                                 : "#" + std::to_string(id);
     };
-    // v1.1 indexes name every block's compressor; summarize the mix.
+    // v1.1 indexes name every block's compressor (v1.2 adds its
+    // entropy stage); summarize both mixes.
     std::map<std::uint8_t, std::size_t> counts;
+    std::map<std::uint8_t, std::size_t> entropy_counts;
     std::string mix;
+    std::string entropy_mix;
     if (info.has_backend_ids) {
       for (const auto& block : info.blocks) ++counts[block.backend_id];
       for (const auto& [id, count] : counts) {
         if (!mix.empty()) mix += ' ';
         mix += backend_name(id) + ':' + std::to_string(count);
       }
+      for (const auto& block : info.blocks)
+        ++entropy_counts[block.entropy_id];
+      for (const auto& [id, count] : entropy_counts) {
+        if (!entropy_mix.empty()) entropy_mix += ' ';
+        entropy_mix += entropy_stage_label(id) + ':' + std::to_string(count);
+      }
     }
     if (json) {
       std::cout << "{\"format\":\"ocb1\",\"version\":\""
-                << (info.has_backend_ids ? "1.1" : "1.0")
+                << (info.has_entropy_ids  ? "1.2"
+                    : info.has_backend_ids ? "1.1"
+                                           : "1.0")
                 << "\",\"shape\":" << shape_json(info.shape)
                 << ",\"block_slabs\":" << info.block_slabs
                 << ",\"compressed_bytes\":" << bytes.size()
@@ -626,6 +677,13 @@ int cmd_info(const std::vector<std::string>& args) {
         first = false;
         std::cout << json_quote(backend_name(id)) << ":" << count;
       }
+      std::cout << "},\"entropy_mix\":{";
+      first = true;
+      for (const auto& [id, count] : entropy_counts) {
+        if (!first) std::cout << ",";
+        first = false;
+        std::cout << json_quote(entropy_stage_label(id)) << ":" << count;
+      }
       std::cout << "},\"blocks\":[";
       for (std::size_t b = 0; b < info.blocks.size(); ++b) {
         if (b > 0) std::cout << ",";
@@ -633,7 +691,10 @@ int cmd_info(const std::vector<std::string>& args) {
                   << ",\"size\":" << info.blocks[b].size;
         if (info.has_backend_ids) {
           std::cout << ",\"backend\":"
-                    << json_quote(backend_name(info.blocks[b].backend_id));
+                    << json_quote(backend_name(info.blocks[b].backend_id))
+                    << ",\"entropy\":"
+                    << json_quote(
+                           entropy_stage_label(info.blocks[b].entropy_id));
         }
         std::cout << "}";
       }
@@ -645,6 +706,8 @@ int cmd_info(const std::vector<std::string>& args) {
               << info.block_slabs
               << (mix.empty() ? std::string(" (v1.0 index)")
                               : " backends " + mix)
+              << (entropy_mix.empty() ? std::string()
+                                      : " entropy " + entropy_mix)
               << "\n"
               << "  " << fmt_bytes(static_cast<double>(bytes.size()))
               << " compressed ("
@@ -658,9 +721,15 @@ int cmd_info(const std::vector<std::string>& args) {
     return 0;
   }
   const BlobInfo info = inspect_blob(bytes);
+  // Mirrors the writer: a non-default entropy stage is exactly what
+  // switches the blob magic to OCZ2.
+  const bool ocz2 = info.entropy_id != kEntropyHuffmanId;
   if (json) {
-    std::cout << "{\"format\":\"ocz1\",\"backend\":" << json_quote(info.backend)
+    std::cout << "{\"format\":\"" << (ocz2 ? "ocz2" : "ocz1")
+              << "\",\"backend\":" << json_quote(info.backend)
               << ",\"backend_id\":" << static_cast<int>(info.backend_id)
+              << ",\"entropy\":" << json_quote(info.entropy)
+              << ",\"entropy_id\":" << static_cast<int>(info.entropy_id)
               << ",\"dtype\":\"" << (info.is_double ? "f64" : "f32")
               << "\",\"shape\":" << shape_json(info.shape)
               << ",\"abs_eb\":" << info.abs_eb
@@ -671,7 +740,9 @@ int cmd_info(const std::vector<std::string>& args) {
               << "}\n";
     return 0;
   }
-  std::cout << "OCZ1 compressed blob: backend=" << info.backend
+  std::cout << (ocz2 ? "OCZ2" : "OCZ1")
+            << " compressed blob: backend=" << info.backend
+            << " entropy=" << info.entropy
             << " dtype=" << (info.is_double ? "f64" : "f32") << " shape="
             << shape_label(info.shape) << "\n"
             << "  abs eb " << info.abs_eb << ", "
