@@ -8,7 +8,9 @@
 #include <sstream>
 
 #if defined(__GLIBC__)
+#include <execinfo.h>
 #include <malloc.h>
+#include <unistd.h>
 #endif
 
 #include "common/error.hpp"
@@ -44,8 +46,29 @@ std::size_t block_size(void* p) noexcept {
 #endif
 }
 
+std::atomic<bool> g_alloc_trace{false};
+
+/// Dumps the calling stack to stderr without allocating (the
+/// symbols_fd variant is async-signal-safe); the reentry flag keeps
+/// backtrace()'s own lazy-init allocations from recursing.
+void maybe_trace_alloc() noexcept {
+#if defined(__GLIBC__)
+  if (!g_alloc_trace.load(kRelaxed)) return;
+  thread_local bool in_trace = false;
+  if (in_trace) return;
+  in_trace = true;
+  void* frames[24];
+  const int n = backtrace(frames, 24);
+  backtrace_symbols_fd(frames, n, 2);
+  const char sep[] = "----\n";
+  (void)!write(2, sep, sizeof(sep) - 1);
+  in_trace = false;
+#endif
+}
+
 void note_alloc(void* p) noexcept {
   g_allocs.fetch_add(1, kRelaxed);
+  maybe_trace_alloc();
   const std::size_t size = block_size(p);
   g_bytes_allocated.fetch_add(size, kRelaxed);
   const std::uint64_t current =
@@ -136,6 +159,10 @@ AllocCounters alloc_counters() {
 
 void reset_alloc_peak() {
   g_peak_bytes.store(g_current_bytes.load(kRelaxed), kRelaxed);
+}
+
+void set_alloc_trace(bool enabled) {
+  g_alloc_trace.store(enabled, kRelaxed);
 }
 
 }  // namespace ocelot::bench

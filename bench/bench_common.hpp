@@ -40,6 +40,12 @@ struct AllocCounters {
 /// measurement to the code that follows.
 void reset_alloc_peak();
 
+/// When enabled, every counted allocation dumps a raw backtrace to
+/// stderr (addresses only; symbolize offline with `addr2line -e
+/// <bench_binary>`). Scope it around a suspect region to attribute
+/// residual steady-state allocations. Glibc-only; a no-op elsewhere.
+void set_alloc_trace(bool enabled);
+
 /// Machine-readable bench output. Every bench binary can accumulate
 /// top-level metrics (e.g. ratio, psnr_db, speedup) plus per-setting
 /// rows and dump them as BENCH_<name>.json, which tools/check_bench.py

@@ -97,7 +97,18 @@ int main(int argc, char** argv) {
   double best_mb_per_s = 0.0;
   BlockCompressResult last;
   for (const std::size_t workers : worker_sweep) {
+    // Untimed warm rep at this worker count: pools, arenas, and worker
+    // scratch reach steady state before the counters start, so every
+    // row (stream and legacy alike) reports the same thing — transient
+    // growth above a warm baseline — instead of charging whichever row
+    // runs first for one-time pool growth.
+    (void)block_compress(field, config, workers, block_slabs);
     bench::reset_alloc_peak();
+    // OCELOT_ALLOC_TRACE=1: backtrace every counted allocation in the
+    // single-worker timed region (attribution for the allocs/block gate).
+    const bool trace =
+        workers == 1 && std::getenv("OCELOT_ALLOC_TRACE") != nullptr;
+    bench::set_alloc_trace(trace);
     const bench::AllocCounters before = bench::alloc_counters();
     double wall = 0.0;
     for (int r = 0; r < reps; ++r) {
@@ -105,6 +116,7 @@ int main(int argc, char** argv) {
       wall += last.wall_seconds;
     }
     const bench::AllocCounters after = bench::alloc_counters();
+    bench::set_alloc_trace(false);
 
     const double allocs = static_cast<double>(after.allocs - before.allocs);
     const double blocks = static_cast<double>(n_blocks * reps);
@@ -136,6 +148,8 @@ int main(int argc, char** argv) {
   // path), single-threaded like the stream w=1 row.
   Bytes legacy;
   {
+    // Same warm-then-measure discipline as the stream rows.
+    legacy = legacy_buffered_compress(field, config, block_slabs);
     bench::reset_alloc_peak();
     const bench::AllocCounters before = bench::alloc_counters();
     Timer timer;

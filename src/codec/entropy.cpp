@@ -145,6 +145,24 @@ void entropy_encode_codes(std::span<const std::uint32_t> codes,
   stage.encode_into(codes, out);
 }
 
+void entropy_encode_codes_hist(
+    std::span<const std::uint32_t> codes,
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> hist,
+    const EntropyStage& stage, LosslessBackend lossless, ByteSink& out) {
+  if (stage.wire_id() == kEntropyHuffmanId) {
+    PooledBuffer huff(BufferPool::shared());
+    ByteSink huff_sink(*huff);
+    {
+      OCELOT_SPAN("codec.huffman");
+      huffman_encode(codes, hist, huff_sink);
+    }
+    OCELOT_SPAN("codec.lossless");
+    lossless_compress(*huff, lossless, out);
+    return;
+  }
+  entropy_encode_codes(codes, stage, lossless, out);
+}
+
 void entropy_decode_codes_into(std::span<const std::uint8_t> packed,
                                std::vector<std::uint32_t>& out) {
   if (packed.empty()) throw CorruptStream("entropy: empty codes section");

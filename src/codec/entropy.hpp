@@ -107,6 +107,16 @@ void entropy_encode_codes(std::span<const std::uint32_t> codes,
                           const EntropyStage& stage, LosslessBackend lossless,
                           ByteSink& out);
 
+/// Histogram-aware variant for fused encoders that counted the symbols
+/// while quantizing. `hist` must be the exact symbol-sorted histogram
+/// of `codes`; the huffman stage then skips its counting pass, other
+/// stages ignore the histogram. Bytes are identical to
+/// entropy_encode_codes for every stage.
+void entropy_encode_codes_hist(
+    std::span<const std::uint32_t> codes,
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> hist,
+    const EntropyStage& stage, LosslessBackend lossless, ByteSink& out);
+
 /// Decodes a packed codes section, dispatching on the leading byte.
 /// Throws CorruptStream for empty sections and unknown stage ids.
 void entropy_decode_codes_into(std::span<const std::uint8_t> packed,

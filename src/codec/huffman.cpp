@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <array>
-#include <queue>
 
+#include "common/arena.hpp"
 #include "common/bitstream.hpp"
 #include "common/buffer_pool.hpp"
 #include "common/error.hpp"
+#include "compressor/kernels/dispatch.hpp"
 #include "obs/trace.hpp"
 
 namespace ocelot {
@@ -15,60 +16,280 @@ namespace {
 
 constexpr int kMaxCodeLength = 57;
 
-struct TreeNode {
-  std::uint64_t weight;
-  int height;           // for deterministic tie-breaking and depth control
-  std::int64_t symbol;  // >= 0 for leaves, -1 for internal
-  int left = -1;
-  int right = -1;
-};
+/// Dense-window histogram cap: ranges wider than this fall back to the
+/// sort-based path. Quant codes cluster around the radius and byte
+/// planes span <= 256, so the window is tiny in practice; the cap also
+/// bounds it against O(n) so zeroing never dominates counting.
+constexpr std::uint64_t kDenseHistSpan = 1u << 17;
 
-/// Computes per-symbol depths of the Huffman tree for `counts` (a
-/// symbol-sorted histogram). Returns pairs sorted by symbol. May
-/// exceed kMaxCodeLength for pathological weights; the caller rescales
-/// and retries.
-std::vector<std::pair<std::uint32_t, int>> tree_depths(
-    const SymbolHist& counts) {
-  std::vector<TreeNode> nodes;
-  nodes.reserve(counts.size() * 2);
-  using QItem = std::pair<std::pair<std::uint64_t, int>, int>;  // ((w,h), idx)
-  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-  for (const auto& [sym, cnt] : counts) {
-    nodes.push_back({cnt, 0, static_cast<std::int64_t>(sym)});
-    pq.push({{cnt, 0}, static_cast<int>(nodes.size()) - 1});
+/// Emit-table cap (entries): symbols spanning a wider range use the
+/// binary-search emit path.
+constexpr std::uint64_t kEmitTableSpan = 1u << 17;
+
+/// Decode lookup covers codes up to this many bits; longer codes (rare
+/// tail symbols) take the canonical walk.
+constexpr int kDecodeLutBits = 11;
+
+std::uint64_t bit_reverse(std::uint64_t w, int len) {
+  std::uint64_t r = 0;
+  for (int i = 0; i < len; ++i) {
+    r = (r << 1) | (w & 1u);
+    w >>= 1;
   }
-  while (pq.size() > 1) {
-    const auto a = pq.top();
-    pq.pop();
-    const auto b = pq.top();
-    pq.pop();
+  return r;
+}
+
+/// Huffman tree depths for `syms`/`weights` (symbol-sorted), written
+/// into `lengths` (aligned with syms). Returns the max depth; may
+/// exceed kMaxCodeLength for pathological weights — the caller
+/// rescales and retries. The heap replays std::priority_queue's exact
+/// push/pop sequence (push_back+push_heap / pop_heap+pop_back with the
+/// same ((weight, height), index) ordering), so tie-breaking — and
+/// with it every emitted table byte — matches the historical coder.
+int tree_depths_into(
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> hist,
+    std::span<const std::uint64_t> weights, ScratchArena& arena,
+    std::span<std::pair<std::uint32_t, int>> lengths) {
+  struct TreeNode {
+    std::uint64_t weight;
+    int height;
+    std::int64_t symbol;  // >= 0 for leaves, -1 for internal
+    int left = -1;
+    int right = -1;
+  };
+  using QItem = std::pair<std::pair<std::uint64_t, int>, int>;  // ((w,h), idx)
+
+  const std::size_t u = hist.size();
+  const ScratchArena::Mark m = arena.mark();
+  std::span<TreeNode> nodes = arena.alloc<TreeNode>(2 * u);
+  std::span<QItem> heap = arena.alloc<QItem>(u);
+  std::size_t n_nodes = 0;
+  std::size_t hn = 0;
+  const auto greater = std::greater<>{};
+  for (std::size_t i = 0; i < u; ++i) {
+    nodes[n_nodes] = {weights[i], 0, static_cast<std::int64_t>(hist[i].first),
+                      -1, -1};
+    heap[hn++] = {{weights[i], 0}, static_cast<int>(n_nodes)};
+    std::push_heap(heap.begin(), heap.begin() + hn, greater);
+    ++n_nodes;
+  }
+  while (hn > 1) {
+    std::pop_heap(heap.begin(), heap.begin() + hn, greater);
+    const QItem a = heap[--hn];
+    std::pop_heap(heap.begin(), heap.begin() + hn, greater);
+    const QItem b = heap[--hn];
     TreeNode parent;
     parent.weight = a.first.first + b.first.first;
     parent.height = std::max(a.first.second, b.first.second) + 1;
     parent.symbol = -1;
     parent.left = a.second;
     parent.right = b.second;
-    nodes.push_back(parent);
-    pq.push({{parent.weight, parent.height}, static_cast<int>(nodes.size()) - 1});
+    nodes[n_nodes] = parent;
+    heap[hn++] = {{parent.weight, parent.height}, static_cast<int>(n_nodes)};
+    std::push_heap(heap.begin(), heap.begin() + hn, greater);
+    ++n_nodes;
   }
 
-  std::vector<std::pair<std::uint32_t, int>> depths;
-  depths.reserve(counts.size());
-  // Iterative DFS from the root (last node).
-  std::vector<std::pair<int, int>> stack{{static_cast<int>(nodes.size()) - 1, 0}};
-  while (!stack.empty()) {
-    const auto [idx, depth] = stack.back();
-    stack.pop_back();
+  // Iterative DFS from the root (last node), then sort by symbol.
+  std::span<std::pair<int, int>> stack =
+      arena.alloc<std::pair<int, int>>(2 * u);
+  std::size_t sn = 0;
+  stack[sn++] = {static_cast<int>(n_nodes) - 1, 0};
+  std::size_t out = 0;
+  int max_depth = 0;
+  while (sn > 0) {
+    const auto [idx, depth] = stack[--sn];
     const TreeNode& n = nodes[static_cast<std::size_t>(idx)];
     if (n.symbol >= 0) {
-      depths.emplace_back(static_cast<std::uint32_t>(n.symbol), depth);
+      lengths[out++] = {static_cast<std::uint32_t>(n.symbol), depth};
+      max_depth = std::max(max_depth, depth);
     } else {
-      stack.emplace_back(n.left, depth + 1);
-      stack.emplace_back(n.right, depth + 1);
+      stack[sn++] = {n.left, depth + 1};
+      stack[sn++] = {n.right, depth + 1};
     }
   }
-  std::sort(depths.begin(), depths.end());
-  return depths;
+  std::sort(lengths.begin(), lengths.end());
+  arena.rewind(m);
+  return max_depth;
+}
+
+/// Canonical code views, arena-backed and sorted by symbol.
+struct CodeView {
+  std::span<const std::pair<std::uint32_t, int>> lengths;
+  std::span<const std::uint64_t> rev;  ///< bit-reversed codewords, aligned
+};
+
+/// Builds the canonical code for a symbol-sorted histogram: tree
+/// depths (with the historical rescale-retry depth cap), then
+/// canonical codewords assigned by (length, symbol), stored
+/// bit-reversed so LSB-first accumulator emission reproduces the
+/// MSB-first bit order of the original per-bit writer.
+CodeView build_canonical(
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> hist,
+    ScratchArena& arena) {
+  const std::size_t u = hist.size();
+  std::span<std::pair<std::uint32_t, int>> lengths =
+      arena.alloc<std::pair<std::uint32_t, int>>(u);
+  std::span<std::uint64_t> rev = arena.alloc<std::uint64_t>(u);
+  if (u == 1) {
+    // Degenerate code: a single symbol encoded in zero bits.
+    lengths[0] = {hist[0].first, 0};
+    rev[0] = 0;
+    return {lengths, rev};
+  }
+
+  std::span<std::uint64_t> scaled = arena.alloc<std::uint64_t>(u);
+  for (std::size_t i = 0; i < u; ++i) scaled[i] = hist[i].second;
+  while (tree_depths_into(hist, scaled, arena, lengths) > kMaxCodeLength) {
+    // Flatten the distribution and retry; halving weights (floor at 1)
+    // strictly reduces the weight ratio that causes deep trees.
+    for (std::uint64_t& w : scaled) w = std::max<std::uint64_t>(1, w / 2);
+  }
+
+  // Canonical assignment: sort by (length, symbol); codewords count
+  // up, shifting left at every length increase.
+  const ScratchArena::Mark m = arena.mark();
+  std::span<std::uint32_t> order = arena.alloc<std::uint32_t>(u);
+  for (std::size_t i = 0; i < u; ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (lengths[a].second != lengths[b].second)
+      return lengths[a].second < lengths[b].second;
+    return lengths[a].first < lengths[b].first;
+  });
+  std::uint64_t next = 0;
+  int prev_len = lengths[order[0]].second;
+  for (const std::uint32_t idx : order) {
+    const int len = lengths[idx].second;
+    next <<= (len - prev_len);
+    prev_len = len;
+    rev[idx] = bit_reverse(next++, len);
+  }
+  arena.rewind(m);
+  return {lengths, rev};
+}
+
+/// Packs the bit payload through a 64-bit accumulator. Bits land
+/// LSB-first per byte exactly like BitWriter: appending the
+/// bit-reversed codeword at the accumulator's fill point emits the
+/// codeword MSB-first. Flushing keeps the fill <= 7, and 7 + 57-bit
+/// max codeword fits the accumulator.
+void emit_payload(std::span<const std::uint32_t> symbols, const CodeView& code,
+                  ScratchArena& arena, Bytes& dst) {
+  std::uint64_t acc = 0;
+  int nbits = 0;
+  const auto put = [&](std::uint64_t rev, int len) {
+    acc |= rev << nbits;
+    nbits += len;
+    while (nbits >= 8) {
+      dst.push_back(static_cast<std::uint8_t>(acc));
+      acc >>= 8;
+      nbits -= 8;
+    }
+  };
+
+  const std::uint32_t min_sym = code.lengths.front().first;
+  const std::uint32_t max_sym = code.lengths.back().first;
+  const std::uint64_t range =
+      static_cast<std::uint64_t>(max_sym) - min_sym + 1;
+  if (range <= kEmitTableSpan) {
+    // Dense (reversed codeword << 6 | length) table over the symbol
+    // range: one load + shift per symbol.
+    const ScratchArena::Mark m = arena.mark();
+    std::span<std::uint64_t> lut = arena.alloc<std::uint64_t>(range);
+    std::fill(lut.begin(), lut.end(), 0);
+    for (std::size_t i = 0; i < code.lengths.size(); ++i) {
+      lut[code.lengths[i].first - min_sym] =
+          (code.rev[i] << 6) |
+          static_cast<std::uint64_t>(code.lengths[i].second);
+    }
+    for (const std::uint32_t s : symbols) {
+      const std::uint64_t e = lut[s - min_sym];
+      put(e >> 6, static_cast<int>(e & 63u));
+    }
+    arena.rewind(m);
+  } else {
+    for (const std::uint32_t s : symbols) {
+      const auto it = std::lower_bound(
+          code.lengths.begin(), code.lengths.end(), s,
+          [](const auto& entry, std::uint32_t v) { return entry.first < v; });
+      const auto idx = static_cast<std::size_t>(it - code.lengths.begin());
+      put(code.rev[idx], code.lengths[idx].second);
+    }
+  }
+  if (nbits > 0) dst.push_back(static_cast<std::uint8_t>(acc));
+}
+
+/// Everything after the symbol count: code build, table emit, payload.
+/// `hist` must be the exact symbol-sorted histogram of `symbols`.
+void encode_with_hist(
+    std::span<const std::uint32_t> symbols,
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> hist,
+    ScratchArena& arena, ByteSink& out) {
+  const CodeView code = build_canonical(hist, arena);
+
+  // Table: unique count, then delta-coded symbols with lengths.
+  out.put_varint(code.lengths.size());
+  std::uint32_t prev = 0;
+  for (const auto& [sym, len] : code.lengths) {
+    out.put_varint(sym - prev);
+    out.put_varint(static_cast<std::uint64_t>(len));
+    prev = sym;
+  }
+
+  // The payload length is fully determined by the histogram, so the
+  // blob's varint prefix can go out before a single bit is packed —
+  // the bit stream then lands directly in the sink's buffer. lengths
+  // and the histogram are sorted over the same symbol set, so they
+  // align index by index.
+  std::uint64_t payload_bits = 0;
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    payload_bits +=
+        hist[i].second * static_cast<std::uint64_t>(code.lengths[i].second);
+  }
+  out.put_varint((payload_bits + 7) / 8);
+  out.reserve((payload_bits + 7) / 8);
+  if (payload_bits > 0) emit_payload(symbols, code, arena, out.target());
+}
+
+/// Symbol-sorted histogram in arena storage: dense window counting
+/// when the (SIMD-scanned) symbol range is narrow, sort + run-length
+/// otherwise.
+std::span<const std::pair<std::uint32_t, std::uint64_t>> histogram_into_arena(
+    std::span<const std::uint32_t> symbols, ScratchArena& arena) {
+  std::uint32_t lo = 0, hi = 0;
+  kernels::u32_min_max(symbols.data(), symbols.size(), lo, hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi) - lo + 1;
+  if (range <= kDenseHistSpan &&
+      range <= 8 * static_cast<std::uint64_t>(symbols.size()) + 1024) {
+    std::span<std::uint64_t> win = arena.alloc<std::uint64_t>(range);
+    std::fill(win.begin(), win.end(), 0);
+    for (const std::uint32_t s : symbols) ++win[s - lo];
+    std::size_t unique = 0;
+    for (const std::uint64_t c : win) unique += c != 0 ? 1 : 0;
+    std::span<std::pair<std::uint32_t, std::uint64_t>> hist =
+        arena.alloc<std::pair<std::uint32_t, std::uint64_t>>(unique);
+    std::size_t out = 0;
+    for (std::uint64_t i = 0; i < range; ++i) {
+      if (win[i] != 0) {
+        hist[out++] = {lo + static_cast<std::uint32_t>(i), win[i]};
+      }
+    }
+    return hist;
+  }
+  std::span<std::uint32_t> sorted = arena.alloc<std::uint32_t>(symbols.size());
+  std::copy(symbols.begin(), symbols.end(), sorted.begin());
+  std::sort(sorted.begin(), sorted.end());
+  std::span<std::pair<std::uint32_t, std::uint64_t>> hist =
+      arena.alloc<std::pair<std::uint32_t, std::uint64_t>>(sorted.size());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < sorted.size();) {
+    const std::uint32_t sym = sorted[i];
+    std::size_t run = i + 1;
+    while (run < sorted.size() && sorted[run] == sym) ++run;
+    hist[out++] = {sym, run - i};
+    i = run;
+  }
+  return hist.first(out);
 }
 
 }  // namespace
@@ -82,19 +303,9 @@ SymbolCounts count_symbols(std::span<const std::uint32_t> symbols) {
 SymbolHist histogram_symbols(std::span<const std::uint32_t> symbols) {
   SymbolHist hist;
   if (symbols.empty()) return hist;
-  // Sort a pooled copy and run-length it: one scratch vector instead
-  // of a map node per unique symbol.
-  ScratchLease<std::uint32_t> sorted(ScratchPool<std::uint32_t>::shared(),
-                                     symbols.size());
-  sorted->assign(symbols.begin(), symbols.end());
-  std::sort(sorted->begin(), sorted->end());
-  for (std::size_t i = 0; i < sorted->size();) {
-    const std::uint32_t sym = (*sorted)[i];
-    std::size_t run = i + 1;
-    while (run < sorted->size() && (*sorted)[run] == sym) ++run;
-    hist.emplace_back(sym, run - i);
-    i = run;
-  }
+  ArenaScope scope;
+  const auto view = histogram_into_arena(symbols, scope.arena());
+  hist.assign(view.begin(), view.end());
   return hist;
 }
 
@@ -105,54 +316,14 @@ HuffmanCode HuffmanCode::from_counts(const SymbolCounts& counts) {
 HuffmanCode HuffmanCode::from_histogram(const SymbolHist& counts) {
   require(!counts.empty(), "HuffmanCode: empty histogram");
   HuffmanCode code;
-  if (counts.size() == 1) {
-    // Degenerate code: a single symbol encoded in zero bits.
-    code.lengths_ = {{counts.begin()->first, 0}};
-    code.codewords_ = {0};
-    return code;
+  ArenaScope scope;
+  const CodeView view = build_canonical(counts, scope.arena());
+  code.lengths_.assign(view.lengths.begin(), view.lengths.end());
+  code.codewords_.resize(view.rev.size());
+  for (std::size_t i = 0; i < view.rev.size(); ++i) {
+    code.codewords_[i] = bit_reverse(view.rev[i], view.lengths[i].second);
   }
-
-  SymbolHist scaled = counts;
-  while (true) {
-    auto depths = tree_depths(scaled);
-    const int max_depth =
-        std::max_element(depths.begin(), depths.end(),
-                         [](const auto& a, const auto& b) {
-                           return a.second < b.second;
-                         })
-            ->second;
-    if (max_depth <= kMaxCodeLength) {
-      code.lengths_ = std::move(depths);
-      break;
-    }
-    // Flatten the distribution and retry; halving weights (floor at 1)
-    // strictly reduces the weight ratio that causes deep trees.
-    for (auto& [sym, cnt] : scaled) cnt = std::max<std::uint64_t>(1, cnt / 2);
-  }
-  code.assign_canonical_codewords();
   return code;
-}
-
-void HuffmanCode::assign_canonical_codewords() {
-  // Canonical assignment: sort by (length, symbol); codewords count up,
-  // shifting left at every length increase.
-  std::vector<std::size_t> order(lengths_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (lengths_[a].second != lengths_[b].second)
-      return lengths_[a].second < lengths_[b].second;
-    return lengths_[a].first < lengths_[b].first;
-  });
-
-  codewords_.assign(lengths_.size(), 0);
-  std::uint64_t next = 0;
-  int prev_len = lengths_[order[0]].second;
-  for (const std::size_t idx : order) {
-    const int len = lengths_[idx].second;
-    next <<= (len - prev_len);
-    prev_len = len;
-    codewords_[idx] = next++;
-  }
 }
 
 int HuffmanCode::length(std::uint32_t symbol) const {
@@ -183,51 +354,23 @@ std::uint64_t HuffmanCode::encoded_bits(const SymbolCounts& counts) const {
 void huffman_encode(std::span<const std::uint32_t> symbols, ByteSink& out) {
   out.put_varint(symbols.size());
   if (symbols.empty()) return;
-
-  SymbolHist counts;
-  HuffmanCode code;
+  ArenaScope scope;
+  std::span<const std::pair<std::uint32_t, std::uint64_t>> hist;
   {
     OCELOT_SPAN("codec.huffman.histogram");
-    counts = histogram_symbols(symbols);
-    code = HuffmanCode::from_histogram(counts);
+    hist = histogram_into_arena(symbols, scope.arena());
   }
+  encode_with_hist(symbols, hist, scope.arena(), out);
+}
 
-  // Table: unique count, then delta-coded symbols with lengths.
-  out.put_varint(code.lengths_.size());
-  std::uint32_t prev = 0;
-  for (const auto& [sym, len] : code.lengths_) {
-    out.put_varint(sym - prev);
-    out.put_varint(static_cast<std::uint64_t>(len));
-    prev = sym;
-  }
-
-  // The payload length is fully determined by the histogram, so the
-  // blob's varint prefix can go out before a single bit is packed —
-  // the bit stream then lands directly in the sink's buffer instead of
-  // an intermediate vector. lengths_ and the histogram are sorted over
-  // the same symbol set, so they align index by index.
-  std::uint64_t payload_bits = 0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    payload_bits += counts[i].second *
-                    static_cast<std::uint64_t>(code.lengths_[i].second);
-  }
-  out.put_varint((payload_bits + 7) / 8);
-  out.reserve((payload_bits + 7) / 8);
-
-  // Fast per-symbol lookup aligned with lengths_ order.
-  BitWriter bits(out.target());
-  for (const std::uint32_t s : symbols) {
-    const auto it = std::lower_bound(
-        code.lengths_.begin(), code.lengths_.end(), s,
-        [](const auto& entry, std::uint32_t v) { return entry.first < v; });
-    const std::size_t idx =
-        static_cast<std::size_t>(it - code.lengths_.begin());
-    const int len = code.lengths_[idx].second;
-    const std::uint64_t w = code.codewords_[idx];
-    // Emit MSB-first so canonical prefix decoding works bit by bit.
-    for (int b = len - 1; b >= 0; --b) bits.put_bit((w >> b) & 1u);
-  }
-  bits.flush();
+void huffman_encode(
+    std::span<const std::uint32_t> symbols,
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> hist,
+    ByteSink& out) {
+  out.put_varint(symbols.size());
+  if (symbols.empty()) return;
+  ArenaScope scope;
+  encode_with_hist(symbols, hist, scope.arena(), out);
 }
 
 Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
@@ -246,15 +389,17 @@ void huffman_decode_into(std::span<const std::uint8_t> data,
 
   const std::uint64_t unique = in.get_varint();
   if (unique == 0) throw CorruptStream("huffman: empty code table");
-  std::vector<std::pair<std::uint32_t, int>> lengths;
-  lengths.reserve(unique);
+  ArenaScope scope;
+  ScratchArena& arena = scope.arena();
+  std::span<std::pair<std::uint32_t, int>> lengths =
+      arena.alloc<std::pair<std::uint32_t, int>>(unique);
   std::uint32_t sym = 0;
   for (std::uint64_t i = 0; i < unique; ++i) {
     sym += static_cast<std::uint32_t>(in.get_varint());
     const int len = static_cast<int>(in.get_varint());
     if (len < 0 || len > kMaxCodeLength)
       throw CorruptStream("huffman: bad code length");
-    lengths.emplace_back(sym, len);
+    lengths[i] = {sym, len};
   }
 
   if (unique == 1) {
@@ -265,10 +410,13 @@ void huffman_decode_into(std::span<const std::uint8_t> data,
   }
 
   // Canonical decode tables: per length, the first codeword and the
-  // symbols of that length in canonical order.
-  std::vector<std::size_t> order(lengths.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+  // symbols of that length in canonical order; codes up to
+  // kDecodeLutBits also get a direct (reversed-prefix -> symbol,
+  // length) lookup.
+  std::span<std::uint32_t> order = arena.alloc<std::uint32_t>(unique);
+  for (std::uint64_t i = 0; i < unique; ++i)
+    order[i] = static_cast<std::uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
     if (lengths[a].second != lengths[b].second)
       return lengths[a].second < lengths[b].second;
     return lengths[a].first < lengths[b].first;
@@ -277,40 +425,88 @@ void huffman_decode_into(std::span<const std::uint8_t> data,
   std::array<std::uint64_t, kMaxCodeLength + 2> first_code{};
   std::array<std::uint64_t, kMaxCodeLength + 2> count_at{};
   std::array<std::size_t, kMaxCodeLength + 2> offset_at{};
-  std::vector<std::uint32_t> symbols_in_order;
-  symbols_in_order.reserve(lengths.size());
+  std::span<std::uint32_t> symbols_in_order =
+      arena.alloc<std::uint32_t>(unique);
+  const int max_len = lengths[order[unique - 1]].second;
+  const int lut_bits = std::min(kDecodeLutBits, max_len);
+  const std::size_t lut_size = std::size_t{1} << lut_bits;
+  std::span<std::uint32_t> lut = arena.alloc<std::uint32_t>(lut_size);
+  std::fill(lut.begin(), lut.end(), 0);
   {
     std::uint64_t next = 0;
+    std::size_t pos = 0;
     int prev_len = lengths[order[0]].second;
     if (prev_len == 0) throw CorruptStream("huffman: zero-length code");
-    for (const std::size_t idx : order) {
+    for (const std::uint32_t idx : order) {
       const int len = lengths[idx].second;
       next <<= (len - prev_len);
       prev_len = len;
       if (count_at[static_cast<std::size_t>(len)] == 0) {
         first_code[static_cast<std::size_t>(len)] = next;
-        offset_at[static_cast<std::size_t>(len)] = symbols_in_order.size();
+        offset_at[static_cast<std::size_t>(len)] = pos;
       }
       ++count_at[static_cast<std::size_t>(len)];
-      symbols_in_order.push_back(lengths[idx].first);
+      symbols_in_order[pos] = lengths[idx].first;
+      if (len <= lut_bits) {
+        const std::uint64_t rev = bit_reverse(next, len);
+        const std::uint32_t entry =
+            (static_cast<std::uint32_t>(pos) << 6) |
+            static_cast<std::uint32_t>(len);
+        for (std::uint64_t fill = rev; fill < lut_size;
+             fill += std::uint64_t{1} << len) {
+          lut[fill] = entry;
+        }
+      }
+      ++pos;
       ++next;
     }
   }
 
+  // Buffered payload reads: a 64-bit window refilled bytewise. The
+  // LUT consumes whole codewords; longer codes fall back to the
+  // canonical first_code walk bit by bit.
   const auto payload = in.get_blob();
-  BitReader bits(payload);
+  const std::uint8_t* p = payload.data();
+  const std::size_t nbytes = payload.size();
+  std::size_t bpos = 0;
+  std::uint64_t acc = 0;
+  int navail = 0;
+  const std::uint64_t lut_mask = lut_size - 1;
   for (std::uint64_t i = 0; i < n; ++i) {
-    std::uint64_t codeword = 0;
-    int len = 0;
+    while (navail <= 56 && bpos < nbytes) {
+      acc |= static_cast<std::uint64_t>(p[bpos++]) << navail;
+      navail += 8;
+    }
+    const std::uint32_t e = lut[acc & lut_mask];
+    const int len = static_cast<int>(e & 63u);
+    if (len != 0 && len <= navail) {
+      out.push_back(symbols_in_order[e >> 6]);
+      acc >>= len;
+      navail -= len;
+      continue;
+    }
+    // Slow path: codes longer than the LUT, or a (possibly truncated)
+    // stream tail.
+    std::uint64_t cw = 0;
+    int l = 0;
     while (true) {
-      codeword = (codeword << 1) | static_cast<std::uint64_t>(bits.get_bit());
-      ++len;
-      if (len > kMaxCodeLength) throw CorruptStream("huffman: code too long");
-      const auto l = static_cast<std::size_t>(len);
-      if (count_at[l] != 0 && codeword >= first_code[l] &&
-          codeword < first_code[l] + count_at[l]) {
-        out.push_back(
-            symbols_in_order[offset_at[l] + (codeword - first_code[l])]);
+      if (navail == 0) {
+        if (bpos < nbytes) {
+          acc = p[bpos++];
+          navail = 8;
+        } else {
+          throw CorruptStream("bit stream exhausted");
+        }
+      }
+      cw = (cw << 1) | (acc & 1u);
+      acc >>= 1;
+      --navail;
+      ++l;
+      if (l > kMaxCodeLength) throw CorruptStream("huffman: code too long");
+      const auto ls = static_cast<std::size_t>(l);
+      if (count_at[ls] != 0 && cw >= first_code[ls] &&
+          cw < first_code[ls] + count_at[ls]) {
+        out.push_back(symbols_in_order[offset_at[ls] + (cw - first_code[ls])]);
         break;
       }
     }

@@ -66,9 +66,6 @@ class HuffmanCode {
   // Sorted by symbol; codewords_ aligned with lengths_.
   std::vector<std::pair<std::uint32_t, int>> lengths_;
   std::vector<std::uint64_t> codewords_;
-
-  void assign_canonical_codewords();
-  friend void huffman_encode(std::span<const std::uint32_t>, ByteSink&);
 };
 
 /// Encodes a symbol stream (table + bits) into `out`. The payload
@@ -76,6 +73,15 @@ class HuffmanCode {
 /// packs straight into the sink's buffer — no intermediate vector.
 /// Empty input yields a valid stream that decodes to an empty vector.
 void huffman_encode(std::span<const std::uint32_t> symbols, ByteSink& out);
+
+/// Histogram-aware variant for fused callers that already counted the
+/// symbols while producing them. `hist` must be the exact
+/// symbol-sorted histogram of `symbols`; the stream is byte-identical
+/// to the histogram-free overload.
+void huffman_encode(
+    std::span<const std::uint32_t> symbols,
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> hist,
+    ByteSink& out);
 
 /// Convenience wrapper returning a fresh buffer.
 Bytes huffman_encode(std::span<const std::uint32_t> symbols);

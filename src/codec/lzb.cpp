@@ -1,9 +1,11 @@
 #include "codec/lzb.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 
 namespace ocelot {
@@ -56,38 +58,51 @@ void emit_sequence(Bytes& out, std::span<const std::uint8_t> literals,
   }
 }
 
-}  // namespace
+/// Greedy match extension past the verified kMinMatch prefix. Word-at-
+/// a-time on little-endian (first mismatching byte from countr_zero of
+/// the XOR), bytewise otherwise — both walk the same greedy frontier,
+/// so the emitted sequences are identical.
+std::size_t extend_match(const std::uint8_t* base, std::size_t cpos,
+                         std::size_t pos, std::size_t limit) {
+  std::size_t len = kMinMatch;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len + sizeof(std::uint64_t) <= limit) {
+      std::uint64_t a;
+      std::uint64_t b;
+      std::memcpy(&a, base + cpos + len, sizeof(a));
+      std::memcpy(&b, base + pos + len, sizeof(b));
+      const std::uint64_t x = a ^ b;
+      if (x != 0) {
+        return len + (static_cast<std::size_t>(std::countr_zero(x)) >> 3);
+      }
+      len += sizeof(std::uint64_t);
+    }
+  }
+  while (len < limit && base[cpos + len] == base[pos + len]) ++len;
+  return len;
+}
 
-void lzb_compress(std::span<const std::uint8_t> raw, ByteSink& sink) {
-  sink.put_varint(raw.size());
-  if (raw.empty()) return;
-  Bytes& out = sink.target();
-
-  // Single-entry hash table of the most recent position per 4-byte
-  // hash. Thread-local scratch: the 512 KiB table is allocated once
-  // per thread instead of once per call.
-  thread_local std::vector<std::int64_t> table;
-  table.assign(1u << kHashBits, -1);
+/// The match loop, with the table policy factored out so the epoch-
+/// versioned fast path and the (>= 4 GiB input) plain-vector fallback
+/// share one definition. A policy exposes get(h) -> most recent
+/// position or -1, and put(h, pos).
+template <typename Table>
+void compress_core(std::span<const std::uint8_t> raw, Bytes& out,
+                   Table&& table) {
   const std::uint8_t* base = raw.data();
   std::size_t pos = 0;
   std::size_t literal_start = 0;
 
   while (pos + kMinMatch <= raw.size()) {
     const std::uint32_t h = hash4(base + pos);
-    const std::int64_t cand = table[h];
-    table[h] = static_cast<std::int64_t>(pos);
+    const std::int64_t cand = table.get(h);
+    table.put(h, pos);
 
     std::size_t match_len = 0;
-    if (cand >= 0 &&
-        pos - static_cast<std::size_t>(cand) <= kMaxOffset &&
+    if (cand >= 0 && pos - static_cast<std::size_t>(cand) <= kMaxOffset &&
         std::memcmp(base + cand, base + pos, kMinMatch) == 0) {
-      const std::size_t cpos = static_cast<std::size_t>(cand);
-      match_len = kMinMatch;
-      const std::size_t limit = raw.size() - pos;
-      while (match_len < limit &&
-             base[cpos + match_len] == base[pos + match_len]) {
-        ++match_len;
-      }
+      match_len = extend_match(base, static_cast<std::size_t>(cand), pos,
+                               raw.size() - pos);
     }
 
     if (match_len >= kMinMatch) {
@@ -95,9 +110,10 @@ void lzb_compress(std::span<const std::uint8_t> raw, ByteSink& sink) {
                     pos - static_cast<std::size_t>(cand), match_len);
       // Refresh the table inside the match so later data can reference it.
       const std::size_t end = pos + match_len;
-      for (std::size_t p = pos + 1; p + kMinMatch <= end && p + kMinMatch <= raw.size();
+      for (std::size_t p = pos + 1;
+           p + kMinMatch <= end && p + kMinMatch <= raw.size();
            p += 8) {  // sparse refresh keeps compression fast
-        table[hash4(base + p)] = static_cast<std::int64_t>(p);
+        table.put(hash4(base + p), p);
       }
       pos = end;
       literal_start = pos;
@@ -108,6 +124,64 @@ void lzb_compress(std::span<const std::uint8_t> raw, ByteSink& sink) {
 
   // Trailing literals (possibly the whole input).
   emit_sequence(out, raw.subspan(literal_start), 0, 0);
+}
+
+/// Single-entry hash table of the most recent position per 4-byte
+/// hash, held in the thread's arena as a persistent slot and versioned
+/// by an epoch word: an entry (epoch << 32 | pos) is live only when
+/// its upper half matches the current call's epoch, so stale positions
+/// read as "no candidate" and the 512 KiB table is zeroed once per
+/// thread (and at the ~2^32-call epoch wrap) instead of every call.
+struct EpochTable {
+  static constexpr std::size_t kWords = (std::size_t{1} << kHashBits) + 1;
+
+  explicit EpochTable(ScratchArena& arena) {
+    const auto slot = arena.persistent(ScratchArena::Slot::kLzbTable,
+                                       kWords * sizeof(std::uint64_t));
+    words_ = reinterpret_cast<std::uint64_t*>(slot.bytes.data());
+    if (slot.fresh || words_[0] == 0xFFFFFFFFull) {
+      std::memset(words_, 0, kWords * sizeof(std::uint64_t));
+    }
+    epoch_ = ++words_[0];
+  }
+
+  [[nodiscard]] std::int64_t get(std::uint32_t h) const {
+    const std::uint64_t e = words_[1 + h];
+    if ((e >> 32) != epoch_) return -1;
+    return static_cast<std::int64_t>(e & 0xFFFFFFFFull);
+  }
+  void put(std::uint32_t h, std::size_t pos) {
+    words_[1 + h] = (epoch_ << 32) | static_cast<std::uint64_t>(pos);
+  }
+
+  std::uint64_t* words_;
+  std::uint64_t epoch_;
+};
+
+/// Fallback for inputs whose positions do not fit the 32-bit packed
+/// entry (>= 4 GiB). Allocates per call; such inputs never hit the
+/// steady-state block loop.
+struct VectorTable {
+  std::vector<std::int64_t> entries =
+      std::vector<std::int64_t>(std::size_t{1} << kHashBits, -1);
+
+  [[nodiscard]] std::int64_t get(std::uint32_t h) const { return entries[h]; }
+  void put(std::uint32_t h, std::size_t pos) {
+    entries[h] = static_cast<std::int64_t>(pos);
+  }
+};
+
+}  // namespace
+
+void lzb_compress(std::span<const std::uint8_t> raw, ByteSink& sink) {
+  sink.put_varint(raw.size());
+  if (raw.empty()) return;
+  Bytes& out = sink.target();
+  if (raw.size() > 0xFFFFFFFFull) {
+    compress_core(raw, out, VectorTable{});
+    return;
+  }
+  compress_core(raw, out, EpochTable{ScratchArena::current()});
 }
 
 Bytes lzb_compress(std::span<const std::uint8_t> raw) {

@@ -22,6 +22,19 @@ void pack_codes(std::span<const std::uint32_t> codes,
   OCELOT_COUNT("codec.entropy_out_bytes", out.size() - out_before);
 }
 
+void pack_codes_hist(
+    std::span<const std::uint32_t> codes,
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> hist,
+    const CompressionConfig& config, ByteSink& out) {
+  OCELOT_SPAN("codec.entropy.codes");
+  const std::size_t out_before = out.size();
+  const EntropyStage& stage =
+      EntropyRegistry::instance().by_name(config.entropy);
+  entropy_encode_codes_hist(codes, hist, stage, config.lossless, out);
+  OCELOT_COUNT("codec.entropy_in_bytes", codes.size_bytes());
+  OCELOT_COUNT("codec.entropy_out_bytes", out.size() - out_before);
+}
+
 void pack_codes(std::span<const std::uint32_t> codes, LosslessBackend lossless,
                 ByteSink& out) {
   OCELOT_SPAN("codec.entropy.codes");

@@ -150,6 +150,14 @@ class SectionReader {
 /// default "huffman" stage the bytes match the legacy chain exactly.
 void pack_codes(std::span<const std::uint32_t> codes,
                 const CompressionConfig& config, ByteSink& out);
+/// Histogram-aware form for the fused encode path: `hist` must be the
+/// exact symbol-sorted histogram of `codes` (FusedQuant::hist_view),
+/// letting the huffman stage skip its counting pass. Bytes identical
+/// to pack_codes.
+void pack_codes_hist(
+    std::span<const std::uint32_t> codes,
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> hist,
+    const CompressionConfig& config, ByteSink& out);
 /// Deprecated legacy forms, fixed to the Huffman+`lossless` chain.
 /// Kept for wire-format tests and out-of-tree callers; new code should
 /// pass the config (sink form) so the entropy stage stays pluggable.

@@ -1,0 +1,59 @@
+#include "compressor/kernels/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace ocelot::kernels {
+
+namespace {
+
+std::atomic<int> g_forced{-1};
+
+SimdLevel detect() {
+#ifdef OCELOT_HAVE_AVX2_TU
+  // Escape hatch for A/B runs and the forced-scalar CI leg.
+  const char* no_simd = std::getenv("OCELOT_NO_SIMD");
+  if (no_simd != nullptr && *no_simd != '\0' && std::strcmp(no_simd, "0") != 0)
+    return SimdLevel::kScalar;
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+SimdLevel active_simd_level() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdLevel>(forced);
+  static const SimdLevel detected = detect();
+  return detected;
+}
+
+bool simd_level_compiled(SimdLevel level) {
+#ifdef OCELOT_HAVE_AVX2_TU
+  (void)level;
+  return true;
+#else
+  return level == SimdLevel::kScalar;
+#endif
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void force_simd_level(SimdLevel level) {
+  if (!simd_level_compiled(level)) level = SimdLevel::kScalar;
+  g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void reset_simd_level() { g_forced.store(-1, std::memory_order_relaxed); }
+
+}  // namespace ocelot::kernels

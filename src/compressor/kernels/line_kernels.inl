@@ -1,0 +1,120 @@
+// Shared kernel bodies, compiled once per ISA level.
+//
+// This file is #included inside an ISA namespace (kernels::scalar,
+// kernels::avx2) by a translation unit that defines:
+//   OCELOT_SIMD_LOOP    — vector pragma for the quantize loops
+//   OCELOT_SIMD_MINMAX  — vector pragma (integer min/max reduction)
+// The scalar TU defines both empty; the avx2 TU maps them to
+// `#pragma omp simd` and is built with -mavx2 -mno-fma -fopenmp-simd.
+// Both expansions run the identical double-precision expression
+// sequence — integer reductions are order-independent and the FP code
+// has no reductions and no contraction targets — so the two builds
+// emit identical bytes by construction.
+//
+// NOLINTBEGIN — included fragment, not a standalone header.
+
+// clang-format off
+#define OCELOT_QUANT_STORE(t_, idx_, pred_)                                   \
+  do {                                                                        \
+    const double real_d = static_cast<double>(orig[idx_]);                    \
+    const double diff = real_d - (pred_);                                     \
+    const double tq = diff / bin;                                             \
+    const double fl = std::floor(tq);                                         \
+    const double fr = tq - fl;                                                \
+    const double qd = (fr > 0.5 || (fr == 0.5 && tq > 0.0)) ? fl + 1.0 : fl;  \
+    bool okq = (diff - diff == 0.0) && qd > -radius_d && qd < radius_d;       \
+    const double qc = okq ? qd : 0.0;                                         \
+    const double recd = okq ? (pred_) + qc * bin : 0.0;                       \
+    const T rec = static_cast<T>(recd);                                       \
+    okq = okq && std::abs(static_cast<double>(rec) - real_d) <= eb;           \
+    const double codef = okq ? radius_d + qc : 0.0;                           \
+    codes[t_] = static_cast<std::uint32_t>(static_cast<std::int32_t>(codef)); \
+    recon[idx_] = okq ? rec : orig[idx_];                                     \
+  } while (0)
+// clang-format on
+
+/// Quantizes one interpolation line: `cnt` points at linear indices
+/// base + t*estep, predicted from reconstructed neighbors displaced by
+/// eoff (and 3*eoff for cubic) along the interpolation dimension.
+/// mode: 0 = border copy a(x-s), 1 = linear average, 2 = cubic.
+/// Within a refinement pass no point depends on another, so the
+/// predict+quantize loop is data-parallel; the raw/histogram fixup is
+/// a separate scalar sweep over the just-written codes.
+template <typename T>
+void encode_line_t(const T* orig, T* recon, std::size_t base,
+                   std::size_t estep, std::size_t cnt, std::size_t eoff,
+                   int mode, FusedQuant<T>& q) {
+  std::uint32_t* codes = q.codes + q.n_codes;
+  const double eb = q.eb;
+  const double bin = q.bin;
+  const double radius_d = q.radius_d;
+  if (mode == 2) {
+    OCELOT_SIMD_LOOP
+    for (std::size_t t = 0; t < cnt; ++t) {
+      const std::size_t idx = base + t * estep;
+      const double pred =
+          (-static_cast<double>(recon[idx - 3 * eoff]) +
+           9.0 * static_cast<double>(recon[idx - eoff]) +
+           9.0 * static_cast<double>(recon[idx + eoff]) -
+           static_cast<double>(recon[idx + 3 * eoff])) /
+          16.0;
+      OCELOT_QUANT_STORE(t, idx, pred);
+    }
+  } else if (mode == 1) {
+    OCELOT_SIMD_LOOP
+    for (std::size_t t = 0; t < cnt; ++t) {
+      const std::size_t idx = base + t * estep;
+      const double pred = 0.5 * (static_cast<double>(recon[idx - eoff]) +
+                                 static_cast<double>(recon[idx + eoff]));
+      OCELOT_QUANT_STORE(t, idx, pred);
+    }
+  } else {
+    OCELOT_SIMD_LOOP
+    for (std::size_t t = 0; t < cnt; ++t) {
+      const std::size_t idx = base + t * estep;
+      const double pred = static_cast<double>(recon[idx - eoff]);
+      OCELOT_QUANT_STORE(t, idx, pred);
+    }
+  }
+  for (std::size_t t = 0; t < cnt; ++t) {
+    const std::uint32_t c = codes[t];
+    if (c == 0) {
+      q.raw[q.n_raw++] = orig[base + t * estep];
+      ++q.n_zero;
+    } else {
+      ++q.hist[c];
+      if (c < q.lo) q.lo = c;
+      if (c > q.hi) q.hi = c;
+    }
+  }
+  q.n_codes += cnt;
+}
+
+#undef OCELOT_QUANT_STORE
+
+void u32_min_max(const std::uint32_t* v, std::size_t n, std::uint32_t& lo_out,
+                 std::uint32_t& hi_out) {
+  std::uint32_t lo = 0xffffffffu;
+  std::uint32_t hi = 0;
+  OCELOT_SIMD_MINMAX
+  for (std::size_t i = 0; i < n; ++i) {
+    lo = v[i] < lo ? v[i] : lo;
+    hi = v[i] > hi ? v[i] : hi;
+  }
+  lo_out = lo;
+  hi_out = hi;
+}
+
+void encode_line(const float* orig, float* recon, std::size_t base,
+                 std::size_t estep, std::size_t cnt, std::size_t eoff,
+                 int mode, FusedQuant<float>& q) {
+  encode_line_t<float>(orig, recon, base, estep, cnt, eoff, mode, q);
+}
+
+void encode_line(const double* orig, double* recon, std::size_t base,
+                 std::size_t estep, std::size_t cnt, std::size_t eoff,
+                 int mode, FusedQuant<double>& q) {
+  encode_line_t<double>(orig, recon, base, estep, cnt, eoff, mode, q);
+}
+
+// NOLINTEND

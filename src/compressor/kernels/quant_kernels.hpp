@@ -1,0 +1,38 @@
+#pragma once
+// Dispatched fused encode kernels.
+//
+// hierarchy_encode is the SIMD-dispatched, fused replacement for
+// hierarchy_traverse + QuantEncoder on the compress side: same visit
+// order, same predictions, same quantization — vectorized along each
+// refinement line, since within a pass every point's neighbors come
+// from earlier passes (no loop-carried dependency). The Lorenzo and
+// block-regression traversals carry a serial dependency through the
+// reconstruction feedback, so they fuse through FusedQuant::encode1
+// inside the existing traversal templates instead.
+//
+// Decode stays on the reference traversals + QuantDecoder: it is the
+// correctness anchor the property tests compare against.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/ndarray.hpp"
+#include "compressor/kernels/dispatch.hpp"
+#include "compressor/kernels/quant_common.hpp"
+
+namespace ocelot::kernels {
+
+/// Fused multilevel hierarchy encode over `orig` (layout given by
+/// `shape`), writing reconstructions into `recon` and codes/raws/
+/// histogram into the quantizers. Stride-1 refinement passes (and
+/// stride-1 anchors) quantize through `fine`; coarser levels through
+/// `coarse` when given, else `fine` — mirroring the level-aware
+/// callback of hierarchy_traverse. Bit-identical to the traversal +
+/// QuantEncoder composition on every dispatch level.
+template <typename T>
+void hierarchy_encode(const Shape& shape, const T* orig, std::span<T> recon,
+                      std::size_t anchor_stride, bool cubic,
+                      FusedQuant<T>& fine, FusedQuant<T>* coarse = nullptr);
+
+}  // namespace ocelot::kernels

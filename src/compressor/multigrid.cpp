@@ -1,9 +1,12 @@
 #include "compressor/multigrid.hpp"
 
+#include <algorithm>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/buffer_pool.hpp"
 #include "compressor/interpolation.hpp"
+#include "compressor/kernels/quant_kernels.hpp"
 #include "compressor/quantizer.hpp"
 #include "obs/trace.hpp"
 
@@ -34,36 +37,34 @@ class MultigridBackend final : public TypedBackend<MultigridBackend> {
                    const CompressionConfig& config, SectionWriter& out) const {
     const std::size_t stride =
         choose_anchor_stride(data.shape(), config.anchor_stride);
-    ScratchLease<T> recon(ScratchPool<T>::shared(), data.size());
-    recon->assign(data.size(), T{});
-    QuantEncoder<T> coarse(abs_eb / kMultigridCoarseTighten,
-                           config.quant_radius);
-    QuantEncoder<T> fine(abs_eb, config.quant_radius);
-    fine.reserve(data.size());
-    const auto original = data.values();
+    ArenaScope scope;
+    std::span<T> recon = scope.arena().alloc<T>(data.size());
+    std::fill(recon.begin(), recon.end(), T{});
+    kernels::FusedQuant<T> coarse = kernels::FusedQuant<T>::make(
+        abs_eb / kMultigridCoarseTighten, config.quant_radius, data.size(),
+        scope.arena(), ScratchArena::Slot::kHistB);
+    kernels::FusedQuant<T> fine = kernels::FusedQuant<T>::make(
+        abs_eb, config.quant_radius, data.size(), scope.arena(),
+        ScratchArena::Slot::kHistA);
     {
       OCELOT_SPAN("codec.predict_quantize");
-      hierarchy_traverse<T>(
-          data.shape(), std::span<T>(*recon), stride, /*cubic=*/false,
-          [&](std::size_t idx, double pred, std::size_t level) {
-            return (level == 1 ? fine : coarse).encode(pred, original[idx]);
-          });
+      kernels::hierarchy_encode<T>(data.shape(), data.values().data(), recon,
+                                   stride, /*cubic=*/false, fine, &coarse);
     }
     OCELOT_COUNT("codec.raw_bytes", data.size() * sizeof(T));
-    recon.reset();
+    const auto coarse_hist = coarse.hist_view(scope.arena());
+    const auto fine_hist = fine.hist_view(scope.arena());
     out.add_streamed("mg_coarse_codes", [&](ByteSink& sink) {
-      pack_codes(coarse.codes(), config, sink);
+      pack_codes_hist(coarse.codes_view(), coarse_hist, config, sink);
     });
     out.add_streamed("mg_coarse_raw", [&](ByteSink& sink) {
-      pack_raw_values(std::span<const T>(coarse.raw_values()), config.lossless,
-                      sink);
+      pack_raw_values(coarse.raw_view(), config.lossless, sink);
     });
     out.add_streamed("codes", [&](ByteSink& sink) {
-      pack_codes(fine.codes(), config, sink);
+      pack_codes_hist(fine.codes_view(), fine_hist, config, sink);
     });
     out.add_streamed("raw", [&](ByteSink& sink) {
-      pack_raw_values(std::span<const T>(fine.raw_values()), config.lossless,
-                      sink);
+      pack_raw_values(fine.raw_view(), config.lossless, sink);
     });
   }
 
@@ -72,20 +73,22 @@ class MultigridBackend final : public TypedBackend<MultigridBackend> {
                    NdArray<T>& out) const {
     const std::size_t stride =
         choose_anchor_stride(header.shape, header.anchor_stride);
-    std::vector<std::uint32_t> coarse_codes;
-    unpack_codes_into(in.get("mg_coarse_codes"), coarse_codes);
-    std::vector<T> coarse_raw;
-    unpack_raw_values_into(in.get("mg_coarse_raw"), coarse_raw);
-    std::vector<std::uint32_t> fine_codes;
-    unpack_codes_into(in.get("codes"), fine_codes);
-    std::vector<T> fine_raw;
-    unpack_raw_values_into(in.get("raw"), fine_raw);
-    if (coarse_codes.size() + fine_codes.size() != header.shape.size())
+    ScratchLease<std::uint32_t> coarse_codes(
+        ScratchPool<std::uint32_t>::shared());
+    unpack_codes_into(in.get("mg_coarse_codes"), *coarse_codes);
+    ScratchLease<T> coarse_raw(ScratchPool<T>::shared());
+    unpack_raw_values_into(in.get("mg_coarse_raw"), *coarse_raw);
+    ScratchLease<std::uint32_t> fine_codes(
+        ScratchPool<std::uint32_t>::shared());
+    unpack_codes_into(in.get("codes"), *fine_codes);
+    ScratchLease<T> fine_raw(ScratchPool<T>::shared());
+    unpack_raw_values_into(in.get("raw"), *fine_raw);
+    if (coarse_codes->size() + fine_codes->size() != header.shape.size())
       throw CorruptStream("blob: multigrid code count does not match shape");
     QuantDecoder<T> coarse(header.abs_eb / kMultigridCoarseTighten,
-                           header.quant_radius, coarse_codes, coarse_raw);
-    QuantDecoder<T> fine(header.abs_eb, header.quant_radius, fine_codes,
-                         fine_raw);
+                           header.quant_radius, *coarse_codes, *coarse_raw);
+    QuantDecoder<T> fine(header.abs_eb, header.quant_radius, *fine_codes,
+                         *fine_raw);
     hierarchy_traverse<T>(
         header.shape, out.values(), stride, /*cubic=*/false,
         [&](std::size_t, double pred, std::size_t level) {

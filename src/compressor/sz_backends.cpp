@@ -5,9 +5,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/buffer_pool.hpp"
 #include "compressor/backend.hpp"
 #include "compressor/interpolation.hpp"
+#include "compressor/kernels/quant_kernels.hpp"
 #include "compressor/quantizer.hpp"
 #include "compressor/regression.hpp"
 #include "compressor/traversal.hpp"
@@ -17,54 +19,60 @@ namespace ocelot {
 
 namespace {
 
-/// Pooled reconstruction scratch shared by every encode call: the
-/// block-parallel executor compresses thousands of blocks per run, and
-/// a fresh size()-element vector per block was the single largest
-/// allocation on that path.
+using kernels::FusedQuant;
+
+/// Arena-backed reconstruction scratch: the block-parallel executor
+/// compresses thousands of blocks per run, and per-block vectors were
+/// the largest allocation source on that path. The arena span reuses
+/// the worker's chunks, so steady-state blocks touch no heap at all.
 template <typename T>
-ScratchLease<T> recon_scratch(std::size_t n) {
-  ScratchLease<T> lease(ScratchPool<T>::shared(), n);
-  lease->assign(n, T{});
-  return lease;
+std::span<T> recon_scratch(ScratchArena& arena, std::size_t n) {
+  std::span<T> recon = arena.alloc<T>(n);
+  std::fill(recon.begin(), recon.end(), T{});
+  return recon;
 }
 
-/// Quantizes through `traverse(recon, fn)` and emits the shared
-/// "codes"/"raw" sections — the common tail of every SZ-style family.
-template <typename T, typename Traverse>
+/// Runs the fused quantizing traversal `run(recon, quant)` and emits
+/// the shared "codes"/"raw" sections — the common tail of every
+/// SZ-style family. The quantizer's inline histogram feeds the entropy
+/// stage directly, so no separate counting pass runs.
+template <typename T, typename Run>
 void quantized_encode(const NdArray<T>& data, double abs_eb,
                       const CompressionConfig& config, SectionWriter& out,
-                      Traverse&& traverse) {
-  ScratchLease<T> recon = recon_scratch<T>(data.size());
-  QuantEncoder<T> quant(abs_eb, config.quant_radius);
-  quant.reserve(data.size());
-  const auto original = data.values();
+                      Run&& run) {
+  ArenaScope scope;
+  std::span<T> recon = recon_scratch<T>(scope.arena(), data.size());
+  FusedQuant<T> quant = FusedQuant<T>::make(abs_eb, config.quant_radius,
+                                            data.size(), scope.arena(),
+                                            ScratchArena::Slot::kHistA);
   {
     OCELOT_SPAN("codec.predict_quantize");
-    traverse(std::span<T>(*recon), [&](std::size_t idx, double pred) {
-      return quant.encode(pred, original[idx]);
-    });
+    run(recon, quant);
   }
   OCELOT_COUNT("codec.raw_bytes", data.size() * sizeof(T));
+  const auto hist = quant.hist_view(scope.arena());
   out.add_streamed("codes", [&](ByteSink& sink) {
-    pack_codes(quant.codes(), config, sink);
+    pack_codes_hist(quant.codes_view(), hist, config, sink);
   });
   out.add_streamed("raw", [&](ByteSink& sink) {
-    pack_raw_values(std::span<const T>(quant.raw_values()), config.lossless,
-                    sink);
+    pack_raw_values(quant.raw_view(), config.lossless, sink);
   });
 }
 
 /// Replays the "codes"/"raw" sections through `traverse(values, fn)`.
+/// Decode stays on the reference traversals + QuantDecoder — the
+/// correctness anchor the SIMD property tests compare against — with
+/// pooled scratch for the unpacked streams.
 template <typename T, typename Traverse>
 void quantized_decode(const BlobHeader& header, const SectionReader& in,
                       NdArray<T>& out, Traverse&& traverse) {
-  std::vector<std::uint32_t> codes;
-  unpack_codes_into(in.get("codes"), codes);
-  std::vector<T> raw;
-  unpack_raw_values_into(in.get("raw"), raw);
-  if (codes.size() != header.shape.size())
+  ScratchLease<std::uint32_t> codes(ScratchPool<std::uint32_t>::shared());
+  unpack_codes_into(in.get("codes"), *codes);
+  ScratchLease<T> raw(ScratchPool<T>::shared());
+  unpack_raw_values_into(in.get("raw"), *raw);
+  if (codes->size() != header.shape.size())
     throw CorruptStream("blob: code count does not match shape");
-  QuantDecoder<T> quant(header.abs_eb, header.quant_radius, codes, raw);
+  QuantDecoder<T> quant(header.abs_eb, header.quant_radius, *codes, *raw);
   traverse(out.values(),
            [&](std::size_t, double pred) { return quant.decode(pred); });
 }
@@ -80,9 +88,14 @@ class LorenzoBackend final : public TypedBackend<LorenzoBackend> {
   template <typename T>
   void encode_impl(const NdArray<T>& data, double abs_eb,
                    const CompressionConfig& config, SectionWriter& out) const {
+    const auto original = data.values();
     quantized_encode(data, abs_eb, config, out,
-                     [&](std::span<T> recon, auto&& fn) {
-                       lorenzo_traverse<T>(data.shape(), recon, fn);
+                     [&](std::span<T> recon, FusedQuant<T>& quant) {
+                       lorenzo_traverse<T>(
+                           data.shape(), recon,
+                           [&](std::size_t idx, double pred) {
+                             return quant.encode1(pred, original[idx]);
+                           });
                      });
   }
 
@@ -106,9 +119,14 @@ class Lorenzo2Backend final : public TypedBackend<Lorenzo2Backend> {
   template <typename T>
   void encode_impl(const NdArray<T>& data, double abs_eb,
                    const CompressionConfig& config, SectionWriter& out) const {
+    const auto original = data.values();
     quantized_encode(data, abs_eb, config, out,
-                     [&](std::span<T> recon, auto&& fn) {
-                       lorenzo2_traverse<T>(data.shape(), recon, fn);
+                     [&](std::span<T> recon, FusedQuant<T>& quant) {
+                       lorenzo2_traverse<T>(
+                           data.shape(), recon,
+                           [&](std::size_t idx, double pred) {
+                             return quant.encode1(pred, original[idx]);
+                           });
                      });
   }
 
@@ -138,8 +156,11 @@ class Sz3InterpBackend final : public TypedBackend<Sz3InterpBackend> {
     const std::size_t stride =
         choose_anchor_stride(data.shape(), config.anchor_stride);
     quantized_encode(data, abs_eb, config, out,
-                     [&](std::span<T> recon, auto&& fn) {
-                       interp_traverse<T>(data.shape(), recon, stride, fn);
+                     [&](std::span<T> recon, FusedQuant<T>& quant) {
+                       kernels::hierarchy_encode<T>(data.shape(),
+                                                    data.values().data(), recon,
+                                                    stride, /*cubic=*/true,
+                                                    quant);
                      });
   }
 
@@ -218,7 +239,8 @@ std::pair<double, double> block_sse(const NdArray<T>& data,
           pl = (bi ? at(gi - 1, gj, 0) : 0.0) + (bj ? at(gi, gj - 1, 0) : 0.0) -
                (bi && bj ? at(gi - 1, gj - 1, 0) : 0.0);
         } else {
-          pl = (bi ? at(gi - 1, gj, gk) : 0.0) + (bj ? at(gi, gj - 1, gk) : 0.0) +
+          pl = (bi ? at(gi - 1, gj, gk) : 0.0) +
+               (bj ? at(gi, gj - 1, gk) : 0.0) +
                (bk ? at(gi, gj, gk - 1) : 0.0) -
                (bi && bj ? at(gi - 1, gj - 1, gk) : 0.0) -
                (bi && bk ? at(gi - 1, gj, gk - 1) : 0.0) -
@@ -246,89 +268,100 @@ class Sz2Backend final : public TypedBackend<Sz2Backend> {
   template <typename T>
   void encode_impl(const NdArray<T>& data, double abs_eb,
                    const CompressionConfig& config, SectionWriter& out) const {
-    ScratchLease<T> recon = recon_scratch<T>(data.size());
-    QuantEncoder<T> quant(abs_eb, config.quant_radius);
-    quant.reserve(data.size());
+    ArenaScope scope;
+    std::span<T> recon = recon_scratch<T>(scope.arena(), data.size());
+    FusedQuant<T> quant = FusedQuant<T>::make(abs_eb, config.quant_radius,
+                                              data.size(), scope.arena(),
+                                              ScratchArena::Slot::kHistA);
     const auto original = data.values();
 
-    QuantEncoder<double> coef_quant(coeff_eb(abs_eb, config.block_size));
+    const Shape& shape = data.shape();
+    const int rank = shape.rank();
+    std::size_t n_blocks = 1;
+    for (int d = 0; d < rank; ++d)
+      n_blocks *= (shape.dim(d) + config.block_size - 1) / config.block_size;
+    FusedQuant<double> coef_quant = FusedQuant<double>::make(
+        coeff_eb(abs_eb, config.block_size), kDefaultQuantRadius, 4 * n_blocks,
+        scope.arena(), ScratchArena::Slot::kHistB);
     CoeffPredictor coef_pred;
-    std::vector<std::uint8_t> choices;
-    const int rank = data.shape().rank();
+    std::span<std::uint8_t> choices =
+        scope.arena().alloc<std::uint8_t>(n_blocks);
+    std::size_t n_choices = 0;
 
     auto oracle =
         [&](const BlockRegion& region) -> std::pair<bool, BlockCoeffs> {
       const BlockCoeffs fitted = fit_block_regression(data, region);
       const auto [sse_reg, sse_lor] = block_sse(data, region, fitted);
       const bool use_reg = sse_reg < sse_lor;
-      choices.push_back(use_reg ? 1 : 0);
+      choices[n_choices++] = use_reg ? 1 : 0;
       if (!use_reg) return {false, BlockCoeffs{}};
       BlockCoeffs recon_c;
-      recon_c.b0 = coef_quant.encode(coef_pred.predict(0), fitted.b0);
-      recon_c.b1 = coef_quant.encode(coef_pred.predict(1), fitted.b1);
+      recon_c.b0 = coef_quant.encode1(coef_pred.predict(0), fitted.b0);
+      recon_c.b1 = coef_quant.encode1(coef_pred.predict(1), fitted.b1);
       if (rank >= 2)
-        recon_c.b2 = coef_quant.encode(coef_pred.predict(2), fitted.b2);
+        recon_c.b2 = coef_quant.encode1(coef_pred.predict(2), fitted.b2);
       if (rank >= 3)
-        recon_c.b3 = coef_quant.encode(coef_pred.predict(3), fitted.b3);
+        recon_c.b3 = coef_quant.encode1(coef_pred.predict(3), fitted.b3);
       coef_pred.update(recon_c);
       return {true, recon_c};
     };
     {
       OCELOT_SPAN("codec.predict_quantize");
-      block_traverse<T>(data.shape(), std::span<T>(*recon), config.block_size,
-                        oracle,
+      block_traverse<T>(shape, recon, config.block_size, oracle,
                         [&](std::size_t idx, double pred) {
-                          return quant.encode(pred, original[idx]);
+                          return quant.encode1(pred, original[idx]);
                         });
     }
     OCELOT_COUNT("codec.raw_bytes", data.size() * sizeof(T));
 
+    const auto coef_hist = coef_quant.hist_view(scope.arena());
+    const auto hist = quant.hist_view(scope.arena());
     out.add_streamed("choices", [&](ByteSink& sink) {
-      lossless_compress(choices, config.lossless, sink);
+      lossless_compress(choices.first(n_choices), config.lossless, sink);
     });
     out.add_streamed("coef_codes", [&](ByteSink& sink) {
-      pack_codes(coef_quant.codes(), config, sink);
+      pack_codes_hist(coef_quant.codes_view(), coef_hist, config, sink);
     });
     out.add_streamed("coef_raw", [&](ByteSink& sink) {
-      pack_raw_values(std::span<const double>(coef_quant.raw_values()),
-                      config.lossless, sink);
+      pack_raw_values(coef_quant.raw_view(), config.lossless, sink);
     });
     out.add_streamed("codes", [&](ByteSink& sink) {
-      pack_codes(quant.codes(), config, sink);
+      pack_codes_hist(quant.codes_view(), hist, config, sink);
     });
     out.add_streamed("raw", [&](ByteSink& sink) {
-      pack_raw_values(std::span<const T>(quant.raw_values()), config.lossless,
-                      sink);
+      pack_raw_values(quant.raw_view(), config.lossless, sink);
     });
   }
 
   template <typename T>
   void decode_impl(const BlobHeader& header, const SectionReader& in,
                    NdArray<T>& out) const {
-    std::vector<std::uint32_t> codes;
-    unpack_codes_into(in.get("codes"), codes);
-    std::vector<T> raw;
-    unpack_raw_values_into(in.get("raw"), raw);
-    if (codes.size() != header.shape.size())
+    ScratchLease<std::uint32_t> codes(ScratchPool<std::uint32_t>::shared());
+    unpack_codes_into(in.get("codes"), *codes);
+    ScratchLease<T> raw(ScratchPool<T>::shared());
+    unpack_raw_values_into(in.get("raw"), *raw);
+    if (codes->size() != header.shape.size())
       throw CorruptStream("blob: code count does not match shape");
-    QuantDecoder<T> quant(header.abs_eb, header.quant_radius, codes, raw);
+    QuantDecoder<T> quant(header.abs_eb, header.quant_radius, *codes, *raw);
 
-    Bytes choice_bytes;
-    lossless_decompress_into(in.get("choices"), choice_bytes);
-    std::vector<std::uint32_t> coef_codes;
-    unpack_codes_into(in.get("coef_codes"), coef_codes);
-    std::vector<double> coef_raw;
-    unpack_raw_values_into(in.get("coef_raw"), coef_raw);
+    PooledBuffer choice_bytes(BufferPool::shared());
+    lossless_decompress_into(in.get("choices"), *choice_bytes);
+    ScratchLease<std::uint32_t> coef_codes(
+        ScratchPool<std::uint32_t>::shared());
+    unpack_codes_into(in.get("coef_codes"), *coef_codes);
+    ScratchLease<double> coef_raw(ScratchPool<double>::shared());
+    unpack_raw_values_into(in.get("coef_raw"), *coef_raw);
     QuantDecoder<double> coef_quant(coeff_eb(header.abs_eb, header.block_size),
-                                    kDefaultQuantRadius, coef_codes, coef_raw);
+                                    kDefaultQuantRadius, *coef_codes,
+                                    *coef_raw);
     CoeffPredictor coef_pred;
     std::size_t choice_pos = 0;
     const int rank = header.shape.rank();
 
     auto oracle = [&](const BlockRegion&) -> std::pair<bool, BlockCoeffs> {
-      if (choice_pos >= choice_bytes.size())
+      if (choice_pos >= choice_bytes->size())
         throw CorruptStream("blob: choice stream exhausted");
-      const bool use_reg = choice_bytes[choice_pos++] != 0;
+      const bool use_reg = (*choice_bytes)[choice_pos++] != 0;
       if (!use_reg) return {false, BlockCoeffs{}};
       BlockCoeffs c;
       c.b0 = coef_quant.decode(coef_pred.predict(0));

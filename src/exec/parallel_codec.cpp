@@ -76,6 +76,7 @@ ParallelCompressResult blocked_compress_impl(
     abs_ebs[f] = resolve_abs_eb(fields[f], config);
     const auto spans = plan_blocks(fields[f].shape().dim(0), block_slabs);
     block_blobs[f].resize(spans.size());
+    tasks.reserve(tasks.size() + spans.size());
     for (std::size_t b = 0; b < spans.size(); ++b) {
       tasks.push_back({f, b, spans[b]});
     }
@@ -219,6 +220,9 @@ ParallelCompressResult blocked_compress_impl(
   OCELOT_SPAN("container.finish");
   for (std::size_t f = 0; f < fields.size(); ++f) {
     BlockContainerWriter writer(block_slabs);
+    std::size_t payload_total = 0;
+    for (PooledBuffer& blob : block_blobs[f]) payload_total += blob->size();
+    writer.reserve_payload(payload_total, block_blobs[f].size());
     for (PooledBuffer& blob : block_blobs[f]) {
       writer.append_block(*blob);
       blob.reset();

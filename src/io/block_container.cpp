@@ -116,6 +116,12 @@ BlockContainerWriter::BlockContainerWriter(std::size_t block_slabs)
   require(block_slabs_ > 0, "BlockContainerWriter: zero block size");
 }
 
+void BlockContainerWriter::reserve_payload(std::size_t payload_bytes,
+                                           std::size_t blocks) {
+  arena_.reserve(arena_.size() + payload_bytes);
+  index_.reserve(index_.size() + blocks);
+}
+
 ByteSink& BlockContainerWriter::begin_block() {
   require(!finished_, "BlockContainerWriter: begin_block after finish");
   require(!open_, "BlockContainerWriter: block already open");
@@ -174,6 +180,9 @@ void BlockContainerWriter::finish(const Shape& shape, ByteSink& out) {
 
 Bytes BlockContainerWriter::finish(const Shape& shape) {
   BytesWriter out;
+  // Exact-fit upper bound: magic + version + shape + geometry varints
+  // plus <= 16 bytes per index entry, then the payload arena.
+  out.target().reserve(arena_.size() + index_.size() * 16 + 64);
   finish(shape, out);
   return out.take();
 }

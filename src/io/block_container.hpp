@@ -109,6 +109,10 @@ class BlockContainerWriter {
   BlockContainerWriter(const BlockContainerWriter&) = delete;
   BlockContainerWriter& operator=(const BlockContainerWriter&) = delete;
 
+  /// Capacity hint: reserves the payload arena and the index up front
+  /// so a caller that knows its totals assembles without reallocation.
+  void reserve_payload(std::size_t payload_bytes, std::size_t blocks);
+
   /// Opens the next block: returns the sink its payload streams into.
   /// Must be paired with end_block().
   [[nodiscard]] ByteSink& begin_block();
