@@ -1,0 +1,138 @@
+#pragma once
+// Move-only callable with small-buffer storage.
+//
+// std::function spills any capture larger than ~two pointers to the
+// heap, which made every scheduled simulation event an allocation:
+// the event chain's lambdas capture task handles, allocations and
+// nested callbacks (40-100 bytes). InlineFunction keeps captures up
+// to InlineBytes in the object itself and only falls back to the heap
+// beyond that, so the discrete-event hot path schedules, fires and
+// drops millions of events without touching the allocator. It is
+// move-only (captures own shared_ptrs and other InlineFunctions), and
+// dispatch is three function pointers in a static vtable — no RTTI,
+// no virtual bases.
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace ocelot {
+
+template <typename Signature, std::size_t InlineBytes = 64>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= InlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      vtable_ = &inline_vtable<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      vtable_ = &heap_vtable<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  /// True when the callable lives in the inline buffer (or is empty) —
+  /// i.e. constructing it performed no heap allocation.
+  [[nodiscard]] bool is_inline() const {
+    return vtable_ == nullptr || !vtable_->heap;
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(unsigned char*, Args&&...);
+    void (*destroy)(unsigned char*);
+    void (*relocate)(unsigned char* dst, unsigned char* src);
+    bool heap;
+  };
+
+  template <typename Fn>
+  static Fn* inline_ptr(unsigned char* s) {
+    return std::launder(reinterpret_cast<Fn*>(s));
+  }
+  template <typename Fn>
+  static Fn*& heap_slot(unsigned char* s) {
+    return *std::launder(reinterpret_cast<Fn**>(s));
+  }
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable = {
+      [](unsigned char* s, Args&&... args) -> R {
+        return (*inline_ptr<Fn>(s))(std::forward<Args>(args)...);
+      },
+      [](unsigned char* s) { inline_ptr<Fn>(s)->~Fn(); },
+      [](unsigned char* dst, unsigned char* src) {
+        ::new (static_cast<void*>(dst)) Fn(std::move(*inline_ptr<Fn>(src)));
+        inline_ptr<Fn>(src)->~Fn();
+      },
+      false};
+
+  template <typename Fn>
+  static constexpr VTable heap_vtable = {
+      [](unsigned char* s, Args&&... args) -> R {
+        return (*heap_slot<Fn>(s))(std::forward<Args>(args)...);
+      },
+      [](unsigned char* s) { delete heap_slot<Fn>(s); },
+      [](unsigned char* dst, unsigned char* src) {
+        ::new (static_cast<void*>(dst)) Fn*(heap_slot<Fn>(src));
+      },
+      true};
+
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace ocelot

@@ -1,0 +1,147 @@
+#pragma once
+// Free-listed chunk allocator for small, same-shaped objects.
+//
+// The discrete-event engine creates and destroys huge numbers of
+// small records with identical lifecycles — process handles, pending
+// batch requests, transfer tasks, per-flow rate segments. ChunkPool
+// carves them out of 64 KiB chunks and recycles freed blocks through
+// per-size free lists, so steady-state churn performs no heap
+// allocations at all (the PR 8 ScratchArena discipline applied to
+// node-sized objects instead of byte buffers). PoolAllocator adapts a
+// shared ChunkPool to the standard allocator interface, which lets
+// std::vector and std::allocate_shared draw from it; the shared_ptr
+// control block produced by allocate_shared keeps its pool alive, so
+// handles may outlive the owning subsystem safely.
+//
+// Not thread-safe: every pool belongs to one single-threaded
+// subsystem (one sim::Engine and its services), matching the
+// engine's own threading contract.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace ocelot {
+
+class ChunkPool {
+ public:
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  ChunkPool() = default;
+  ChunkPool(const ChunkPool&) = delete;
+  ChunkPool& operator=(const ChunkPool&) = delete;
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t cls = size_class(bytes);
+    if (cls >= free_.size()) {
+      // Oversized blocks (bigger than half a chunk) go straight to
+      // the heap; the pool only free-lists node-sized objects.
+      ++oversize_allocs_;
+      return ::operator new(bytes);
+    }
+    auto& list = free_[cls];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      return p;
+    }
+    const std::size_t rounded = class_bytes(cls);
+    if (chunks_.empty() || chunk_used_ + rounded > kChunkBytes) {
+      chunks_.push_back(std::make_unique<unsigned char[]>(kChunkBytes));
+      chunk_used_ = 0;
+    }
+    void* p = chunks_.back().get() + chunk_used_;
+    chunk_used_ += rounded;
+    return p;
+  }
+
+  void deallocate(void* p, std::size_t bytes) {
+    const std::size_t cls = size_class(bytes);
+    if (cls >= free_.size()) {
+      ::operator delete(p);
+      return;
+    }
+    free_[cls].push_back(p);
+  }
+
+  [[nodiscard]] std::size_t chunks_allocated() const { return chunks_.size(); }
+  [[nodiscard]] std::uint64_t oversize_allocs() const {
+    return oversize_allocs_;
+  }
+
+ private:
+  // Size classes are powers of two from 16 bytes up to half a chunk;
+  // every block is max_align_t-aligned because chunk offsets are
+  // multiples of the (power-of-two) class size >= 16.
+  static constexpr std::size_t kMinClassBytes = 16;
+  static constexpr std::size_t kClasses = 12;  // 16 B .. 32 KiB
+
+  static std::size_t size_class(std::size_t bytes) {
+    std::size_t cls = 0;
+    std::size_t cap = kMinClassBytes;
+    while (cap < bytes) {
+      cap <<= 1;
+      ++cls;
+    }
+    return cls;
+  }
+  static std::size_t class_bytes(std::size_t cls) {
+    return kMinClassBytes << cls;
+  }
+
+  std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+  std::size_t chunk_used_ = 0;
+  std::vector<std::vector<void*>> free_ =
+      std::vector<std::vector<void*>>(kClasses);
+  std::uint64_t oversize_allocs_ = 0;
+};
+
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(std::shared_ptr<ChunkPool> pool)
+      : pool_(std::move(pool)) {}
+
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other)  // NOLINT
+      : pool_(other.pool()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_->allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    pool_->deallocate(p, n * sizeof(T));
+  }
+
+  // Constructing through the allocator (not allocator_traits' default)
+  // lets classes grant construction access by befriending their
+  // PoolAllocator specialization (e.g. sim::Process).
+  template <typename U, typename... A>
+  void construct(U* p, A&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<A>(args)...);
+  }
+  template <typename U>
+  void destroy(U* p) {
+    p->~U();
+  }
+
+  [[nodiscard]] const std::shared_ptr<ChunkPool>& pool() const {
+    return pool_;
+  }
+
+  friend bool operator==(const PoolAllocator& a, const PoolAllocator& b) {
+    return a.pool_ == b.pool_;
+  }
+  friend bool operator!=(const PoolAllocator& a, const PoolAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::shared_ptr<ChunkPool> pool_;
+};
+
+}  // namespace ocelot

@@ -1,0 +1,82 @@
+#include "datagen/campaigns.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/workload.hpp"
+
+namespace ocelot {
+
+namespace {
+
+constexpr const char* kApps[] = {"Miranda", "RTM", "CESM"};
+
+/// The Table III route mesh (see netsim/sites.cpp).
+constexpr const char* kRoutes[][2] = {
+    {"Anvil", "Cori"},  {"Anvil", "Bebop"}, {"Bebop", "Cori"},
+    {"Cori", "Bebop"},  {"Bebop", "Anvil"}, {"Cori", "Anvil"},
+};
+
+}  // namespace
+
+std::vector<CampaignSpec> generate_campaign_set(
+    const CampaignSetConfig& config) {
+  require(config.count > 0, "generate_campaign_set: count must be positive");
+  require(config.inventory_stride >= 1,
+          "generate_campaign_set: stride must be >= 1");
+  require(config.arrival_window_s >= 0.0,
+          "generate_campaign_set: negative arrival window");
+  const bool corridor = config.profile == "corridor";
+  require(corridor || config.profile == "mixed",
+          "generate_campaign_set: profile must be corridor|mixed");
+
+  FileInventory inventories[3];
+  ComputeRates rates[3];
+  for (int a = 0; a < 3; ++a) {
+    inventories[a] = paper_inventory(kApps[a]);
+    rates[a] = paper_compute_rates(kApps[a]);
+  }
+
+  Rng rng(config.seed);
+  std::vector<CampaignSpec> specs;
+  specs.reserve(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    const int a = static_cast<int>(rng.uniform_int(0, 2));
+    CampaignSpec spec;
+    spec.name = std::string(kApps[a]) + "#" + std::to_string(i);
+    spec.inventory.app = kApps[a];
+    const std::vector<double>& raw = inventories[a].raw_bytes;
+    spec.inventory.raw_bytes.reserve(
+        (raw.size() + config.inventory_stride - 1) / config.inventory_stride);
+    for (std::size_t f = 0; f < raw.size(); f += config.inventory_stride) {
+      spec.inventory.raw_bytes.push_back(raw[f]);
+    }
+    spec.config.rates = rates[a];
+
+    const double mode_draw = rng.uniform();
+    spec.mode = mode_draw < 0.70   ? TransferMode::kCompressedGrouped
+                : mode_draw < 0.90 ? TransferMode::kCompressedPerFile
+                                   : TransferMode::kDirect;
+    const int r = corridor ? 0 : static_cast<int>(rng.uniform_int(0, 5));
+    spec.config.src = kRoutes[r][0];
+    spec.config.dst = kRoutes[r][1];
+    spec.config.compression_ratio = rng.uniform(4.0, 16.0);
+    spec.config.compress_nodes = static_cast<int>(rng.uniform_int(4, 16));
+    spec.config.decompress_nodes = static_cast<int>(rng.uniform_int(2, 8));
+    spec.priority = static_cast<int>(rng.uniform_int(0, 3));
+    spec.submit_time = config.arrival_window_s > 0.0
+                           ? rng.uniform(0.0, config.arrival_window_s)
+                           : 0.0;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+OrchestratorOptions fleet_pool_options() {
+  OrchestratorOptions options;
+  for (const char* s : {"Anvil", "Cori", "Bebop"}) {
+    options.pool_nodes[s] = 1 << 20;
+  }
+  return options;
+}
+
+}  // namespace ocelot

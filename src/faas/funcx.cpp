@@ -87,7 +87,7 @@ void FuncXService::submit(std::size_t endpoint, const std::string& function,
   const double latency = ep.config.dispatch_latency_s +
                          container_cost(ep, function) + task.compute_seconds;
   auto cb = std::move(task.on_complete);
-  sim_.schedule_in(latency, [this, cb = std::move(cb)] {
+  sim_.schedule_in(latency, [this, cb = std::move(cb)]() mutable {
     ++completed_;
     if (cb) cb();
   });
@@ -108,7 +108,7 @@ void FuncXService::submit_batch(std::size_t endpoint,
     marginal += ep.config.batch_latency_s;
     const double latency = base + marginal + task.compute_seconds;
     auto cb = std::move(task.on_complete);
-    sim_.schedule_in(latency, [this, cb = std::move(cb)] {
+    sim_.schedule_in(latency, [this, cb = std::move(cb)]() mutable {
       ++completed_;
       if (cb) cb();
     });

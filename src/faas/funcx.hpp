@@ -10,13 +10,13 @@
 // across many tasks ("executor/user batching").
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/inline_function.hpp"
 #include "netsim/simulation.hpp"
 
 namespace ocelot {
@@ -39,7 +39,7 @@ struct FuncXEndpointConfig {
 /// callback run in virtual time.
 struct FuncXTask {
   double compute_seconds = 0.0;
-  std::function<void()> on_complete;
+  InlineFunction<void(), 64> on_complete;
 };
 
 /// Central service: function registry plus per-endpoint container state.

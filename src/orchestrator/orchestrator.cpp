@@ -32,11 +32,13 @@ struct Orchestrator::Runtime {
   double cp_seconds = 0.0;
   double dp_seconds = 0.0;
   std::vector<double> wire_files;
+  std::size_t wire_count = 0;   ///< wire_files.size(), kept past the move
+  double wire_bytes = 0.0;      ///< sum of wire_files, kept past the move
   std::shared_ptr<TransferTask> task;
 };
 
 Orchestrator::Orchestrator(OrchestratorOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), engine_(options_.queue_kind) {
   faas_ = std::make_unique<FuncXService>(engine_);
   globus_ =
       std::make_unique<GlobusService>(engine_, options_.endpoint_settings);
@@ -112,15 +114,24 @@ std::size_t Orchestrator::add_campaign(CampaignSpec spec) {
   return campaigns_.size() - 1;
 }
 
+void Orchestrator::add_link_flap(const std::string& src,
+                                 const std::string& dst,
+                                 sim::LinkFlapConfig config) {
+  require(!ran_, "Orchestrator: cannot add link flaps after run()");
+  route(src, dst);  // validates the route exists
+  flap_specs_.push_back(FlapSpec{src, dst, config});
+}
+
 void Orchestrator::start_campaign(Runtime& rt) {
   rt.proc = engine_.spawn(rt.spec.name);
+  rt.proc->on_exit([this] { --live_campaigns_; });
   CampaignReport& report = rt.outcome.report;
   report.mode = rt.spec.mode;
 
   if (rt.spec.mode == TransferMode::kDirect) {
     TransferRequest req{rt.spec.inventory.app + "/direct", rt.link,
                         rt.spec.inventory.raw_bytes};
-    rt.task = globus_->submit(req, [this, &rt](const TransferTask& t) {
+    rt.task = globus_->submit(std::move(req), [this, &rt](const TransferTask& t) {
       CampaignReport& rep = rt.outcome.report;
       rep.transfer_seconds = t.actual_duration();
       rt.outcome.transfer_stretch =
@@ -152,8 +163,11 @@ void Orchestrator::start_compressed_leg(Runtime& rt) {
         compressed.size(), config.group_world_size);
     rt.wire_files = group_sizes(plan, compressed);
   } else {
-    rt.wire_files = compressed;
+    rt.wire_files = std::move(compressed);
   }
+  rt.wire_count = rt.wire_files.size();
+  rt.wire_bytes = std::accumulate(rt.wire_files.begin(),
+                                  rt.wire_files.end(), 0.0);
 
   rt.cp_seconds = cluster_compress_seconds(
       rt.spec.inventory.raw_bytes, config.compress_nodes,
@@ -187,9 +201,12 @@ void Orchestrator::start_compressed_leg(Runtime& rt) {
         compress_task.compute_seconds = rt.cp_seconds;
         compress_task.on_complete = [this, &rt, alloc, dst_ep, dst_pool] {
           pool_for(rt.spec.config.src).release(alloc);
+          // wire_files moves onto the wire; the report reads the
+          // precomputed wire_count/wire_bytes instead.
           TransferRequest req{rt.spec.inventory.app + "/compressed",
-                              rt.link, rt.wire_files};
-          rt.task = globus_->submit(req, [this, &rt, dst_ep, dst_pool](
+                              rt.link, std::move(rt.wire_files)};
+          rt.task = globus_->submit(std::move(req),
+                                    [this, &rt, dst_ep, dst_pool](
                                              const TransferTask& t) {
             CampaignReport& rep = rt.outcome.report;
             rep.transfer_seconds = t.actual_duration();
@@ -210,9 +227,8 @@ void Orchestrator::start_compressed_leg(Runtime& rt) {
                     CampaignReport& rep = rt.outcome.report;
                     rep.compress_seconds = rt.cp_seconds;
                     rep.decompress_seconds = rt.dp_seconds;
-                    rep.files_transferred = rt.wire_files.size();
-                    rep.bytes_transferred = std::accumulate(
-                        rt.wire_files.begin(), rt.wire_files.end(), 0.0);
+                    rep.files_transferred = rt.wire_count;
+                    rep.bytes_transferred = rt.wire_bytes;
                     rep.effective_speed_bps =
                         rep.bytes_transferred / rep.transfer_seconds;
                     rep.total_seconds =
@@ -257,12 +273,27 @@ OrchestratorReport Orchestrator::run() {
                         [this, rt] { start_campaign(*rt); });
   }
 
+  live_campaigns_ = campaigns_.size();
+  for (const FlapSpec& spec : flap_specs_) {
+    sim::FairShareChannel& channel =
+        globus_->channel_for(route(spec.src, spec.dst));
+    flaps_.push_back(std::make_unique<sim::LinkFlap>(
+        engine_, channel, spec.config,
+        [this] { return live_campaigns_ > 0; }));
+    flaps_.back()->start();
+  }
+
   engine_.run();
 
   OrchestratorReport report;
+  report.campaigns.reserve(campaigns_.size());
   for (const auto& rt : campaigns_) {
-    require(rt->proc != nullptr && !rt->proc->running(),
-            "Orchestrator: campaign never completed: " + rt->spec.name);
+    if (rt->proc == nullptr || rt->proc->running()) {
+      // Assemble the message only on the failure path; the happy path
+      // across thousands of campaigns must not allocate per check.
+      require(false,
+              "Orchestrator: campaign never completed: " + rt->spec.name);
+    }
     CampaignOutcome outcome = rt->outcome;
     outcome.name = rt->spec.name;
     outcome.mode = rt->spec.mode;
@@ -347,6 +378,16 @@ std::string to_string(const OrchestratorReport& report) {
          " warm " + std::to_string(report.faas_warm_hits) + " events " +
          std::to_string(report.events_executed) + "\n";
   return out;
+}
+
+std::uint64_t fingerprint(const OrchestratorReport& report) {
+  const std::string bytes = to_string(report);
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64-bit
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 OrchestratorReport run_campaigns(std::vector<CampaignSpec> specs,

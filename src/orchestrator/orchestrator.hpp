@@ -30,6 +30,8 @@
 #include "scheduler/batch.hpp"
 #include "sim/engine.hpp"
 #include "sim/fair_share.hpp"
+#include "sim/link_flap.hpp"
+#include "sim/tuning.hpp"
 #include "transfer/globus.hpp"
 
 namespace ocelot {
@@ -83,12 +85,19 @@ struct OrchestratorReport {
 /// same scenario produce identical strings — the determinism contract).
 std::string to_string(const OrchestratorReport& report);
 
+/// FNV-1a hash of the byte-stable rendering: a compact final-state
+/// fingerprint for determinism checks at fleet scale.
+std::uint64_t fingerprint(const OrchestratorReport& report);
+
 struct OrchestratorOptions {
   /// Node-pool size per site; sites not listed use the Table III
   /// machine size from site_catalog().
   std::map<std::string, int> pool_nodes;
   /// GridFTP endpoint-pair tuning shared by all campaigns.
   EndpointSettings endpoint_settings;
+  /// Event-queue implementation for the engine (calendar by default;
+  /// heap for differential runs).
+  sim::QueueKind queue_kind = sim::default_queue_kind();
 };
 
 class Orchestrator {
@@ -104,10 +113,22 @@ class Orchestrator {
   /// Validates and registers a campaign; returns its index.
   std::size_t add_campaign(CampaignSpec spec);
 
+  /// Registers a seeded bandwidth-flap injector on the src->dst WAN
+  /// route. The injector starts with run() and stops once every
+  /// campaign has finished (so the event queue drains).
+  void add_link_flap(const std::string& src, const std::string& dst,
+                     sim::LinkFlapConfig config);
+
   /// Runs every registered campaign to completion; single-shot.
   OrchestratorReport run();
 
   [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+  /// Flap injectors created by run(), in add_link_flap order.
+  [[nodiscard]] const std::vector<std::unique_ptr<sim::LinkFlap>>&
+  link_flaps() const {
+    return flaps_;
+  }
 
  private:
   struct Runtime;
@@ -117,6 +138,12 @@ class Orchestrator {
   void start_campaign(Runtime& rt);
   void start_compressed_leg(Runtime& rt);
 
+  struct FlapSpec {
+    std::string src;
+    std::string dst;
+    sim::LinkFlapConfig config;
+  };
+
   OrchestratorOptions options_;
   sim::Engine engine_;
   std::unique_ptr<FuncXService> faas_;
@@ -124,6 +151,9 @@ class Orchestrator {
   std::map<std::string, std::unique_ptr<BatchScheduler>> pools_;
   std::map<std::string, std::unique_ptr<WaitModel>> wait_models_;
   std::vector<std::unique_ptr<Runtime>> campaigns_;
+  std::vector<FlapSpec> flap_specs_;
+  std::vector<std::unique_ptr<sim::LinkFlap>> flaps_;
+  std::size_t live_campaigns_ = 0;
   bool ran_ = false;
 };
 

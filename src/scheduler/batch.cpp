@@ -8,7 +8,10 @@ void BatchScheduler::submit(int nodes, GrantCallback on_grant, int priority) {
   require(nodes > 0, "BatchScheduler: request must be positive");
   require(nodes <= total_nodes_,
           "BatchScheduler: request exceeds machine size");
-  auto pending = std::make_shared<Pending>();
+  // Pendings churn once per grant; draw them from the engine's pool so
+  // steady-state scheduling stays allocation-free.
+  auto pending = std::allocate_shared<Pending>(
+      PoolAllocator<Pending>(sim_.object_pool()));
   pending->nodes = nodes;
   pending->priority = priority;
   pending->submitted_at = sim_.now();

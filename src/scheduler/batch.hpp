@@ -11,11 +11,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/inline_function.hpp"
 #include "common/rng.hpp"
 #include "netsim/simulation.hpp"
 
@@ -96,7 +96,7 @@ struct SchedulerStats {
 /// behaviour the paper's sentinel assumes.
 class BatchScheduler {
  public:
-  using GrantCallback = std::function<void(const Allocation&)>;
+  using GrantCallback = InlineFunction<void(const Allocation&), 64>;
 
   BatchScheduler(Simulation& sim, int total_nodes,
                  std::unique_ptr<WaitModel> wait_model)

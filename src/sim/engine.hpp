@@ -2,29 +2,42 @@
 // Discrete-event simulation engine.
 //
 // The simulation substrate for the whole WAN-transfer testbed: a
-// monotonic SimClock, a priority EventQueue with deterministic
+// monotonic SimClock, an EventQueue with deterministic
 // (time, sequence) ordering, cancellable EventHandles, and named
 // Process handles for tracking long-running activities. All the
 // virtual-time subsystems (funcX dispatch, batch scheduling, GridFTP
 // transfers, campaigns) run as callbacks on one Engine, so concurrent
 // workloads contend for shared resources instead of living in
 // separate, closed-form timelines.
+//
+// Fleet scale: the default calendar-queue scheduler plus pooled event
+// records and pooled process handles make the schedule→fire→drop
+// cycle allocation-free in steady state; pass QueueKind::kHeap (or
+// set OCELOT_SIM_QUEUE=heap) to run on the reference binary heap
+// instead — results are bit-identical either way.
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/pool_alloc.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/process.hpp"
+#include "sim/tuning.hpp"
 
 namespace ocelot::sim {
 
 class Engine {
  public:
   using Callback = EventQueue::Callback;
+
+  explicit Engine(QueueKind queue_kind = default_queue_kind())
+      : queue_(queue_kind), pool_(std::make_shared<ChunkPool>()) {}
 
   /// Current virtual time in seconds.
   [[nodiscard]] double now() const { return clock_.now(); }
@@ -66,11 +79,16 @@ class Engine {
   [[nodiscard]] bool idle() { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const { return queue_.live(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  [[nodiscard]] QueueKind queue_kind() const { return queue_.kind(); }
+
+  /// The queue's tombstone sweeps so far (purge-rate observability).
+  [[nodiscard]] std::uint64_t queue_purges() const { return queue_.purges(); }
 
   /// Spawns a named process starting at the current virtual time.
   ProcessHandle spawn(std::string name) {
-    auto proc = std::shared_ptr<Process>(
-        new Process(*this, std::move(name), next_process_id_++, now()));
+    auto proc = std::allocate_shared<Process>(PoolAllocator<Process>(pool_),
+                                              *this, std::move(name),
+                                              next_process_id_++, now());
     processes_.push_back(proc);
     return proc;
   }
@@ -89,16 +107,25 @@ class Engine {
     return n;
   }
 
+  /// The engine's object pool (processes; services sharing the
+  /// engine's single-threaded lifecycle may draw from it too).
+  [[nodiscard]] const std::shared_ptr<ChunkPool>& object_pool() const {
+    return pool_;
+  }
+
  private:
   void step() {
     auto [time, cb] = queue_.pop();
     clock_.advance_to(time);
     ++executed_;
+    OCELOT_COUNT("sim.events", 1);
+    OCELOT_HIST("sim.queue_depth", static_cast<double>(queue_.live()));
     cb();
   }
 
   SimClock clock_;
   EventQueue queue_;
+  std::shared_ptr<ChunkPool> pool_;
   std::vector<ProcessHandle> processes_;
   std::uint64_t executed_ = 0;
   std::uint64_t next_process_id_ = 0;

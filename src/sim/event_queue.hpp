@@ -4,65 +4,85 @@
 // Events are ordered by (time, sequence number): two events at the
 // same virtual time run in submission order, which makes every run of
 // the same scenario reproduce the same schedule bit for bit.
-// Cancelled events stay in the heap and are discarded lazily when they
-// reach the head, so cancellation is O(1).
+//
+// Two interchangeable implementations sit behind EventQueue:
+//   * CalendarQueue (default): O(1) amortized rotating bucket array
+//     with pooled, allocation-free event records (calendar_queue.hpp);
+//   * HeapQueue: the reference binary heap with lazy deletion and one
+//     shared EventState allocation per event — the original
+//     implementation, kept selectable (OCELOT_SIM_QUEUE=heap) for
+//     differential testing and as the bench baseline.
+// Both implement the exact same total order, so which one runs is
+// unobservable in simulation results. The heap compacts itself when
+// cancelled tombstones exceed half its entries, bounding memory at
+// O(live) under schedule/cancel churn.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/error.hpp"
+#include "sim/calendar_queue.hpp"
 #include "sim/event.hpp"
+#include "sim/tuning.hpp"
 
 namespace ocelot::sim {
 
-class EventQueue {
+/// Reference implementation: binary min-heap over (time, seq) with
+/// lazily-deleted cancellations and threshold-triggered compaction.
+class HeapQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = detail::EventCallback;
 
-  EventQueue() : counters_(std::make_shared<detail::QueueCounters>()) {}
+  HeapQueue() : counters_(std::make_shared<detail::QueueCounters>()) {}
 
-  /// Enqueues `cb` at virtual time `time`; returns a cancellable handle.
-  EventHandle push(double time, Callback cb) {
+  EventHandle push(double time, std::uint64_t seq, Callback cb) {
     auto state = std::make_shared<detail::EventState>();
     state->counters = counters_;
+    state->cb = std::move(cb);
     ++counters_->live;
-    heap_.push(Entry{time, seq_++, state, std::move(cb)});
-    return EventHandle(state);
+    heap_.push_back(Entry{time, seq, state});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    maybe_compact();
+    return EventHandle(std::move(state));
   }
 
   /// Earliest live event time; only valid when !empty().
   [[nodiscard]] double next_time() {
     drop_cancelled();
-    return heap_.top().time;
+    return heap_.front().time;
   }
 
-  /// True when no live events remain.
   [[nodiscard]] bool empty() {
     drop_cancelled();
     return heap_.empty();
   }
 
-  /// Number of live (non-cancelled, unfired) events.
   [[nodiscard]] std::size_t live() const { return counters_->live; }
 
   /// Pops the earliest live event; only valid when !empty().
   std::pair<double, Callback> pop() {
     drop_cancelled();
-    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
     entry.state->fired = true;
     --counters_->live;
-    return {entry.time, std::move(entry.cb)};
+    maybe_compact();
+    return {entry.time, std::move(entry.state->cb)};
   }
+
+  [[nodiscard]] std::size_t physical_entries() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
 
  private:
   struct Entry {
     double time;
     std::uint64_t seq;
     std::shared_ptr<detail::EventState> state;
-    Callback cb;
     bool operator>(const Entry& other) const {
       if (time != other.time) return time > other.time;
       return seq > other.seq;
@@ -70,12 +90,93 @@ class EventQueue {
   };
 
   void drop_cancelled() {
-    while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+    while (!heap_.empty() && heap_.front().state->cancelled) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      heap_.pop_back();
+    }
   }
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  /// Sweeps every tombstone once cancelled entries outnumber live
+  /// ones, keeping memory O(live) under schedule/cancel churn.
+  void maybe_compact() {
+    if (heap_.size() < 64 || heap_.size() <= 2 * counters_->live) return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [](const Entry& e) {
+                                 return e.state->cancelled;
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    ++compactions_;
+  }
+
+  std::vector<Entry> heap_;
   std::shared_ptr<detail::QueueCounters> counters_;
+  std::uint64_t compactions_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Callback = detail::EventCallback;
+
+  explicit EventQueue(QueueKind kind = default_queue_kind()) : kind_(kind) {}
+
+  /// Enqueues `cb` at virtual time `time`; returns a cancellable
+  /// handle. `time` must be finite and >= the last popped time.
+  EventHandle push(double time, Callback cb) {
+    require(std::isfinite(time), "EventQueue: event time must be finite");
+    const std::uint64_t seq = seq_++;
+    if (kind_ == QueueKind::kCalendar) {
+      return calendar_.push(time, seq, std::move(cb));
+    }
+    return heap_.push(time, seq, std::move(cb));
+  }
+
+  /// Earliest live event time; only valid when !empty().
+  [[nodiscard]] double next_time() {
+    return kind_ == QueueKind::kCalendar ? calendar_.next_time()
+                                         : heap_.next_time();
+  }
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() {
+    return kind_ == QueueKind::kCalendar ? calendar_.empty() : heap_.empty();
+  }
+
+  /// Number of live (non-cancelled, unfired) events.
+  [[nodiscard]] std::size_t live() const {
+    return kind_ == QueueKind::kCalendar ? calendar_.live() : heap_.live();
+  }
+
+  /// Pops the earliest live event; only valid when !empty().
+  std::pair<double, Callback> pop() {
+    return kind_ == QueueKind::kCalendar ? calendar_.pop() : heap_.pop();
+  }
+
+  [[nodiscard]] QueueKind kind() const { return kind_; }
+
+  /// Entries physically stored (live + uncollected tombstones) — the
+  /// churn regression bound for both implementations.
+  [[nodiscard]] std::size_t physical_entries() const {
+    return kind_ == QueueKind::kCalendar ? calendar_.physical_entries()
+                                         : heap_.physical_entries();
+  }
+
+  /// Tombstone sweeps performed (calendar purges or heap compactions).
+  [[nodiscard]] std::uint64_t purges() const {
+    return kind_ == QueueKind::kCalendar ? calendar_.purges()
+                                         : heap_.compactions();
+  }
+
+  /// Calendar bucket-array rebuilds (0 in heap mode).
+  [[nodiscard]] std::uint64_t resizes() const {
+    return kind_ == QueueKind::kCalendar ? calendar_.resizes() : 0;
+  }
+
+ private:
+  QueueKind kind_;
   std::uint64_t seq_ = 0;
+  CalendarQueue calendar_;
+  HeapQueue heap_;
 };
 
 }  // namespace ocelot::sim

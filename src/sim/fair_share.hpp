@@ -11,21 +11,33 @@
 // speed — exactly 1.0 when it has the channel to itself, which is what
 // keeps single-campaign results identical to the closed-form model.
 //
-// The channel is event-driven: every flow arrival, departure or
-// cancellation reallocates rates and reschedules the next completion
-// (a cancellable engine event). Per-flow rate history is kept so
-// callers can invert progress ("when had this flow delivered s seconds
-// of service?") — the sentinel uses that to learn which files already
-// moved when it cancels a transfer mid-flight.
+// The channel is event-driven: every flow arrival, departure,
+// cancellation or capacity change reallocates rates and reschedules
+// the next completion (a cancellable engine event). Per-flow rate
+// history is kept so callers can invert progress ("when had this flow
+// delivered s seconds of service?") — the sentinel uses that to learn
+// which files already moved when it cancels a transfer mid-flight.
+//
+// Fleet scale: the default implementation maintains flows in a sorted
+// (demand, id) structure across add/remove, so each reallocation is a
+// single allocation-free sequential pass instead of a fresh
+// sort + scratch vectors. The floating-point operations are performed
+// in exactly the order of the reference max_min_allocation path, so
+// results are bit-identical; set OCELOT_SIM_REFERENCE=1 (or
+// set_reference_fair_share) to run the original full-recompute path
+// for differential testing. Same-timestamp rate updates are batched
+// into a single rate segment in both modes.
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <map>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/inline_function.hpp"
+#include "common/pool_alloc.hpp"
 #include "sim/engine.hpp"
 
 namespace ocelot::sim {
@@ -49,6 +61,9 @@ struct ChannelStats {
 class FairShareChannel {
  public:
   using FlowId = std::uint64_t;
+  /// Flow-completion callback; sized like the engine's event callbacks
+  /// so typical captures stay allocation-free.
+  using FlowCallback = InlineFunction<void(), 128>;
   static constexpr double kNever = std::numeric_limits<double>::infinity();
 
   FairShareChannel(Engine& engine, std::string name, double capacity);
@@ -59,11 +74,14 @@ class FairShareChannel {
   /// what the flow contributes to stats().units_delivered when fully
   /// served (e.g. its payload bytes); defaults to demand * work.
   FlowId open_flow(double demand, double work_seconds,
-                   std::function<void()> on_complete,
-                   double stat_units = -1.0);
+                   FlowCallback on_complete, double stat_units = -1.0);
 
   /// Stops a flow mid-service; progress freezes at the current time.
   void cancel_flow(FlowId id);
+
+  /// Changes the channel's total capacity at the current virtual time
+  /// (e.g. a link degrading or recovering); rates reallocate at once.
+  void set_capacity(double capacity);
 
   [[nodiscard]] bool flow_active(FlowId id) const;
 
@@ -78,6 +96,8 @@ class FairShareChannel {
   [[nodiscard]] double capacity() const { return capacity_; }
   [[nodiscard]] std::size_t active_flows() const { return active_.size(); }
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] bool reference_mode() const { return reference_; }
+  [[nodiscard]] std::uint64_t reallocations() const { return reallocs_; }
 
  private:
   /// One constant-rate stretch of a flow's service history.
@@ -86,38 +106,81 @@ class FairShareChannel {
     double service;   ///< cumulative service at that time
     double fraction;  ///< progress rate (allocation / demand)
   };
+  using SegmentVec = std::vector<Segment, PoolAllocator<Segment>>;
 
-  struct Flow {
+  /// Per-flow state touched on every reallocation and progress sync,
+  /// split out of Flow into a dense 40-byte array so the O(active)
+  /// passes stream through a few KB instead of striding over the
+  /// callback- and history-bearing cold records.
+  struct Hot {
     double demand = 0.0;
     double work = 0.0;
-    double stat_rate = 0.0;  ///< stat units per service-second
+    double stat_rate = 0.0;   ///< stat units per service-second
     double progress = 0.0;
-    double fraction = 0.0;
+    /// Mirrors segments.back().fraction; -1 before the first
+    /// allocation so the first apply always records a segment.
+    double fraction = -1.0;
+  };
+
+  /// Cold per-flow state: lifecycle bookkeeping and the completion
+  /// callback, touched only at open/close and on queries. The rate
+  /// history lives in segments_ (parallel to flows_) so the per-
+  /// reallocation segment appends stride over dense vector headers
+  /// instead of these callback-bearing records.
+  struct Flow {
     double opened_at = 0.0;
     double closed_at = kNever;
     bool active = true;
     bool completed = false;
-    std::function<void()> on_complete;
-    std::vector<Segment> segments;
+    FlowCallback on_complete;
   };
 
   const Flow& flow_ref(FlowId id) const;
+  const Hot& hot_ref(FlowId id) const;
+  /// Hot-path slot resolution: the identity normally; one map lookup
+  /// per access in reference mode, reproducing the original map-backed
+  /// flow table so the A/B bench row carries the true pre-incremental
+  /// cost (conservatively — the original's map also owned the Flow
+  /// nodes, scattering them across the heap).
+  [[nodiscard]] std::size_t slot_of(FlowId id) const {
+    return reference_ ? reference_index_.find(id)->second
+                      : static_cast<std::size_t>(id);
+  }
   /// Advances all active flows' progress (and the stats integrals) to
   /// the current virtual time.
   void sync_progress();
   /// Recomputes fair-share rates and reschedules the next completion.
   void reallocate();
+  /// Records `fraction` for the flow in `slot` at `now` (batching
+  /// same-timestamp updates into one segment) and folds its finish
+  /// time into `earliest`. Touches the cold record only when the
+  /// fraction actually changed.
+  void apply_fraction(std::size_t slot, double fraction, double now,
+                      double& earliest);
+  /// Drops `id` from active_ and from the sorted demand structure.
+  void remove_active(FlowId id, double demand);
   void on_completion_event();
 
   Engine& engine_;
   std::string name_;
   double capacity_;
-  std::map<FlowId, Flow> flows_;
+  const bool reference_;  ///< full-recompute reference path?
+  std::vector<Hot> hot_;        ///< indexed by FlowId; dense hot state
+  std::vector<Flow> flows_;     ///< indexed by FlowId
+  std::vector<SegmentVec> segments_;  ///< indexed by FlowId; rate history
   std::vector<FlowId> active_;  ///< ascending ids (insertion order)
+  /// Active flows sorted ascending by (demand, id) — maintained across
+  /// add/remove so reallocation is one sequential pass.
+  std::vector<std::pair<double, FlowId>> sorted_;
+  /// Reference mode only: FlowId -> flows_ position, consulted on
+  /// every hot-path access like the original std::map<FlowId, Flow>.
+  std::map<FlowId, std::size_t> reference_index_;
+  std::vector<FlowId> done_scratch_;
+  std::vector<FlowCallback> callbacks_scratch_;
   EventHandle next_completion_;
   double last_update_ = 0.0;
-  FlowId next_id_ = 0;
   ChannelStats stats_;
+  std::uint64_t reallocs_ = 0;
 };
 
 }  // namespace ocelot::sim

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/pool_alloc.hpp"
 
 namespace ocelot::sim {
 
@@ -47,6 +48,10 @@ class Process {
 
  private:
   friend class Engine;
+  // The engine spawns processes via allocate_shared on its ChunkPool
+  // (object + control block in one recycled slot); the allocator's
+  // construct() needs the same access the engine has.
+  friend class ocelot::PoolAllocator<Process>;
   Process(Engine& engine, std::string name, std::uint64_t id, double now)
       : engine_(engine), name_(std::move(name)), id_(id), spawned_at_(now) {}
 

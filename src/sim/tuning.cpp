@@ -1,0 +1,35 @@
+#include "sim/tuning.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ocelot::sim {
+
+namespace {
+
+QueueKind env_queue_kind() {
+  const char* env = std::getenv("OCELOT_SIM_QUEUE");
+  if (env != nullptr && std::strcmp(env, "heap") == 0) return QueueKind::kHeap;
+  return QueueKind::kCalendar;
+}
+
+bool env_reference_fair_share() {
+  const char* env = std::getenv("OCELOT_SIM_REFERENCE");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+bool g_reference_fair_share = env_reference_fair_share();
+
+}  // namespace
+
+QueueKind default_queue_kind() {
+  static const QueueKind kind = env_queue_kind();
+  return kind;
+}
+
+bool reference_fair_share() { return g_reference_fair_share; }
+void set_reference_fair_share(bool reference) {
+  g_reference_fair_share = reference;
+}
+
+}  // namespace ocelot::sim

@@ -1,0 +1,38 @@
+#pragma once
+// Runtime-selectable implementations of the simulation hot path.
+//
+// The fleet-scale engine keeps the original, allocation-heavy
+// implementations around as *references*: the binary-heap event queue
+// (lazy deletion, one shared_ptr per event) and the from-scratch
+// max-min fair-share recompute. Differential tests pop both queues in
+// lockstep and diff whole orchestrator reports across fair-share
+// modes, and bench_sim_scaling measures the optimized path against
+// the reference configuration. Process-wide defaults come from the
+// environment so any test or bench binary can be flipped without a
+// rebuild:
+//
+//   OCELOT_SIM_QUEUE=heap|calendar   event-queue implementation
+//   OCELOT_SIM_REFERENCE=1          reference fair-share recompute
+//
+// Both knobs select between implementations with identical observable
+// behaviour — same pop order, same sim results — so flipping them
+// must never change a report.
+
+namespace ocelot::sim {
+
+enum class QueueKind {
+  kCalendar,  ///< rotating bucket-array scheduler (default)
+  kHeap,      ///< reference binary heap with lazy deletion
+};
+
+/// Process default for new Engines: OCELOT_SIM_QUEUE, else kCalendar.
+[[nodiscard]] QueueKind default_queue_kind();
+
+/// When true, FairShareChannels constructed afterwards use the
+/// reference full-recompute allocation path instead of the
+/// incremental sorted-demand structure. Seeded from
+/// OCELOT_SIM_REFERENCE at process start.
+[[nodiscard]] bool reference_fair_share();
+void set_reference_fair_share(bool reference);
+
+}  // namespace ocelot::sim

@@ -52,6 +52,8 @@ void TransferTask::cancel(double now) {
   cancelled_at_ = now;
   if (!service_done_) channel_->cancel_flow(flow_);
   completion_event_.cancel();
+  // The completion callback will never fire; free its captures now.
+  on_complete_ = nullptr;
 }
 
 sim::FairShareChannel& GlobusService::channel_for(const LinkProfile& link) {
@@ -66,12 +68,14 @@ sim::FairShareChannel& GlobusService::channel_for(const LinkProfile& link) {
 }
 
 std::shared_ptr<TransferTask> GlobusService::submit(
-    const TransferRequest& request,
-    std::function<void(const TransferTask&)> on_complete) {
+    TransferRequest request, TransferTask::Callback on_complete) {
   require(!request.file_bytes.empty(), "GlobusService: empty transfer");
-  auto task = std::make_shared<TransferTask>();
+  // Tasks churn once per transfer; draw them from the engine's pool
+  // (the control block keeps the pool alive if a handle outlives us).
+  auto task = std::allocate_shared<TransferTask>(
+      PoolAllocator<TransferTask>(sim_.object_pool()));
   task->estimate_ = model_.estimate(request.file_bytes, request.link);
-  task->file_bytes_ = request.file_bytes;
+  task->on_complete_ = std::move(on_complete);
   task->submitted_at_ = sim_.now();
 
   // Per-file payload service offsets, derived from the estimate's
@@ -87,20 +91,21 @@ std::shared_ptr<TransferTask> GlobusService::submit(
 
   sim::FairShareChannel& channel = channel_for(request.link);
   task->channel_ = &channel;
-  const double overhead = est.overhead_seconds;
   const double payload_bytes = std::accumulate(
       request.file_bytes.begin(), request.file_bytes.end(), 0.0);
+  task->file_bytes_ = std::move(request.file_bytes);
   task->flow_ = channel.open_flow(
       est.eff_bandwidth_bps, est.data_seconds,
-      [this, task, overhead, cb = std::move(on_complete)] {
+      [this, task] {
         // Payload delivered; the control channel wraps up for the
         // fixed overhead, then the task completes.
         task->service_done_ = true;
-        task->completion_event_ =
-            sim_.schedule_in(overhead, [this, task, cb = std::move(cb)] {
+        task->completion_event_ = sim_.schedule_in(
+            task->estimate_.overhead_seconds, [this, task] {
               if (task->status_ != TransferTask::Status::kActive) return;
               task->status_ = TransferTask::Status::kSucceeded;
               task->completed_at_ = sim_.now();
+              auto cb = std::move(task->on_complete_);
               if (cb) cb(*task);
             });
       },

@@ -15,12 +15,12 @@
 // max-min fairly.
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "netsim/gridftp.hpp"
 #include "netsim/simulation.hpp"
 #include "sim/fair_share.hpp"
@@ -38,6 +38,7 @@ struct TransferRequest {
 class TransferTask {
  public:
   enum class Status { kActive, kSucceeded, kCancelled };
+  using Callback = InlineFunction<void(const TransferTask&), 64>;
 
   [[nodiscard]] Status status() const { return status_; }
 
@@ -73,6 +74,7 @@ class TransferTask {
 
   Status status_ = Status::kActive;
   TransferEstimate estimate_;
+  Callback on_complete_;
   std::vector<double> file_bytes_;
   /// Cumulative solo-service seconds needed for files [0..i].
   std::vector<double> data_service_;
@@ -93,11 +95,16 @@ class GlobusService {
       : sim_(sim), model_(settings) {}
 
   /// Submits a transfer; `on_complete` fires at finish (not on cancel).
-  std::shared_ptr<TransferTask> submit(
-      const TransferRequest& request,
-      std::function<void(const TransferTask&)> on_complete = {});
+  /// Takes the request by value so callers can move the file list in.
+  std::shared_ptr<TransferTask> submit(TransferRequest request,
+                                       TransferTask::Callback on_complete = {});
 
   [[nodiscard]] const GridFtpModel& model() const { return model_; }
+
+  /// The fair-share channel carrying `link`'s traffic, created on
+  /// first use — exposed so failure injectors (sim::LinkFlap) can
+  /// attach to a route before or after transfers start on it.
+  sim::FairShareChannel& channel_for(const LinkProfile& link);
 
   /// The per-route fair-share channels created so far (keyed by link
   /// name), for utilization/concurrency reporting.
@@ -108,8 +115,6 @@ class GlobusService {
   }
 
  private:
-  sim::FairShareChannel& channel_for(const LinkProfile& link);
-
   Simulation& sim_;
   GridFtpModel model_;
   std::map<std::string, std::unique_ptr<sim::FairShareChannel>> channels_;

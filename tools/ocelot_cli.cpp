@@ -43,10 +43,13 @@
 #include "common/table.hpp"
 #include "compressor/backend.hpp"
 #include "compressor/compressor.hpp"
+#include "common/timer.hpp"
 #include "core/adaptive.hpp"
 #include "core/stream_codec.hpp"
 #include "core/workload.hpp"
+#include "datagen/campaigns.hpp"
 #include "datagen/datasets.hpp"
+#include "sim/tuning.hpp"
 #include "exec/parallel_codec.hpp"
 #include "io/block_container.hpp"
 #include "io/dataset_file.hpp"
@@ -945,7 +948,115 @@ CampaignSpec parse_campaign(const std::string& arg) {
   return spec;
 }
 
+/// Fleet mode: `ocelot simulate campaigns=N [seed=] [window=] ...`
+/// generates a seeded campaign set and runs it through the
+/// orchestrator at scale (no isolated baseline — at thousands of
+/// campaigns the per-campaign baseline is the scaling bench's job).
+int cmd_simulate_fleet(const std::vector<std::string>& args) {
+  CampaignSetConfig config;
+  OrchestratorOptions options = fleet_pool_options();
+  bool flap = false;
+  for (const std::string& arg : args) {
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      throw InvalidArgument("bad fleet option: " + arg);
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "campaigns") {
+      config.count = std::stoul(value);
+    } else if (key == "seed") {
+      config.seed = std::stoull(value);
+    } else if (key == "window") {
+      config.arrival_window_s = std::stod(value);
+    } else if (key == "profile") {
+      config.profile = value;
+    } else if (key == "stride") {
+      config.inventory_stride = std::stoul(value);
+    } else if (key == "queue") {
+      if (value == "heap") {
+        options.queue_kind = sim::QueueKind::kHeap;
+      } else if (value == "calendar") {
+        options.queue_kind = sim::QueueKind::kCalendar;
+      } else {
+        throw InvalidArgument("queue must be calendar|heap, got " + value);
+      }
+    } else if (key == "fairshare") {
+      if (value == "reference") {
+        sim::set_reference_fair_share(true);
+      } else if (value == "incremental") {
+        sim::set_reference_fair_share(false);
+      } else {
+        throw InvalidArgument(
+            "fairshare must be incremental|reference, got " + value);
+      }
+    } else if (key == "flap") {
+      if (value != "0" && value != "1")
+        throw InvalidArgument("bad flap value: " + value + " (expected 0|1)");
+      flap = value == "1";
+    } else {
+      throw InvalidArgument("unknown fleet key: " + key);
+    }
+  }
+
+  std::vector<CampaignSpec> specs = generate_campaign_set(config);
+  Orchestrator orch(options);
+  for (CampaignSpec& spec : specs) orch.add_campaign(std::move(spec));
+  if (flap) {
+    sim::LinkFlapConfig flap_config;
+    flap_config.seed = config.seed;
+    flap_config.mean_up_seconds = 60.0;
+    flap_config.mean_down_seconds = 15.0;
+    flap_config.degraded_fraction = 0.25;
+    orch.add_link_flap("Anvil", "Cori", flap_config);
+  }
+
+  Timer timer;
+  const OrchestratorReport report = orch.run();
+  const double wall = timer.seconds();
+
+  std::cout << "fleet " << report.campaigns.size() << " campaigns seed "
+            << config.seed << " profile " << config.profile << " queue "
+            << (options.queue_kind == sim::QueueKind::kHeap ? "heap"
+                                                            : "calendar")
+            << " fairshare "
+            << (sim::reference_fair_share() ? "reference" : "incremental")
+            << "\n";
+  std::cout << "makespan " << fmt_seconds(report.makespan) << ", "
+            << report.events_executed << " events\n";
+  // Wall-clock timing goes to stderr: stdout of the same invocation
+  // must stay byte-identical run to run (the determinism contract).
+  std::cerr << "wall " << fmt_double(wall, 3) << " s ("
+            << fmt_double(static_cast<double>(report.events_executed) /
+                              std::max(wall, 1e-9),
+                          0)
+            << " events/s)\n";
+  for (const auto& [name, link] : report.links) {
+    std::cout << "link " << name << ": peak " << link.stats.peak_flows
+              << " flows, " << link.stats.flows_completed << " completed, "
+              << fmt_bytes(link.stats.units_delivered) << " over "
+              << fmt_seconds(link.stats.busy_seconds) << " busy\n";
+  }
+  for (const auto& [name, pool] : report.pools) {
+    std::cout << "pool " << name << ": " << pool.stats.grants
+              << " grants, peak " << pool.stats.peak_nodes_in_use
+              << " nodes\n";
+  }
+  if (flap) {
+    std::cout << "link flaps: " << orch.link_flaps().front()->flaps()
+              << " transitions\n";
+  }
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(fingerprint(report)));
+  std::cout << "fingerprint " << fp << "\n";
+  return 0;
+}
+
 int cmd_simulate(const std::vector<std::string>& raw_args) {
+  for (const std::string& arg : raw_args) {
+    if (arg.rfind("campaigns=", 0) == 0) return cmd_simulate_fleet(raw_args);
+  }
   // trace=out.json records campaign spans on the virtual timeline;
   // strip it before campaign parsing.
   std::string trace_path;
@@ -974,6 +1085,10 @@ int cmd_simulate(const std::vector<std::string>& raw_args) {
         << "       ocelot simulate app=RTM[,src=Anvil][,dst=Cori]"
            "[,mode=np|cp|op][,at=0][,prio=0][,ratio=10][,nodes=16]"
            "[,adaptive=1] ...\n"
+        << "       ocelot simulate campaigns=N [seed=42] [window=120]"
+           " [profile=corridor|mixed] [stride=16]"
+           " [queue=calendar|heap] [fairshare=incremental|reference]"
+           " [flap=0|1]\n"
         << "Runs the campaigns concurrently over shared links, node\n"
         << "pools and funcX endpoints, then compares against isolated\n"
         << "runs of the same campaigns.\n"
