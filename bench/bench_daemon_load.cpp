@@ -1,0 +1,159 @@
+// Daemon load bench: request throughput and per-tenant fairness under
+// multi-tenant saturation.
+//
+// Usage: bench_daemon_load [--smoke]
+//   --smoke  smaller field + fewer probe requests for the CI gate;
+//            same phases, so every gated metric exists in both modes.
+//
+// Two phases against one in-process ocelotd on a unix socket:
+//
+//   unloaded   the light tenant sends paced compress requests to an
+//              otherwise idle daemon — its baseline latency;
+//   loaded     heavy-tenant flooder threads saturate the worker pool
+//              (retrying through "busy" backpressure) while the light
+//              tenant repeats the same paced probes.
+//
+// The headline gate is fairness_p99 = loaded p99 / unloaded p99 of the
+// light tenant: the max-min fair scheduler must keep an occasional
+// tenant's tail latency within 3x of its unloaded tail even while a
+// flooding tenant works through a saturated queue (CI runs
+// check_bench.py --max-metric fairness_p99=3). req_per_s reports the
+// daemon's aggregate completed-request throughput during the loaded
+// phase; wall-clock metrics are not baseline-gated (runner-dependent).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "io/dataset_file.hpp"
+#include "server/client.hpp"
+#include "server/daemon.hpp"
+
+using namespace ocelot;
+
+namespace {
+
+double p99_ms(std::vector<double> latencies_ms) {
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const std::size_t index =
+      static_cast<std::size_t>(0.99 * static_cast<double>(
+                                          latencies_ms.size() - 1));
+  return latencies_ms[index];
+}
+
+/// One paced light-tenant probe pass; returns per-request wall ms.
+std::vector<double> probe_latencies(const std::string& socket_path,
+                                    const Bytes& field_bytes,
+                                    const std::string& options, int requests,
+                                    int pace_ms) {
+  server::Client client = server::Client::connect_unix(socket_path);
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    const Timer timer;
+    (void)client.compress("light", field_bytes, options);
+    latencies.push_back(timer.seconds() * 1e3);
+    std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
+  }
+  return latencies;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int probe_requests = smoke ? 25 : 100;
+  const int pace_ms = smoke ? 5 : 10;
+  const int flooders = 4;
+
+  const std::string socket_path =
+      "/tmp/ocelot_bench_daemon_" + std::to_string(::getpid()) + ".sock";
+  const FloatArray field =
+      generate_field("Miranda", "density", smoke ? 0.05 : 0.1, 77);
+  const Bytes field_bytes = save_field("Miranda/density", field);
+  const std::string options = "eb=1e-3 backend=sz3";
+
+  server::DaemonConfig config;
+  config.unix_path = socket_path;
+  config.workers = 2;  // fixed pool so the flood saturates on any runner
+  server::Daemon daemon(config);
+  daemon.start();
+
+  bench::BenchReport report("daemon_load");
+
+  // Phase 1: the light tenant alone.
+  const std::vector<double> unloaded =
+      probe_latencies(socket_path, field_bytes, options, probe_requests,
+                      pace_ms);
+  const double unloaded_p99 = p99_ms(unloaded);
+
+  // Phase 2: heavy tenant saturates the pool; light tenant re-probes.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> heavy_ok{0};
+  std::atomic<std::uint64_t> heavy_busy{0};
+  std::vector<std::thread> heavy;
+  heavy.reserve(flooders);
+  for (int i = 0; i < flooders; ++i) {
+    heavy.emplace_back([&] {
+      server::Client client = server::Client::connect_unix(socket_path);
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          (void)client.compress("heavy", field_bytes, options);
+          heavy_ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const server::RequestRejected&) {
+          heavy_busy.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  const Timer loaded_timer;
+  const std::vector<double> loaded =
+      probe_latencies(socket_path, field_bytes, options, probe_requests,
+                      pace_ms);
+  const double loaded_seconds = loaded_timer.seconds();
+  stop.store(true);
+  for (auto& t : heavy) t.join();
+  const double loaded_p99 = p99_ms(loaded);
+
+  const server::Daemon::Stats stats = daemon.stats();
+  daemon.shutdown();
+
+  const double completed = static_cast<double>(
+      heavy_ok.load() + static_cast<std::uint64_t>(probe_requests));
+  const double fairness = loaded_p99 / unloaded_p99;
+
+  report.set_metric("fairness_p99", fairness);
+  report.set_metric("req_per_s", completed / loaded_seconds);
+  report.set_metric("light_unloaded_p99_ms", unloaded_p99);
+  report.set_metric("light_loaded_p99_ms", loaded_p99);
+  report.set_metric("heavy_completed", static_cast<double>(heavy_ok.load()));
+  report.set_metric("heavy_busy_rejections",
+                    static_cast<double>(heavy_busy.load()));
+  report.set_metric("requests_ok", static_cast<double>(stats.requests_ok));
+  report.set_metric("requests_rejected",
+                    static_cast<double>(stats.requests_rejected));
+  report.add_row("unloaded", {{"p99_ms", unloaded_p99},
+                              {"requests", probe_requests}});
+  report.add_row("loaded", {{"p99_ms", loaded_p99},
+                            {"requests", probe_requests},
+                            {"heavy_ok", static_cast<double>(heavy_ok.load())},
+                            {"heavy_busy",
+                             static_cast<double>(heavy_busy.load())}});
+  const std::string path = report.write();
+
+  std::cout << "daemon_load: unloaded p99 " << unloaded_p99
+            << " ms, loaded p99 " << loaded_p99 << " ms, fairness_p99 "
+            << fairness << "x, " << completed / loaded_seconds
+            << " req/s (heavy ok " << heavy_ok.load() << ", busy "
+            << heavy_busy.load() << ")\n"
+            << "wrote " << path << "\n";
+  return 0;
+}

@@ -29,8 +29,12 @@ std::vector<std::uint32_t> skewed_symbols(std::size_t n, double p_zero) {
 void BM_HuffmanEncode(benchmark::State& state) {
   const auto syms = skewed_symbols(
       static_cast<std::size_t>(state.range(0)), 0.9);
+  Bytes out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(huffman_encode(syms));
+    out.clear();
+    ByteSink sink(out);
+    huffman_encode(syms, sink);
+    benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(syms.size()));
@@ -40,9 +44,15 @@ BENCHMARK(BM_HuffmanEncode)->Arg(1 << 14)->Arg(1 << 18);
 void BM_HuffmanDecode(benchmark::State& state) {
   const auto syms = skewed_symbols(
       static_cast<std::size_t>(state.range(0)), 0.9);
-  const Bytes encoded = huffman_encode(syms);
+  Bytes encoded;
+  {
+    ByteSink sink(encoded);
+    huffman_encode(syms, sink);
+  }
+  std::vector<std::uint32_t> decoded;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(huffman_decode(encoded));
+    huffman_decode_into(encoded, decoded);
+    benchmark::DoNotOptimize(decoded.data());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(syms.size()));
@@ -58,8 +68,12 @@ void BM_LzbCompress(benchmark::State& state) {
                         ? 0
                         : static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
   }
+  Bytes out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(lzb_compress(input));
+    out.clear();
+    ByteSink sink(out);
+    lzb_compress(input, sink);
+    benchmark::DoNotOptimize(out.data());
   }
   state.SetBytesProcessed(state.iterations() *
                           static_cast<std::int64_t>(n));

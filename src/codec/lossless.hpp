@@ -34,8 +34,8 @@ void lossless_compress(std::span<const std::uint8_t> raw,
                        LosslessBackend backend, ByteSink& out);
 
 /// Convenience wrapper returning a fresh buffer.
-Bytes lossless_compress(std::span<const std::uint8_t> raw,
-                        LosslessBackend backend);
+[[deprecated("use lossless_compress(raw, backend, sink)")]] Bytes
+lossless_compress(std::span<const std::uint8_t> raw, LosslessBackend backend);
 
 /// Inverts lossless_compress into `out` (cleared first; capacity is
 /// reused), dispatching on the embedded backend id.
@@ -44,6 +44,7 @@ void lossless_decompress_into(std::span<const std::uint8_t> compressed,
                               Bytes& out);
 
 /// Convenience wrapper returning a fresh buffer.
-Bytes lossless_decompress(std::span<const std::uint8_t> compressed);
+[[deprecated("use lossless_decompress_into(compressed, out)")]] Bytes
+lossless_decompress(std::span<const std::uint8_t> compressed);
 
 }  // namespace ocelot

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
+#include "core/engine.hpp"
 #include "core/grouping.hpp"
 #include "io/dataset_file.hpp"
 #include "io/group_archive.hpp"
@@ -31,21 +32,18 @@ LocalPipelineResult run_local_pipeline(
   }
   result.direct_transfer = model.estimate(raw_sizes, config.link);
 
-  // Stage 1: parallel compression (real); block mode splits each field
-  // into slab blocks so one large field still fills every worker. The
-  // adaptive mode lets the online advisor pick each block's backend
-  // and error bound, learning from every observed block ratio.
-  if (config.adaptive) {
-    const std::size_t block_slabs =
-        config.block_slabs > 0 ? config.block_slabs : 8;
-    AdvisorPolicy policy(config.adaptive_options);
-    result.compression = parallel_compress(
-        fields, config.compression, config.workers, block_slabs, &policy);
-    result.adaptive = policy.summary();
-  } else {
-    result.compression = parallel_compress(fields, config.compression,
-                                           config.workers, config.block_slabs);
-  }
+  // Stage 1: parallel compression (real) through the shared Engine
+  // facade — the same dispatch (whole-file / blocked / adaptive) the
+  // CLI and the daemon use, so all three frontends stay byte-for-byte
+  // in agreement.
+  EngineRequest request;
+  request.config = config.compression;
+  request.adaptive = config.adaptive;
+  request.adaptive_options = config.adaptive_options;
+  request.block_slabs = config.block_slabs;
+  request.workers = config.workers;
+  result.compression =
+      Engine::shared().compress_fields(fields, request, &result.adaptive);
 
   // Stage 2 (optional): grouping; wire sizes include archive headers.
   // The ungrouped path is zero-copy: the compressed blobs travel as

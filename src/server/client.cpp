@@ -1,0 +1,124 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ocelot::server {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(path.size() < sizeof(addr.sun_path),
+          "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("cannot create unix socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    throw_errno("cannot connect to " + path);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw InvalidArgument("bad host address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("cannot create tcp socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    throw_errno("cannot connect to " + host + ":" + std::to_string(port));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), next_id_(other.next_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame Client::call(Frame request) {
+  require(fd_ >= 0, "client is not connected");
+  request.id = next_id_++;
+  write_frame(fd_, request);
+  while (true) {
+    std::optional<Frame> response = read_frame(fd_);
+    if (!response.has_value()) {
+      throw Error("daemon closed the connection mid-request");
+    }
+    // Responses may be reordered across a pipelined connection; this
+    // client is synchronous, so anything but our id is a stray late
+    // response — skip it.
+    if (response->id != request.id && response->id != 0) continue;
+    if (response->type == FrameType::kError) {
+      throw RequestRejected(
+          response->options,
+          std::string(response->payload.begin(), response->payload.end()));
+    }
+    if (response->type != FrameType::kOk) {
+      throw CorruptStream("unexpected response frame type");
+    }
+    return std::move(*response);
+  }
+}
+
+Bytes Client::compress(const std::string& tenant, const Bytes& field_bytes,
+                       const std::string& options_line,
+                       std::string* stats_line) {
+  Frame request;
+  request.type = FrameType::kCompress;
+  request.tenant = tenant;
+  request.options = options_line;
+  request.payload = field_bytes;
+  Frame response = call(std::move(request));
+  if (stats_line != nullptr) *stats_line = response.options;
+  return std::move(response.payload);
+}
+
+Bytes Client::decompress(const std::string& tenant, const Bytes& blob) {
+  Frame request;
+  request.type = FrameType::kDecompress;
+  request.tenant = tenant;
+  request.payload = blob;
+  return std::move(call(std::move(request)).payload);
+}
+
+void Client::ping() {
+  Frame request;
+  request.type = FrameType::kPing;
+  (void)call(std::move(request));
+}
+
+}  // namespace ocelot::server

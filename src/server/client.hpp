@@ -1,0 +1,76 @@
+#pragma once
+// Blocking client for the ocelotd wire protocol.
+//
+// One Client owns one connection (unix socket or loopback TCP) and
+// speaks synchronous request/response: call() writes a frame, then
+// reads frames until the one echoing its request id arrives. kError
+// responses surface as exceptions carrying the daemon's
+// machine-readable code ("busy", "draining", "bad-request",
+// "internal") so callers can tell backpressure from failure. The CLI
+// (`ocelot client`), the daemon tests, and bench_daemon_load all drive
+// this class.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "server/protocol.hpp"
+
+namespace ocelot::server {
+
+/// A kError response, as an exception: `code` is the machine-readable
+/// backpressure/failure class, what() the daemon's message.
+class RequestRejected : public Error {
+ public:
+  RequestRejected(std::string code, const std::string& message)
+      : Error(message), code_(std::move(code)) {}
+
+  [[nodiscard]] const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+class Client {
+ public:
+  /// Connects to a daemon's unix socket; throws Error on failure.
+  static Client connect_unix(const std::string& path);
+
+  /// Connects to a daemon's TCP port on `host` (e.g. "127.0.0.1").
+  static Client connect_tcp(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends `request` (stamping a fresh id) and blocks for its
+  /// response. Throws RequestRejected on a kError response and
+  /// CorruptStream/Error on protocol or socket failures.
+  Frame call(Frame request);
+
+  /// Compresses OCF1 `field_bytes` under `options_line` (the canonical
+  /// key=value form, e.g. "eb=1e-3 backend=multigrid") as `tenant`.
+  /// Returns the OCZ/OCB1 bytes; `stats_line` (optional) receives the
+  /// daemon's result summary.
+  Bytes compress(const std::string& tenant, const Bytes& field_bytes,
+                 const std::string& options_line,
+                 std::string* stats_line = nullptr);
+
+  /// Decompresses an OCZ blob / OCB1 container; returns OCF1 bytes.
+  Bytes decompress(const std::string& tenant, const Bytes& blob);
+
+  /// Liveness probe (kPing round-trip).
+  void ping();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace ocelot::server

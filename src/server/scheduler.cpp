@@ -1,0 +1,136 @@
+#include "server/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/fair_share.hpp"
+
+namespace ocelot::server {
+
+void FairScheduler::set_quota(const std::string& tenant, TenantQuota quota) {
+  const std::scoped_lock lock(mu_);
+  state_for(tenant).quota = quota;
+}
+
+FairScheduler::TenantState& FairScheduler::state_for(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(tenant, TenantState{default_quota_, {}, 0, 0.0})
+             .first;
+  }
+  return it->second;
+}
+
+Admit FairScheduler::submit(const std::string& tenant, std::size_t cost_bytes,
+                            std::function<void()> work) {
+  const std::scoped_lock lock(mu_);
+  if (draining_) {
+    ++stats_.rejected;
+    return Admit::kDraining;
+  }
+  TenantState& state = state_for(tenant);
+  if (state.queue.size() >= state.quota.max_queued) {
+    ++stats_.rejected;
+    return Admit::kQueueFull;
+  }
+  if (state.queued_bytes + cost_bytes > state.quota.max_queued_bytes) {
+    ++stats_.rejected;
+    return Admit::kBytesFull;
+  }
+  if (state.queue.empty()) {
+    // Re-arrival clamp: compete from "now", not from idle credit.
+    double floor = std::numeric_limits<double>::infinity();
+    for (const auto& [name, other] : tenants_) {
+      if (!other.queue.empty()) floor = std::min(floor, other.served_norm);
+    }
+    if (floor != std::numeric_limits<double>::infinity()) {
+      state.served_norm = std::max(state.served_norm, floor);
+    }
+  }
+  state.queue.push_back(Job{tenant, cost_bytes, std::move(work)});
+  state.queued_bytes += cost_bytes;
+  total_queued_ += 1;
+  total_queued_bytes_ += cost_bytes;
+  ++stats_.submitted;
+  cv_.notify_one();
+  return Admit::kQueued;
+}
+
+std::optional<FairScheduler::Job> FairScheduler::pop() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return draining_ || total_queued_ > 0; });
+  if (total_queued_ == 0) return std::nullopt;  // draining and empty
+
+  // Max-min shares over the backlogged tenants: demands are the
+  // weights normalized to the unit capacity, run through the same
+  // kernel the WAN orchestrator uses for link bandwidth. With every
+  // demand at its weight fraction the kernel hands each tenant exactly
+  // that fraction — and caps any degenerate oversized demand at the
+  // fair level, which is why the kernel (not a bare division) does the
+  // splitting.
+  std::vector<TenantState*> backlogged;
+  std::vector<double> demands;
+  double total_weight = 0.0;
+  for (auto& [name, state] : tenants_) {
+    if (state.queue.empty()) continue;
+    backlogged.push_back(&state);
+    const double w = state.quota.weight > 0 ? state.quota.weight : 1e-9;
+    demands.push_back(w);
+    total_weight += w;
+  }
+  for (double& d : demands) d /= total_weight;
+  const std::vector<double> shares =
+      sim::max_min_allocation(1.0, std::span<const double>(demands));
+
+  std::size_t pick = 0;
+  for (std::size_t i = 1; i < backlogged.size(); ++i) {
+    if (backlogged[i]->served_norm < backlogged[pick]->served_norm) pick = i;
+  }
+  TenantState& state = *backlogged[pick];
+  Job job = std::move(state.queue.front());
+  state.queue.pop_front();
+  state.queued_bytes -= job.cost_bytes;
+  total_queued_ -= 1;
+  total_queued_bytes_ -= job.cost_bytes;
+  const double share = shares[pick] > 0 ? shares[pick] : 1e-9;
+  // Normalize by payload size so one huge request costs proportionally
+  // more virtual service than many small ones (min charge 1 byte keeps
+  // empty-payload pings from being free).
+  state.served_norm +=
+      static_cast<double>(std::max<std::size_t>(job.cost_bytes, 1)) / share;
+  ++stats_.dispatched;
+  if (total_queued_ == 0) cv_.notify_all();  // wake wait_empty / drain
+  return job;
+}
+
+void FairScheduler::drain() {
+  const std::scoped_lock lock(mu_);
+  draining_ = true;
+  cv_.notify_all();
+}
+
+void FairScheduler::wait_empty() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return total_queued_ == 0; });
+}
+
+FairScheduler::Stats FairScheduler::stats() const {
+  const std::scoped_lock lock(mu_);
+  Stats s = stats_;
+  s.queued = total_queued_;
+  s.queued_bytes = total_queued_bytes_;
+  return s;
+}
+
+std::vector<std::pair<std::string, double>> FairScheduler::served() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) {
+    out.emplace_back(name, state.served_norm);
+  }
+  return out;
+}
+
+}  // namespace ocelot::server

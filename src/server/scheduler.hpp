@@ -1,0 +1,128 @@
+#pragma once
+// Per-tenant admission control and max-min fair scheduling for ocelotd.
+//
+// The daemon's worker pool pulls jobs from this queue. Two concerns
+// live here, both per tenant:
+//
+//   * admission: each tenant has a bounded queue (requests and bytes).
+//     submit() rejects past the bound instead of buffering without
+//     limit — the connection layer turns the rejection into a kError
+//     "busy" backpressure frame, so a flooding client sees push-back
+//     while everyone else's queue stays shallow.
+//
+//   * scheduling: pop() picks the next job max-min fairly across the
+//     tenants that have work. Shares come from the same
+//     sim::max_min_allocation kernel the WAN orchestrator uses for
+//     link bandwidth (sim/fair_share.hpp), fed with the backlogged
+//     tenants' weights; each tenant accrues normalized virtual service
+//     cost_bytes / share as its jobs are dispatched, and the tenant
+//     with the least accrued service goes next. A heavy tenant
+//     therefore works through its own backlog without delaying a light
+//     tenant's occasional requests — the property bench_daemon_load
+//     gates (light-tenant p99 within 3x of its unloaded p99).
+//
+// Re-arrival clamp: a tenant idle for a while has accrued nothing, so
+// its counter could lag the field and let it monopolize the pool on
+// return. submit() lifts a newly-backlogged tenant's counter to the
+// current minimum over backlogged tenants — fresh arrivals compete
+// fairly from "now" instead of replaying their idle credit.
+//
+// Thread model: every method is mutex-protected; pop() blocks until
+// work arrives or the scheduler drains. Jobs are opaque closures —
+// the scheduler never runs them, it only orders them.
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ocelot::server {
+
+/// Admission bounds and fair-share weight of one tenant.
+struct TenantQuota {
+  std::size_t max_queued = 64;               ///< queued requests
+  std::size_t max_queued_bytes = 256u << 20; ///< queued payload bytes
+  double weight = 1.0;                       ///< max-min share weight
+};
+
+/// submit() outcome; everything except kQueued is backpressure.
+enum class Admit : std::uint8_t {
+  kQueued = 0,
+  kQueueFull,   ///< tenant's request bound reached
+  kBytesFull,   ///< tenant's byte bound reached
+  kDraining,    ///< scheduler is draining, no new work
+};
+
+class FairScheduler {
+ public:
+  explicit FairScheduler(TenantQuota default_quota = {})
+      : default_quota_(default_quota) {}
+
+  /// Overrides the default quota for one tenant (call before traffic;
+  /// takes effect on the tenant's next submit).
+  void set_quota(const std::string& tenant, TenantQuota quota);
+
+  /// Admits `work` to `tenant`'s queue, or rejects it. `cost_bytes` is
+  /// the request's payload size — the unit of both the byte bound and
+  /// the fair-share accounting.
+  [[nodiscard]] Admit submit(const std::string& tenant,
+                             std::size_t cost_bytes,
+                             std::function<void()> work);
+
+  /// One dispatched job (the worker runs `work` outside the lock).
+  struct Job {
+    std::string tenant;
+    std::size_t cost_bytes = 0;
+    std::function<void()> work;
+  };
+
+  /// Blocks until a job is available (fair pick) or the scheduler has
+  /// drained; nullopt means drained-and-empty — the worker should exit.
+  [[nodiscard]] std::optional<Job> pop();
+
+  /// Stops admission (submit returns kDraining); pop keeps serving
+  /// until the queues are empty, then returns nullopt.
+  void drain();
+
+  /// Blocks until every queued job has been popped (drain() or not).
+  void wait_empty();
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t dispatched = 0;
+    std::size_t queued = 0;         ///< currently queued requests
+    std::size_t queued_bytes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Accrued normalized service per tenant (tests; insertion order).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> served() const;
+
+ private:
+  struct TenantState {
+    TenantQuota quota;
+    std::deque<Job> queue;
+    std::size_t queued_bytes = 0;
+    double served_norm = 0.0;  ///< accrued cost_bytes / share
+  };
+
+  TenantState& state_for(const std::string& tenant);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  TenantQuota default_quota_;
+  std::map<std::string, TenantState> tenants_;
+  std::size_t total_queued_ = 0;
+  std::size_t total_queued_bytes_ = 0;
+  bool draining_ = false;
+  Stats stats_;
+};
+
+}  // namespace ocelot::server

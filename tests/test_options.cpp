@@ -1,0 +1,114 @@
+// Unit tests for the shared key=value OptionSet parser (CLI trailing
+// options, `ocelot serve` config, and ocelotd request option frames).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/options.hpp"
+
+namespace ocelot {
+namespace {
+
+TEST(OptionSet, FromArgsRequiresKeyValueForm) {
+  const OptionSet options =
+      OptionSet::from_args({"eb=1e-3", "backend=sz3"}, "compress");
+  EXPECT_EQ(options.size(), 2u);
+  EXPECT_TRUE(options.has("eb"));
+  try {
+    (void)OptionSet::from_args({"eb=1", "oops"}, "compress");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "compress options are key=value, got: oops");
+  }
+}
+
+TEST(OptionSet, FromLineSplitsOnWhitespace) {
+  const OptionSet options =
+      OptionSet::from_line("  eb=1e-3\t backend=sz3  ", "request");
+  EXPECT_EQ(options.size(), 2u);
+  EXPECT_TRUE(options.has("backend"));
+  EXPECT_TRUE(OptionSet::from_line("", "request").empty());
+}
+
+TEST(OptionSet, LastValueWinsFirstPositionKept) {
+  OptionSet options;
+  options.set("a", "1");
+  options.set("b", "2");
+  options.set("a", "3");
+  EXPECT_EQ(options.get_string("a"), "3");
+  EXPECT_EQ(options.index_of("a"), std::optional<std::size_t>(0));
+  EXPECT_EQ(options.index_of("b"), std::optional<std::size_t>(1));
+  EXPECT_FALSE(options.index_of("missing").has_value());
+}
+
+TEST(OptionSet, TypedGettersParseAndReportErrors) {
+  OptionSet options = OptionSet::from_line(
+      "d=2.5 n=8 f=1 c=abs l=a,b,c bad_d=x bad_n=0 bad_f=yes bad_c=weird",
+      "test");
+  EXPECT_DOUBLE_EQ(options.get_double("d", 0.0), 2.5);
+  EXPECT_EQ(options.get_count("n", 1), 8u);
+  EXPECT_TRUE(options.get_flag("f", false));
+  EXPECT_EQ(options.get_choice("c", {"abs", "rel"}, "rel"), "abs");
+  EXPECT_EQ(options.get_list("l"),
+            (std::vector<std::string>{"a", "b", "c"}));
+
+  // Defaults when absent.
+  EXPECT_DOUBLE_EQ(options.get_double("absent", 7.0), 7.0);
+  EXPECT_EQ(options.get_count("absent", 3), 3u);
+  EXPECT_FALSE(options.get_flag("absent", false));
+  EXPECT_TRUE(options.get_list("absent").empty());
+
+  EXPECT_THROW((void)options.get_double("bad_d", 0.0), InvalidArgument);
+  EXPECT_THROW((void)options.get_count("bad_n", 1), InvalidArgument);
+  EXPECT_THROW((void)options.get_flag("bad_f", false), InvalidArgument);
+  try {
+    (void)options.get_choice("bad_c", {"abs", "rel"}, "rel", "eb mode");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "unknown eb mode: weird (expected abs|rel)");
+  }
+}
+
+TEST(OptionSet, RejectUnknownNamesFirstUnconsumedInOrder) {
+  OptionSet options = OptionSet::from_line("known=1 typo=2 other=3", "serve");
+  (void)options.get_string("known");
+  try {
+    options.reject_unknown("serve");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "unknown serve option: typo");
+  }
+  (void)options.take("typo");
+  (void)options.take("other");
+  EXPECT_NO_THROW(options.reject_unknown("serve"));
+}
+
+TEST(OptionSet, CanonicalLinePreservesOrderAndFiltersConsumed) {
+  OptionSet options = OptionSet::from_line(
+      "connect=unix:/s tenant=cli eb=1e-3 backend=sz3", "client");
+  EXPECT_EQ(options.canonical_line(),
+            "connect=unix:/s tenant=cli eb=1e-3 backend=sz3");
+  // The client consumes its transport keys, then forwards the rest.
+  (void)options.get_string("connect");
+  (void)options.get_string("tenant");
+  EXPECT_EQ(options.canonical_line(/*unconsumed_only=*/true),
+            "eb=1e-3 backend=sz3");
+}
+
+TEST(OptionSet, StandaloneParsersShareErrorShape) {
+  EXPECT_DOUBLE_EQ(parse_double_option("eb", "1e-4"), 1e-4);
+  EXPECT_EQ(parse_count_option("workers", "12"), 12u);
+  try {
+    (void)parse_count_option("workers", "0");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "bad workers value: 0");
+  }
+  EXPECT_THROW((void)parse_double_option("eb", "1x"), InvalidArgument);
+  EXPECT_THROW((void)parse_count_option("workers", "-3"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ocelot

@@ -19,6 +19,10 @@
 //   backends                                   list registered backends
 //   diff <a.ocf> <b.ocf>                       PSNR / max error
 //   simulate <campaign>... | --demo            multi-campaign orchestrator
+//   serve unix=/path [port=N] [tenants=...]    ocelotd: multi-tenant
+//                                              compression daemon (OCR1
+//                                              frames, fair scheduling)
+//   client connect=... compress|decompress|ping  talk to a running ocelotd
 //
 // Observability: `compress`/`stats`/`simulate` accept trace=out.json
 // (Chrome trace-event / Perfetto span timeline) and compress accepts
@@ -28,6 +32,7 @@
 // compressed blobs, and OCB1 block containers. Compression families
 // come from the name-keyed BackendRegistry, so a newly registered
 // backend is immediately selectable here without CLI changes.
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -38,6 +43,7 @@
 
 #include "codec/entropy.hpp"
 #include "common/error.hpp"
+#include "common/options.hpp"
 #include "common/stats.hpp"
 #include "common/str.hpp"
 #include "common/table.hpp"
@@ -45,6 +51,7 @@
 #include "compressor/compressor.hpp"
 #include "common/timer.hpp"
 #include "core/adaptive.hpp"
+#include "core/engine.hpp"
 #include "core/stream_codec.hpp"
 #include "core/workload.hpp"
 #include "datagen/campaigns.hpp"
@@ -56,6 +63,8 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "orchestrator/orchestrator.hpp"
+#include "server/client.hpp"
+#include "server/daemon.hpp"
 
 namespace {
 
@@ -98,19 +107,6 @@ int cmd_generate(const std::vector<std::string>& args) {
   return 0;
 }
 
-/// Resolves a backend name through the registry; "sz3" stays as a
-/// convenience alias for the SZ3 default.
-std::string parse_backend(const std::string& name) {
-  const std::string resolved = name == "sz3" ? "sz3-interp" : name;
-  (void)BackendRegistry::instance().by_name(resolved);  // throws if unknown
-  return resolved;
-}
-
-/// Resolves an entropy-stage name through its registry.
-std::string parse_entropy_stage(const std::string& name) {
-  return EntropyRegistry::instance().by_name(name).name();  // throws if unknown
-}
-
 /// Display name for an entropy-stage wire id from a container index or
 /// blob header ("?" for the unknown sentinel, "#id" for foreign ids).
 std::string entropy_stage_label(std::uint8_t id) {
@@ -138,74 +134,6 @@ std::vector<std::size_t> parse_slab(const std::string& value) {
   return dims;
 }
 
-std::size_t parse_count(const std::string& key, const std::string& value) {
-  try {
-    std::size_t consumed = 0;
-    const unsigned long long v = std::stoull(value, &consumed);
-    if (consumed != value.size() || v == 0) throw std::invalid_argument(value);
-    return static_cast<std::size_t>(v);
-  } catch (const std::exception&) {
-    throw InvalidArgument("bad " + key + " value: " + value);
-  }
-}
-
-double parse_double(const std::string& key, const std::string& value) {
-  try {
-    std::size_t consumed = 0;
-    const double v = std::stod(value, &consumed);
-    if (consumed != value.size()) throw std::invalid_argument(value);
-    return v;
-  } catch (const std::exception&) {
-    throw InvalidArgument("bad " + key + " value: " + value);
-  }
-}
-
-/// Parses the adaptive-advisor knobs shared by `compress
-/// policy=adaptive` and `advise`. Returns true when the key was one of
-/// the advisor's.
-bool parse_adaptive_option(const std::string& key, const std::string& value,
-                           AdaptiveOptions& options) {
-  if (key == "backends") {
-    options.backends.clear();
-    for (const std::string& name : split(value, ',')) {
-      options.backends.push_back(parse_backend(name));
-    }
-    return true;
-  }
-  if (key == "eb_scales") {
-    options.eb_scales.clear();
-    for (const std::string& part : split(value, ',')) {
-      options.eb_scales.push_back(parse_double(key, part));
-    }
-    return true;
-  }
-  if (key == "min_psnr") {
-    options.min_psnr_db = parse_double(key, value);
-    return true;
-  }
-  if (key == "stride") {
-    options.sample_stride = parse_count(key, value);
-    return true;
-  }
-  if (key == "entropy_stages") {
-    options.entropy_stages.clear();
-    for (const std::string& name : split(value, ',')) {
-      options.entropy_stages.push_back(parse_entropy_stage(name));
-    }
-    return true;
-  }
-  return false;
-}
-
-/// Worker-thread count for the adaptive CLI paths: every hardware
-/// thread unless the user said otherwise (the emitted bytes do not
-/// depend on it).
-std::size_t default_workers() {
-  const unsigned n = std::thread::hardware_concurrency();
-  return n > 0 ? n : 4;
-}
-
-
 int cmd_compress(const std::vector<std::string>& args) {
   if (args.size() < 2) {
     std::cerr << "usage: ocelot compress <in.ocf> <out.ocz> [eb=1e-3] "
@@ -228,18 +156,6 @@ int cmd_compress(const std::vector<std::string>& args) {
     return 2;
   }
   const bool streaming = args[0] == "-";
-  CompressionConfig config;
-  config.eb_mode = EbMode::kValueRangeRel;
-  std::vector<std::size_t> slab_dims;
-  std::size_t block_slabs = 8;
-  bool slab_given = false;
-  bool block_slabs_given = false;
-  bool adaptive = false;
-  bool adaptive_given = false;  ///< an advisor knob appeared
-  AdaptiveOptions adaptive_options;
-  std::size_t workers = 0;  ///< 0 = every hardware thread
-  std::string trace_path;
-  bool show_stats = false;
 
   // Trailing options: positional [eb] [mode] [backend], with key=value
   // accepted anywhere (so `backend=multigrid` works without spelling
@@ -248,6 +164,7 @@ int cmd_compress(const std::vector<std::string>& args) {
   // streaming-only knobs (slab, block_slabs) are key=value only.
   const char* kSlots[] = {"eb", "mode", "backend"};
   bool given[3] = {false, false, false};
+  OptionSet options;
   for (std::size_t i = 2; i < args.size(); ++i) {
     const std::string& arg = args[i];
     const auto eq = arg.find('=');
@@ -269,66 +186,36 @@ int cmd_compress(const std::vector<std::string>& args) {
         given[slot] = true;
       }
     }
-    if (key == "eb") {
-      try {
-        std::size_t consumed = 0;
-        config.eb = std::stod(value, &consumed);
-        if (consumed != value.size()) throw std::invalid_argument(value);
-      } catch (const std::exception&) {
-        throw InvalidArgument("bad eb value: " + value);
-      }
-    } else if (key == "mode") {
-      if (value != "abs" && value != "rel")
-        throw InvalidArgument("unknown eb mode: " + value +
-                              " (expected abs|rel)");
-      config.eb_mode =
-          value == "abs" ? EbMode::kAbsolute : EbMode::kValueRangeRel;
-    } else if (key == "backend" || key == "pipeline") {
-      config.backend = parse_backend(value);
-    } else if (key == "entropy") {
-      config.entropy = parse_entropy_stage(value);
-    } else if (key == "slab") {
-      slab_dims = parse_slab(value);
-      slab_given = true;
-    } else if (key == "block_slabs") {
-      block_slabs = parse_count(key, value);
-      block_slabs_given = true;
-    } else if (key == "policy") {
-      if (value != "fixed" && value != "adaptive")
-        throw InvalidArgument("unknown policy: " + value +
-                              " (expected fixed|adaptive)");
-      adaptive = value == "adaptive";
-    } else if (key == "workers") {
-      workers = parse_count(key, value);
-      adaptive_given = true;
-    } else if (key == "trace") {
-      if (value.empty()) throw InvalidArgument("trace needs a file path");
-      trace_path = value;
-    } else if (key == "stats") {
-      if (value != "0" && value != "1")
-        throw InvalidArgument("bad stats value: " + value + " (expected 0|1)");
-      show_stats = value == "1";
-    } else if (parse_adaptive_option(key, value, adaptive_options)) {
-      adaptive_given = true;
-    } else {
-      throw InvalidArgument("unknown compress option: " + key);
-    }
+    options.set(key, value);
   }
+
+  // The CLI-only knobs come off first; the engine then consumes the
+  // shared compression keys, and anything left over is a typo.
+  const bool slab_given = options.has("slab");
+  const bool block_slabs_given = options.has("block_slabs");
+  std::vector<std::size_t> slab_dims;
+  if (slab_given) slab_dims = parse_slab(options.get_string("slab"));
+  const std::string trace_path = options.get_string("trace");
+  if (options.has("trace") && trace_path.empty()) {
+    throw InvalidArgument("trace needs a file path");
+  }
+  const bool show_stats = options.get_flag("stats", false);
+
+  CompressionOptionRules rules;
+  rules.advisor_knobs_need_policy = true;
+  const EngineRequest request = parse_compression_options(options, rules);
+  options.reject_unknown("compress");
+
   if (!streaming && slab_given) {
     throw InvalidArgument(
         "slab applies to the streaming mode only "
         "(use `ocelot compress - ...`)");
   }
-  if (!streaming && block_slabs_given && !adaptive) {
+  if (!streaming && block_slabs_given && !request.adaptive) {
     throw InvalidArgument(
         "block_slabs applies to the streaming or adaptive modes only");
   }
-  if (!adaptive && adaptive_given) {
-    throw InvalidArgument(
-        "backends/entropy_stages/eb_scales/min_psnr/stride/workers need "
-        "policy=adaptive");
-  }
-  if (streaming && adaptive) {
+  if (streaming && request.adaptive) {
     throw InvalidArgument(
         "policy=adaptive needs the whole field (chunked stdin input is "
         "not supported)");
@@ -355,54 +242,41 @@ int cmd_compress(const std::vector<std::string>& args) {
     if (!slab_given)
       throw InvalidArgument(
           "streaming compress needs slab=... (trailing dims of one slab)");
-    StreamCompressConfig stream_config;
-    stream_config.compression = config;
-    stream_config.slab_dims = slab_dims;
-    stream_config.block_slabs = block_slabs;
-
     const bool to_stdout = args[1] == "-";
     std::ofstream file_out;
     if (!to_stdout) {
       file_out.open(args[1], std::ios::binary);
       if (!file_out) throw Error("cannot write " + args[1]);
     }
-    const StreamStats stats = stream_compress(
-        std::cin, to_stdout ? std::cout : file_out, stream_config);
+    const StreamStats stats = Engine::shared().compress_stream(
+        std::cin, to_stdout ? std::cout : file_out, request, slab_dims);
     // Status goes to stderr so a piped stdout stays pure container
     // bytes.
     std::cerr << "streamed " << shape_label(stats.shape) << " ("
               << fmt_bytes(static_cast<double>(stats.raw_bytes)) << ") -> "
               << (to_stdout ? std::string("<stdout>") : args[1]) << " in "
               << stats.blocks << " blocks, ratio "
-              << fmt_double(stats.ratio(), 2) << "x (" << config.backend
-              << ")\n";
+              << fmt_double(stats.ratio(), 2) << "x ("
+              << request.config.backend << ")\n";
     finish_obs();
     return 0;
   }
 
   const LoadedField field = load_field(read_file(args[0]));
-  if (adaptive) {
-    AdvisorPolicy policy(adaptive_options);
-    const BlockCompressResult r = block_compress(
-        field.data, config, workers > 0 ? workers : default_workers(),
-        block_slabs, &policy);
-    write_file(args[1], r.container);
+  Bytes container;
+  const EngineResult r = Engine::shared().compress(field.data, request,
+                                                   container);
+  write_file(args[1], container);
+  if (request.adaptive) {
     std::cout << "compressed " << args[0] << " -> " << args[1] << "  ratio "
-              << fmt_double(r.ratio(), 2) << "x  (abs eb "
-              << resolve_abs_eb(field.data, config) << ", adaptive over "
-              << r.n_blocks << " blocks: " << to_string(policy.summary())
-              << ")\n";
-    finish_obs();
-    return 0;
+              << fmt_double(r.ratio(), 2) << "x  (abs eb " << r.abs_eb
+              << ", adaptive over " << r.blocks
+              << " blocks: " << to_string(r.adaptive) << ")\n";
+  } else {
+    std::cout << "compressed " << args[0] << " -> " << args[1] << "  ratio "
+              << fmt_double(r.ratio(), 2) << "x  (abs eb " << r.abs_eb << ", "
+              << request.config.backend << ")\n";
   }
-  const Bytes blob = compress(field.data, config);
-  write_file(args[1], blob);
-  const double ratio = static_cast<double>(field.data.byte_size()) /
-                       static_cast<double>(blob.size());
-  std::cout << "compressed " << args[0] << " -> " << args[1] << "  ratio "
-            << fmt_double(ratio, 2) << "x  (abs eb "
-            << resolve_abs_eb(field.data, config) << ", " << config.backend
-            << ")\n";
   finish_obs();
   return 0;
 }
@@ -468,9 +342,7 @@ int cmd_decompress(const std::vector<std::string>& args) {
   }
   const Bytes blob = read_file(args[0]);
   // OCB1 containers decode block-parallel; bare OCZ1 blobs single-shot.
-  const FloatArray data = is_block_container(blob)
-                              ? block_decompress(blob, 4).field
-                              : decompress<float>(blob);
+  const FloatArray data = Engine::shared().decompress(blob, 4);
   write_file(args[1], save_field("decompressed", data));
   std::cout << "decompressed " << args[0] << " -> " << args[1] << " ("
             << shape_label(data.shape()) << ")\n";
@@ -528,41 +400,26 @@ int cmd_advise(const std::vector<std::string>& args) {
     return 0;
   }
 
-  CompressionConfig config;
-  config.eb_mode = EbMode::kValueRangeRel;
-  std::size_t block_slabs = 8;
-  std::size_t workers = 0;  ///< 0 = every hardware thread
-  AdaptiveOptions options;
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    const auto eq = args[i].find('=');
-    if (eq == std::string::npos)
-      throw InvalidArgument("advise options are key=value, got: " + args[i]);
-    const std::string key = args[i].substr(0, eq);
-    const std::string value = args[i].substr(eq + 1);
-    if (key == "eb") {
-      config.eb = parse_double(key, value);
-    } else if (key == "mode") {
-      if (value != "abs" && value != "rel")
-        throw InvalidArgument("unknown eb mode: " + value +
-                              " (expected abs|rel)");
-      config.eb_mode =
-          value == "abs" ? EbMode::kAbsolute : EbMode::kValueRangeRel;
-    } else if (key == "block_slabs") {
-      block_slabs = parse_count(key, value);
-    } else if (key == "workers") {
-      workers = parse_count(key, value);
-    } else if (parse_adaptive_option(key, value, options)) {
-      // handled
-    } else {
-      throw InvalidArgument("unknown advise option: " + key);
-    }
+  OptionSet options = OptionSet::from_args(
+      std::vector<std::string>(args.begin() + 1, args.end()), "advise");
+  // advise always runs the advisor: the fixed-path keys (backend choice,
+  // entropy override, policy) are not accepted here, matching the keys
+  // the pre-facade loop understood.
+  for (const char* key : {"backend", "pipeline", "entropy", "policy"}) {
+    if (options.has(key))
+      throw InvalidArgument(std::string("unknown advise option: ") + key);
   }
+  CompressionOptionRules rules;
+  rules.allow_policy = false;
+  rules.default_adaptive = true;
+  const EngineRequest request = parse_compression_options(options, rules);
+  options.reject_unknown("advise");
 
   const LoadedField field = load_field(bytes);
-  AdvisorPolicy policy(options);
-  const BlockCompressResult r = block_compress(
-      field.data, config, workers > 0 ? workers : default_workers(),
-      block_slabs, &policy);
+  AdvisorPolicy policy(request.adaptive_options);
+  Bytes container;
+  const EngineResult r =
+      Engine::shared().compress(field.data, request, container, &policy);
 
   TextTable table(
       {"block", "backend", "entropy", "abs eb", "pred ratio", "ratio"});
@@ -574,7 +431,7 @@ int cmd_advise(const std::vector<std::string>& args) {
   }
   table.print(std::cout);
   std::cout << "\naggregate ratio " << fmt_double(r.ratio(), 2) << "x over "
-            << r.n_blocks << " blocks (" << to_string(policy.summary())
+            << r.blocks << " blocks (" << to_string(policy.summary())
             << ")\n";
   return 0;
 }
@@ -774,50 +631,20 @@ int cmd_stats(const std::vector<std::string>& args) {
                  "timings, counters, histograms, and pool stats\n";
     return 2;
   }
-  bool json = false;
-  std::string trace_path;
-  CompressionConfig config;
-  config.eb_mode = EbMode::kValueRangeRel;
-  std::size_t block_slabs = 8;
-  bool adaptive = false;
-  std::size_t workers = 0;
-  AdaptiveOptions adaptive_options;
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    const auto eq = args[i].find('=');
-    if (eq == std::string::npos)
-      throw InvalidArgument("stats options are key=value, got: " + args[i]);
-    const std::string key = args[i].substr(0, eq);
-    const std::string value = args[i].substr(eq + 1);
-    if (key == "json") {
-      json = value == "1";
-    } else if (key == "trace") {
-      if (value.empty()) throw InvalidArgument("trace needs a file path");
-      trace_path = value;
-    } else if (key == "eb") {
-      config.eb = parse_double(key, value);
-    } else if (key == "mode") {
-      if (value != "abs" && value != "rel")
-        throw InvalidArgument("unknown eb mode: " + value +
-                              " (expected abs|rel)");
-      config.eb_mode =
-          value == "abs" ? EbMode::kAbsolute : EbMode::kValueRangeRel;
-    } else if (key == "backend" || key == "pipeline") {
-      config.backend = parse_backend(value);
-    } else if (key == "policy") {
-      if (value != "fixed" && value != "adaptive")
-        throw InvalidArgument("unknown policy: " + value +
-                              " (expected fixed|adaptive)");
-      adaptive = value == "adaptive";
-    } else if (key == "block_slabs") {
-      block_slabs = parse_count(key, value);
-    } else if (key == "workers") {
-      workers = parse_count(key, value);
-    } else if (parse_adaptive_option(key, value, adaptive_options)) {
-      // handled
-    } else {
-      throw InvalidArgument("unknown stats option: " + key);
-    }
+  OptionSet options = OptionSet::from_args(
+      std::vector<std::string>(args.begin() + 1, args.end()), "stats");
+  // stats did not take an entropy override pre-facade; keep that
+  // surface (the engine would otherwise consume it silently).
+  if (options.has("entropy")) {
+    throw InvalidArgument("unknown stats option: entropy");
   }
+  const bool json = options.get_string("json") == "1";
+  const std::string trace_path = options.get_string("trace");
+  if (options.has("trace") && trace_path.empty()) {
+    throw InvalidArgument("trace needs a file path");
+  }
+  const EngineRequest request = parse_compression_options(options);
+  options.reject_unknown("stats");
 
   const Bytes bytes = read_file(args[0]);
   if (!trace_path.empty()) {
@@ -831,18 +658,10 @@ int cmd_stats(const std::vector<std::string>& args) {
                         bytes[1] == 'C' && bytes[2] == 'F' && bytes[3] == '1';
   if (is_field) {
     const LoadedField field = load_field(bytes);
-    if (adaptive) {
-      AdvisorPolicy policy(adaptive_options);
-      (void)block_compress(field.data, config,
-                           workers > 0 ? workers : default_workers(),
-                           block_slabs, &policy);
-    } else {
-      (void)compress(field.data, config);
-    }
-  } else if (is_block_container(bytes)) {
-    (void)block_decompress(bytes, workers > 0 ? workers : default_workers());
+    Bytes scratch;
+    (void)Engine::shared().compress(field.data, request, scratch);
   } else {
-    (void)decompress<float>(bytes);
+    (void)Engine::shared().decompress(bytes, request.workers);
   }
 
   if (!trace_path.empty()) {
@@ -1143,6 +962,180 @@ int cmd_simulate(const std::vector<std::string>& raw_args) {
   return 0;
 }
 
+/// Parses "port=N" by hand: 0 is a valid value (ephemeral bind), which
+/// get_count rejects by design.
+int parse_port(const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long v = std::stoul(value, &consumed);
+    if (consumed != value.size() || v > 65535)
+      throw std::invalid_argument(value);
+    return static_cast<int>(v);
+  } catch (const std::exception&) {
+    throw InvalidArgument("bad port value: " + value);
+  }
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr
+        << "usage: ocelot serve unix=/path/to.sock [port=0] [workers=N] "
+           "[max_frame_mb=256] [quota_requests=64] [quota_mb=256] "
+           "[tenants=name:weight[:max_queued[:max_mb]],...]\n"
+        << "       runs ocelotd: a multi-tenant compression daemon "
+           "speaking OCR1 frames\n"
+        << "       port=0 binds an ephemeral 127.0.0.1 port (printed on "
+           "start); omit port for unix-only\n"
+        << "       SIGTERM/SIGINT drains gracefully: queued and in-flight "
+           "requests finish, then connections close\n";
+    return 2;
+  }
+  OptionSet options = OptionSet::from_args(args, "serve");
+  server::DaemonConfig config;
+  config.unix_path = options.get_string("unix");
+  if (const auto v = options.take("port")) config.tcp_port = parse_port(*v);
+  config.workers = options.get_count("workers", 0);
+  config.max_frame_bytes =
+      options.get_count("max_frame_mb", config.max_frame_bytes >> 20) << 20;
+  config.default_quota.max_queued =
+      options.get_count("quota_requests", config.default_quota.max_queued);
+  config.default_quota.max_queued_bytes =
+      options.get_count("quota_mb", config.default_quota.max_queued_bytes >> 20)
+      << 20;
+  for (const std::string& spec : options.get_list("tenants")) {
+    if (spec.empty()) continue;
+    const std::vector<std::string> parts = split(spec, ':');
+    if (parts.size() < 2 || parts.size() > 4) {
+      throw InvalidArgument("bad tenants entry: " + spec +
+                            " (expected name:weight[:max_queued[:max_mb]])");
+    }
+    server::TenantQuota quota = config.default_quota;
+    quota.weight = parse_double_option("tenants", parts[1]);
+    if (parts.size() > 2)
+      quota.max_queued = parse_count_option("tenants", parts[2]);
+    if (parts.size() > 3)
+      quota.max_queued_bytes = parse_count_option("tenants", parts[3]) << 20;
+    config.tenant_quotas.emplace_back(parts[0], quota);
+  }
+  options.reject_unknown("serve");
+  if (config.unix_path.empty() && config.tcp_port < 0) {
+    throw InvalidArgument("serve needs unix=... and/or port=...");
+  }
+
+  // Block the termination signals before start() so every daemon
+  // thread inherits the mask and sigwait below is the only consumer.
+  sigset_t term_signals;
+  sigemptyset(&term_signals);
+  sigaddset(&term_signals, SIGINT);
+  sigaddset(&term_signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &term_signals, nullptr);
+
+  server::Daemon daemon(config);
+  daemon.start();
+  std::cerr << "ocelotd listening";
+  if (!config.unix_path.empty())
+    std::cerr << " on unix:" << config.unix_path;
+  if (daemon.tcp_port() >= 0)
+    std::cerr << " on 127.0.0.1:" << daemon.tcp_port();
+  std::cerr << " (" << Engine::resolve_workers(config.workers)
+            << " workers)\n";
+
+  int sig = 0;
+  sigwait(&term_signals, &sig);
+  std::cerr << "received " << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+            << ", draining\n";
+  daemon.shutdown();
+
+  const server::Daemon::Stats stats = daemon.stats();
+  std::cerr << "served " << stats.requests_ok << " requests ("
+            << stats.requests_rejected << " rejected, "
+            << stats.requests_error << " failed) over "
+            << stats.connections << " connections\n";
+  return 0;
+}
+
+int cmd_client(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::cerr
+        << "usage: ocelot client connect=<unix:/path|host:port> compress "
+           "<in.ocf> <out.ocz|out.ocb> [tenant=cli] [eb=...] [key=value...]\n"
+        << "       ocelot client connect=... decompress <in.ocz|in.ocb> "
+           "<out.ocf> [tenant=cli]\n"
+        << "       ocelot client connect=... ping\n"
+        << "       compression options are forwarded verbatim in the "
+           "request frame (same keys as `ocelot compress`)\n";
+    return 2;
+  }
+
+  // Positional args (verb and file paths) carry no '='; everything
+  // else is key=value, with connect/tenant consumed locally and the
+  // rest forwarded to the daemon in the request's option field.
+  std::vector<std::string> positional;
+  std::vector<std::string> kvs;
+  for (const std::string& arg : args) {
+    (arg.find('=') == std::string::npos ? positional : kvs).push_back(arg);
+  }
+  OptionSet options = OptionSet::from_args(kvs, "client");
+  const std::string endpoint = options.get_string("connect");
+  if (endpoint.empty()) {
+    throw InvalidArgument("client needs connect=<unix:/path|host:port>");
+  }
+  const std::string tenant = options.get_string("tenant", "cli");
+
+  const auto connect = [&] {
+    if (endpoint.rfind("unix:", 0) == 0)
+      return server::Client::connect_unix(endpoint.substr(5));
+    if (!endpoint.empty() && endpoint[0] == '/')
+      return server::Client::connect_unix(endpoint);
+    const auto colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+      throw InvalidArgument("bad connect value: " + endpoint +
+                            " (expected unix:/path or host:port)");
+    }
+    return server::Client::connect_tcp(endpoint.substr(0, colon),
+                                       parse_port(endpoint.substr(colon + 1)));
+  };
+
+  const std::string verb = positional.empty() ? "" : positional[0];
+  if (verb == "ping") {
+    server::Client client = connect();
+    client.ping();
+    std::cout << "pong from " << endpoint << "\n";
+    return 0;
+  }
+  if (verb == "compress") {
+    if (positional.size() != 3)
+      throw InvalidArgument("client compress needs <in.ocf> <out>");
+    const Bytes field_bytes = read_file(positional[1]);
+    server::Client client = connect();
+    std::string stats_line;
+    // Unconsumed keys only: connect/tenant stay local, the compression
+    // knobs travel; the daemon re-parses and rejects unknowns.
+    const Bytes blob = client.compress(
+        tenant, field_bytes, options.canonical_line(/*unconsumed_only=*/true),
+        &stats_line);
+    write_file(positional[2], blob);
+    std::cout << "compressed " << positional[1] << " -> " << positional[2]
+              << " via " << endpoint << "  (" << stats_line << ")\n";
+    return 0;
+  }
+  if (verb == "decompress") {
+    if (positional.size() != 3)
+      throw InvalidArgument("client decompress needs <in> <out.ocf>");
+    options.reject_unknown("client");
+    const Bytes blob = read_file(positional[1]);
+    server::Client client = connect();
+    const Bytes field_bytes = client.decompress(tenant, blob);
+    write_file(positional[2], field_bytes);
+    std::cout << "decompressed " << positional[1] << " -> " << positional[2]
+              << " via " << endpoint << "\n";
+    return 0;
+  }
+  throw InvalidArgument("unknown client verb: " +
+                        (verb.empty() ? std::string("(none)") : verb) +
+                        " (expected compress|decompress|ping)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1150,7 +1143,7 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::cerr << "ocelot — error-bounded lossy compression toolkit\n"
               << "commands: generate, compress, decompress, advise, info, "
-                 "stats, backends, diff, simulate\n";
+                 "stats, backends, diff, simulate, serve, client\n";
     return 2;
   }
   try {
@@ -1165,6 +1158,8 @@ int main(int argc, char** argv) {
     if (cmd == "backends") return cmd_backends(rest);
     if (cmd == "diff") return cmd_diff(rest);
     if (cmd == "simulate") return cmd_simulate(rest);
+    if (cmd == "serve") return cmd_serve(rest);
+    if (cmd == "client") return cmd_client(rest);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {
