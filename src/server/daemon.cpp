@@ -77,6 +77,14 @@ struct Daemon::Connection {
   std::mutex write_mu;   ///< one response frame at a time
   std::thread reader;
   std::atomic<bool> done{false};
+
+  /// The last shared_ptr release closes the fd. Queued and in-flight
+  /// scheduler jobs hold a reference, so a connection reaped after its
+  /// reader exits keeps its descriptor open — and the number out of
+  /// reuse by a later accept — until every pending respond() is done.
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
 };
 
 Daemon::Daemon(DaemonConfig config)
@@ -88,6 +96,8 @@ void Daemon::start() {
   require(!started_.exchange(true), "daemon already started");
   require(!config_.unix_path.empty() || config_.tcp_port >= 0,
           "daemon needs a unix socket path or a tcp port");
+  require(config_.max_frame_bytes <= 0xffffffffu,
+          "max_frame_bytes must fit the u32 length prefix (< 4 GiB)");
 
   for (const auto& [tenant, quota] : config_.tenant_quotas) {
     scheduler_.set_quota(tenant, quota);
@@ -116,8 +126,10 @@ void Daemon::accept_loop(int listen_fd) {
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
 
     // Reap connections whose reader has finished (client went away):
-    // joining outside the lock, closing the fd only after the join so
-    // the descriptor number cannot be reused while a thread owns it.
+    // joining outside the lock. The fd is NOT closed here — jobs this
+    // connection still has queued hold shared_ptr references, and the
+    // descriptor closes only when the last one releases (~Connection),
+    // so a late respond() can never write into a recycled fd number.
     std::vector<std::shared_ptr<Connection>> dead;
     {
       const std::scoped_lock lock(conns_mu_);
@@ -132,7 +144,6 @@ void Daemon::accept_loop(int listen_fd) {
     }
     for (const auto& conn : dead) {
       if (conn->reader.joinable()) conn->reader.join();
-      ::close(conn->fd);
     }
 
     if (ready <= 0) continue;
@@ -266,12 +277,31 @@ void Daemon::process(const std::shared_ptr<Connection>& conn, Frame request) {
 void Daemon::respond(const std::shared_ptr<Connection>& conn,
                      const Frame& frame) {
   OCELOT_SPAN("daemon.respond");
+  // A result can outgrow the frame cap (a decompress response is
+  // larger than its request): answer with an error frame instead of
+  // dropping the response and leaving a synchronous client waiting
+  // forever for its request id.
+  Bytes wire;
+  bool too_large = false;
+  try {
+    wire = encode_frame(frame);
+    too_large = wire.size() - 4 > config_.max_frame_bytes;
+  } catch (const InvalidArgument&) {
+    too_large = true;  // body above even the u32 wire limit
+  }
+  if (too_large) {
+    OCELOT_COUNT("daemon.response_too_large", 1);
+    wire = encode_frame(make_error(
+        frame.id, error_code::kInternal,
+        "response exceeds the frame-size cap of " +
+            std::to_string(config_.max_frame_bytes) + " bytes"));
+  }
   try {
     const std::scoped_lock lock(conn->write_mu);
-    write_frame(conn->fd, frame, config_.max_frame_bytes);
-  } catch (const std::exception&) {
-    // Peer already gone; the reader will notice and the connection
-    // will be reaped.
+    write_wire(conn->fd, wire);
+  } catch (const Error&) {
+    // Socket write failed: peer already gone; the reader will notice
+    // and the connection will be reaped.
   }
 }
 
@@ -299,7 +329,8 @@ void Daemon::shutdown() {
   }
 
   // 4. Close the connections: shutdown unblocks blocked readers, then
-  //    join and close.
+  //    join. The fds close as the references drop below — the workers
+  //    already finished, so no job still holds one.
   std::vector<std::shared_ptr<Connection>> conns;
   {
     const std::scoped_lock lock(conns_mu_);
@@ -310,7 +341,6 @@ void Daemon::shutdown() {
   }
   for (const auto& conn : conns) {
     if (conn->reader.joinable()) conn->reader.join();
-    ::close(conn->fd);
   }
 }
 

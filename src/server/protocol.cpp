@@ -61,8 +61,13 @@ Bytes encode_frame(const Frame& frame) {
   sink.put_string(frame.tenant);
   sink.put_string(frame.options);
   sink.put_blob(frame.payload);
-  const std::uint32_t body = static_cast<std::uint32_t>(out.size() - 4);
-  std::memcpy(out.data(), &body, sizeof(body));
+  const std::size_t body = out.size() - 4;
+  require(body <= 0xffffffffu, "frame body exceeds the u32 wire limit");
+  // Little-endian by spec, independent of host byte order.
+  out[0] = static_cast<std::uint8_t>(body & 0xff);
+  out[1] = static_cast<std::uint8_t>((body >> 8) & 0xff);
+  out[2] = static_cast<std::uint8_t>((body >> 16) & 0xff);
+  out[3] = static_cast<std::uint8_t>((body >> 24) & 0xff);
   return out;
 }
 
@@ -103,11 +108,18 @@ void write_frame(int fd, const Frame& frame, std::size_t max_frame_bytes) {
   write_all(fd, wire.data(), wire.size());
 }
 
+void write_wire(int fd, std::span<const std::uint8_t> wire) {
+  write_all(fd, wire.data(), wire.size());
+}
+
 std::optional<Frame> read_frame(int fd, std::size_t max_frame_bytes) {
   std::uint8_t len_bytes[4];
   if (!read_exact(fd, len_bytes, sizeof(len_bytes))) return std::nullopt;
-  std::uint32_t body_len = 0;
-  std::memcpy(&body_len, len_bytes, sizeof(body_len));
+  const std::uint32_t body_len =
+      static_cast<std::uint32_t>(len_bytes[0]) |
+      static_cast<std::uint32_t>(len_bytes[1]) << 8 |
+      static_cast<std::uint32_t>(len_bytes[2]) << 16 |
+      static_cast<std::uint32_t>(len_bytes[3]) << 24;
   if (body_len > max_frame_bytes) {
     throw CorruptStream("frame length " + std::to_string(body_len) +
                         " exceeds cap " + std::to_string(max_frame_bytes));

@@ -86,6 +86,11 @@ struct Frame {
 void write_frame(int fd, const Frame& frame,
                  std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
 
+/// Writes pre-encoded wire bytes (from encode_frame) to `fd`, handling
+/// short writes; throws Error when the peer is gone. Lets callers
+/// size-check the encoded frame themselves before committing to send.
+void write_wire(int fd, std::span<const std::uint8_t> wire);
+
 /// Reads one frame from `fd`. Returns nullopt on clean EOF (connection
 /// closed between frames); throws CorruptStream on mid-frame EOF, a
 /// body length above `max_frame_bytes`, or a malformed body.

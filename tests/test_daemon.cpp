@@ -344,6 +344,38 @@ TEST(Daemon, OversizedFrameRejectedBeforeBuffering) {
   daemon.shutdown();
 }
 
+TEST(Daemon, OversizedResponseAnswersErrorInsteadOfHanging) {
+  const Bytes field_bytes = small_field_bytes();
+  const Bytes blob =
+      engine_reference_compress(field_bytes, "eb=1e-3 backend=sz3");
+  // Cap sized so the decompress request fits but its response (the
+  // decompressed field, larger than the blob) does not.
+  const std::size_t cap = blob.size() + 1024;
+  ASSERT_GT(field_bytes.size(), cap);
+
+  const std::string path = test_socket_path("bigresp");
+  DaemonConfig config;
+  config.unix_path = path;
+  config.workers = 1;
+  config.max_frame_bytes = cap;
+  Daemon daemon(config);
+  daemon.start();
+
+  Client client = Client::connect_unix(path);
+  try {
+    (void)client.decompress("tenant-a", blob);
+    FAIL() << "expected RequestRejected";
+  } catch (const RequestRejected& e) {
+    EXPECT_EQ(e.code(), error_code::kInternal);
+    EXPECT_NE(std::string(e.what()).find("frame-size cap"),
+              std::string::npos);
+  }
+  // The connection survives: the error frame was a reply, not a
+  // protocol violation.
+  client.ping();
+  daemon.shutdown();
+}
+
 TEST(Daemon, QuotaFloodSurfacesBusyBackpressure) {
   const std::string path = test_socket_path("quota");
   DaemonConfig config;
